@@ -1,0 +1,29 @@
+//! `cargo bench` entry point that regenerates every table and figure of the
+//! paper at reduced scale (custom harness, not criterion: the output *is*
+//! the artifact). For full-scale runs use the binaries, e.g.
+//! `cargo run --release -p bench --bin fig6`.
+
+fn main() {
+    // Respect `cargo bench -- --quick`-style extra args but default to the
+    // reduced scale either way: this harness is the smoke-level sweep.
+    let opts = bench::Opts {
+        quick: true,
+        csv: false,
+    };
+    println!("Regenerating all paper artifacts at reduced (--quick) scale.\n");
+    bench::figures::table1::run_figure(&opts);
+    bench::figures::fig2::run_figure(&opts);
+    bench::figures::fig6::run_figure(&opts);
+    bench::figures::fig7::run_figure(&opts);
+    bench::figures::fig8::run_figure(&opts);
+    bench::figures::fig9::run_figure(&opts);
+    bench::figures::fig10::run_figure(&opts);
+    bench::figures::fig11::run_figure(&opts);
+    bench::figures::fig12::run_figure(&opts);
+    bench::figures::fig13::run_figure(&opts);
+    bench::figures::fig14::run_figure(&opts);
+    bench::figures::ext_baselines::run_figure(&opts);
+    bench::figures::ext_virtio::run_figure(&opts);
+    bench::figures::ext_breakdown::run_figure(&opts);
+    println!("Done. Full-scale: cargo run --release -p bench --bin all_figures");
+}

@@ -1,0 +1,184 @@
+//! Criterion micro-benchmarks of the hot-path data structures.
+//!
+//! These measure the *wall-clock* cost of the mechanisms the paper argues
+//! must be lightweight: the merit-heap scheduling of nqreg (MRU-gated vs.
+//! per-query resorts), troute's routing decision, and the simulation
+//! substrate itself (event queue, latency histogram, flash dispatch).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use blkstack::bio::{Bio, BioId, ReqFlags};
+use blkstack::nsqlock::NsqLockTable;
+use blkstack::{IoPriorityClass, Pid, TaskStruct};
+use daredevil::{DaredevilConfig, NqReg, Priority, ProxyTable, Troute};
+use dd_metrics::LatencyHistogram;
+use dd_nvme::{IoOpcode, NamespaceId, NvmeConfig, NvmeDevice, SqId};
+use simkit::{EventQueue, SimDuration, SimRng, SimTime};
+
+fn device(sqs: u16, cqs: u16) -> NvmeDevice {
+    let mut cfg = NvmeConfig::sv_m();
+    cfg.nr_sqs = sqs;
+    cfg.nr_cqs = cqs;
+    NvmeDevice::new(cfg, 8)
+}
+
+fn proxies(dev: &NvmeDevice) -> ProxyTable {
+    let prios = daredevil::nqreg::divide_priorities(dev.nr_cqs());
+    ProxyTable::new(
+        dev.nr_sqs(),
+        |i| dev.cq_of_sq(SqId(i)),
+        |i| prios[dev.cq_of_sq(SqId(i)).index()],
+    )
+}
+
+fn bench_nq_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nqreg");
+    // The WS-M shape: 128 NSQs over 24 NCQs, both scheduling steps active.
+    let dev = device(128, 24);
+    let locks = NsqLockTable::new(128);
+    let prox = proxies(&dev);
+
+    g.bench_function("schedule_mru_hit", |b| {
+        let mut reg = NqReg::new(0.8, 1024, true, 128, 24, |i| i % 24);
+        b.iter(|| black_box(reg.schedule(Priority::High, 1, &dev, &locks, &prox)));
+    });
+    g.bench_function("schedule_with_resort", |b| {
+        let mut reg = NqReg::new(0.8, 1, true, 128, 24, |i| i % 24);
+        b.iter(|| black_box(reg.schedule(Priority::High, 1, &dev, &locks, &prox)));
+    });
+    g.bench_function("schedule_round_robin", |b| {
+        let mut reg = NqReg::new(0.8, 1024, false, 128, 24, |i| i % 24);
+        b.iter(|| black_box(reg.schedule(Priority::Low, 1, &dev, &locks, &prox)));
+    });
+    g.finish();
+}
+
+fn bench_troute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("troute");
+    let dev = device(64, 64);
+    let locks = NsqLockTable::new(64);
+
+    g.bench_function("route_default", |b| {
+        let mut prox = proxies(&dev);
+        let mut reg = NqReg::new(0.8, 1024, true, 64, 64, |i| i);
+        let mut tr = Troute::new(1024, 64);
+        tr.register(
+            &TaskStruct::new(Pid(1), 0, IoPriorityClass::RealTime, NamespaceId(1), "L"),
+            &mut reg,
+            &dev,
+            &locks,
+            &mut prox,
+        );
+        let bio = Bio {
+            id: BioId(1),
+            tenant: Pid(1),
+            core: 0,
+            nsid: NamespaceId(1),
+            op: IoOpcode::Read,
+            offset_blocks: 0,
+            bytes: 4096,
+            flags: ReqFlags::NONE,
+            issued_at: SimTime::ZERO,
+        };
+        b.iter(|| black_box(tr.route(&bio, &mut reg, &dev, &locks, &mut prox)));
+    });
+    g.bench_function("route_outlier_per_request", |b| {
+        let mut prox = proxies(&dev);
+        let mut reg = NqReg::new(0.8, 1024, true, 64, 64, |i| i);
+        let mut tr = Troute::new(1024, u64::MAX);
+        tr.register(
+            &TaskStruct::new(Pid(2), 0, IoPriorityClass::BestEffort, NamespaceId(1), "T"),
+            &mut reg,
+            &dev,
+            &locks,
+            &mut prox,
+        );
+        let bio = Bio {
+            id: BioId(1),
+            tenant: Pid(2),
+            core: 0,
+            nsid: NamespaceId(1),
+            op: IoOpcode::Write,
+            offset_blocks: 0,
+            bytes: 4096,
+            flags: ReqFlags::SYNC,
+            issued_at: SimTime::ZERO,
+        };
+        b.iter(|| black_box(tr.route(&bio, &mut reg, &dev, &locks, &mut prox)));
+    });
+    g.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.bench_function("event_queue_push_pop", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::with_capacity(1024);
+                for _ in 0..512 {
+                    q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000), 0u32);
+                }
+                q
+            },
+            |mut q| {
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("histogram_record", |b| {
+        let mut h = LatencyHistogram::new();
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            h.record(SimDuration::from_nanos(rng.gen_range(100_000_000) + 1));
+        });
+        black_box(h.count());
+    });
+    g.bench_function("flash_dispatch_4k", |b| {
+        let mut dev = dd_nvme::flash::FlashBackend::new(dd_nvme::flash::FlashConfig::enterprise());
+        let mut now = SimTime::ZERO;
+        let mut lba = 0u64;
+        b.iter(|| {
+            now += SimDuration::from_nanos(500);
+            lba = lba.wrapping_add(97);
+            black_box(dev.dispatch_page(now, lba, IoOpcode::Read));
+        });
+    });
+    g.bench_function("nsq_lock_acquire", |b| {
+        let mut locks = NsqLockTable::new(16);
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimDuration::from_nanos(100);
+            black_box(locks.acquire(SqId(3), now, SimDuration::from_nanos(150)));
+        });
+    });
+    g.finish();
+}
+
+fn bench_daredevil_config(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.bench_function("daredevil_stack_for_device", |b| {
+        let dev = device(128, 24);
+        b.iter(|| {
+            black_box(daredevil::DaredevilStack::for_device(
+                DaredevilConfig::default(),
+                8,
+                &dev,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nq_scheduling,
+    bench_troute,
+    bench_substrate,
+    bench_daredevil_config
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates every table and figure of the paper in sequence.
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::table1::run_figure(&opts);
+    bench::figures::fig2::run_figure(&opts);
+    bench::figures::fig6::run_figure(&opts);
+    bench::figures::fig7::run_figure(&opts);
+    bench::figures::fig8::run_figure(&opts);
+    bench::figures::fig9::run_figure(&opts);
+    bench::figures::fig10::run_figure(&opts);
+    bench::figures::fig11::run_figure(&opts);
+    bench::figures::fig12::run_figure(&opts);
+    bench::figures::fig13::run_figure(&opts);
+    bench::figures::fig14::run_figure(&opts);
+    bench::figures::ext_baselines::run_figure(&opts);
+    bench::figures::ext_virtio::run_figure(&opts);
+    bench::figures::ext_breakdown::run_figure(&opts);
+}

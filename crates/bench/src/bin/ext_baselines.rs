@@ -1,0 +1,6 @@
+//! Extension comparisons: I/O schedulers and static overprovision.
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::ext_baselines::run_figure(&opts);
+}

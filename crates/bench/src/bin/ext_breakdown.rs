@@ -1,0 +1,6 @@
+//! Extension: latency-phase breakdown.
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::ext_breakdown::run_figure(&opts);
+}

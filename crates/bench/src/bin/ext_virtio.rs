@@ -1,0 +1,6 @@
+//! Extension: guest VMs over virtio-blk (§8.1 future work).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::ext_virtio::run_figure(&opts);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10 (see `bench::figures::fig10`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig10::run_figure(&opts);
+}

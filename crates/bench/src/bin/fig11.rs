@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11 (see `bench::figures::fig11`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig11::run_figure(&opts);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig12 (see `bench::figures::fig12`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig12::run_figure(&opts);
+}

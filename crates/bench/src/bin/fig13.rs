@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig13 (see `bench::figures::fig13`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig13::run_figure(&opts);
+}

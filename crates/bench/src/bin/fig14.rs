@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig14 (see `bench::figures::fig14`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig14::run_figure(&opts);
+}

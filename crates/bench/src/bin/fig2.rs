@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2 (see `bench::figures::fig2`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig2::run_figure(&opts);
+}

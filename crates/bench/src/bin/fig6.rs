@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 6 (see `bench::figures::fig6`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig6::run_figure(&opts);
+}

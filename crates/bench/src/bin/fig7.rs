@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 (see `bench::figures::fig7`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig7::run_figure(&opts);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig8 (see `bench::figures::fig8`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig8::run_figure(&opts);
+}

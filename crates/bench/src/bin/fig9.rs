@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig9 (see `bench::figures::fig9`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig9::run_figure(&opts);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 (see `bench::figures::table1`).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::table1::run_figure(&opts);
+}

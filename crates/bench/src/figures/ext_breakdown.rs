@@ -1,0 +1,51 @@
+//! Extension — where does the latency go? Per-phase decomposition of the
+//! L-tenant's end-to-end latency under T-pressure.
+//!
+//! Every completion is decomposed into: in-NSQ wait (issue → controller
+//! fetch), device service (fetch → flash done), and completion delivery
+//! (flash done → signalled). The table makes the paper's root-cause claim
+//! directly visible: vanilla's inflation lives almost entirely in the
+//! in-NSQ wait — the head-of-line blocking Daredevil's routing removes —
+//! while device service stays comparable for everyone (the §8.1 residual).
+
+use dd_metrics::table::fmt_f;
+use dd_metrics::Table;
+use testbed::scenario::{MachinePreset, Scenario, StackSpec};
+
+use crate::{run, Opts};
+
+/// Regenerates the phase-breakdown extension table.
+pub fn run_figure(opts: &Opts) {
+    let mut table = Table::new(
+        "Ext D: L-tenant latency phase breakdown (avg ms), 4 L + T pressure, 4 cores",
+        &[
+            "T-tenants",
+            "stack",
+            "in-NSQ wait",
+            "device service",
+            "delivery",
+            "end-to-end",
+        ],
+    );
+    let stages: Vec<u16> = if opts.quick { vec![8] } else { vec![2, 8, 32] };
+    for nr_t in stages {
+        for stack in [
+            StackSpec::vanilla(),
+            StackSpec::blk_switch(),
+            StackSpec::daredevil(),
+        ] {
+            let s = Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM);
+            let out = run(opts, s);
+            let b = out.breakdown.get("L").copied().unwrap_or_default();
+            table.row(&[
+                format!("T={nr_t}"),
+                out.summary.stack.clone(),
+                fmt_f(b.avg_queue_wait_ms()),
+                fmt_f(b.avg_device_service_ms()),
+                fmt_f(b.avg_delivery_ms()),
+                fmt_f(out.l_avg_ms()),
+            ]);
+        }
+    }
+    opts.emit(&table);
+}

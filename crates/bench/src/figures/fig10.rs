@@ -1,0 +1,33 @@
+//! Fig. 10 — multi-namespace scenarios.
+//!
+//! 4/8/12 namespaces at an L:T namespace ratio of 1:3 (2 L-tenants per
+//! L-ns, 8 T-tenants per T-ns). Every namespace hosts only one class, yet
+//! the classes still share the device's single NQ set — the per-namespace
+//! blk-mq structures cannot see it, Daredevil's device-level proxies can
+//! (§7.2).
+
+use dd_metrics::Table;
+use testbed::scenario::{MachinePreset, Scenario, StackSpec};
+
+use crate::{latency_row, run, Opts, LATENCY_HEADER};
+
+/// Regenerates Fig. 10.
+pub fn run_figure(opts: &Opts) {
+    let ns_counts: Vec<u32> = if opts.quick { vec![4] } else { vec![4, 8, 12] };
+    let mut table = Table::new(
+        "Fig 10: multi-namespace (L-ns:T-ns = 1:3, 2 L per L-ns, 8 T per T-ns, 4 cores)",
+        &LATENCY_HEADER,
+    );
+    for namespaces in ns_counts {
+        for stack in [
+            StackSpec::vanilla(),
+            StackSpec::blk_switch(),
+            StackSpec::daredevil(),
+        ] {
+            let s = Scenario::multi_namespace(stack, namespaces, 4, MachinePreset::SvM);
+            let out = run(opts, s);
+            table.row(&latency_row(format!("{namespaces} ns"), &out));
+        }
+    }
+    opts.emit(&table);
+}

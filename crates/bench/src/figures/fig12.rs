@@ -1,0 +1,145 @@
+//! Fig. 12 — real-world applicability (§7.4).
+//!
+//! YCSB A/B/E/F over the kvsim LSM store (the RocksDB stand-in) and a
+//! filebench-style Mailserver, each co-located with 8 background streaming
+//! T-tenants on 4 cores. The application processes are L-tenants
+//! (real-time ionice). YCSB reports per-op p99.9; Mailserver reports the
+//! average latency of its device-bound operations (fsync, delete).
+
+use blkstack::IoPriorityClass;
+use dd_metrics::table::fmt_ms;
+use dd_metrics::Table;
+use dd_nvme::NamespaceId;
+use dd_workload::kvsim::KvConfig;
+use dd_workload::mailserver::MailConfig;
+use dd_workload::{OpKind, YcsbMix};
+use simkit::SimDuration;
+use testbed::scenario::{AppKind, MachinePreset, Scenario, StackSpec, TenantKind, TenantSpec};
+
+use crate::{run, Opts};
+
+fn app_scenario(stack: StackSpec, app: AppKind, label: &'static str) -> Scenario {
+    let mut s = Scenario::new(
+        format!("{}-{label}", stack.name()),
+        MachinePreset::SvM,
+        stack,
+    );
+    s.tenants.push(TenantSpec {
+        class_label: "app",
+        ionice: IoPriorityClass::RealTime,
+        core: 0,
+        nsid: NamespaceId(1),
+        kind: TenantKind::App(app),
+    });
+    for i in 0..8u16 {
+        s.tenants.push(TenantSpec {
+            class_label: "T",
+            ionice: IoPriorityClass::BestEffort,
+            core: (1 + i) % 4,
+            nsid: NamespaceId(1),
+            kind: TenantKind::Fio(dd_workload::tenants::streaming_job()),
+        });
+    }
+    s.stop_when_apps_done = true;
+    s
+}
+
+fn stacks() -> [StackSpec; 3] {
+    [
+        StackSpec::vanilla(),
+        StackSpec::blk_switch(),
+        StackSpec::daredevil(),
+    ]
+}
+
+/// Regenerates Fig. 12.
+pub fn run_figure(opts: &Opts) {
+    let ycsb_ops: u64 = if opts.quick { 1_500 } else { 20_000 };
+    let mail_ops: u64 = if opts.quick { 1_000 } else { 15_000 };
+    let kv = KvConfig {
+        keys: 200_000,
+        cache_blocks: 40_000,
+        memtable_entries: 500,
+        ..KvConfig::default()
+    };
+
+    // (a)-(d): YCSB per-op p99.9.
+    let mut table = Table::new(
+        "Fig 12 (a-d): YCSB on kvsim, p99.9 per op (ms), 8 streaming T-tenants",
+        &["workload", "op", "vanilla", "blk-switch", "daredevil"],
+    );
+    for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::E, YcsbMix::F] {
+        let kinds: &[OpKind] = match mix {
+            YcsbMix::A | YcsbMix::B => &[OpKind::Read, OpKind::Update],
+            YcsbMix::E => &[OpKind::Scan, OpKind::Insert],
+            YcsbMix::F => &[OpKind::Read, OpKind::ReadModifyWrite],
+        };
+        let mut per_stack = Vec::new();
+        for stack in stacks() {
+            let mut s = app_scenario(
+                stack,
+                AppKind::Ycsb {
+                    mix,
+                    config: kv,
+                    ops: ycsb_ops,
+                },
+                mix.as_str(),
+            );
+            // Long ceiling; the run stops when the app finishes.
+            s.warmup = opts.warmup();
+            s.measure = SimDuration::from_secs(120);
+            per_stack.push(run(opts, s));
+        }
+        for kind in kinds {
+            let mut row = vec![mix.as_str().to_string(), kind.as_str().to_string()];
+            for out in &per_stack {
+                let cell = out
+                    .op_latencies
+                    .get(kind)
+                    .map(|h| fmt_ms(h.p999()))
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(cell);
+            }
+            table.row(&row);
+        }
+    }
+    opts.emit(&table);
+
+    // (e): Mailserver average latency of device-bound ops.
+    let mut table = Table::new(
+        "Fig 12 (e): Mailserver avg latency (ms), 8 streaming T-tenants",
+        &["op", "vanilla", "blk-switch", "daredevil", "cache-hit note"],
+    );
+    let mut per_stack = Vec::new();
+    for stack in stacks() {
+        let mut s = app_scenario(
+            stack,
+            AppKind::Mailserver {
+                config: MailConfig::default(),
+                ops: mail_ops,
+            },
+            "mailserver",
+        );
+        s.warmup = opts.warmup();
+        s.measure = SimDuration::from_secs(120);
+        per_stack.push(run(opts, s));
+    }
+    for kind in [OpKind::Fsync, OpKind::Delete, OpKind::FileRead] {
+        let mut row = vec![kind.as_str().to_string()];
+        for out in &per_stack {
+            let cell = out
+                .op_latencies
+                .get(&kind)
+                .map(|h| fmt_ms(h.mean()))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(cell);
+        }
+        row.push(if kind == OpKind::FileRead {
+            "mostly page-cache (CPU-bound)".to_string()
+        } else {
+            "device-bound".to_string()
+        });
+        table.row(&row);
+    }
+    opts.emit(&table);
+}

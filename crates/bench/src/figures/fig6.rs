@@ -1,0 +1,31 @@
+//! Fig. 6 — SV-M: resistance to the multi-tenancy issue.
+//!
+//! 4 L-tenants (4 KiB QD1 randread, real-time ionice), T-tenants rising
+//! per stage (128 KiB QD32, best-effort), all on a shared pool of 4 cores
+//! of the 64-core/64-NQ SV-M machine, one namespace (§7.1). Columns (a)-(d)
+//! of the paper map to the four measurement columns.
+
+use dd_metrics::Table;
+use testbed::scenario::{MachinePreset, Scenario, StackSpec};
+
+use crate::{latency_row, run, Opts, LATENCY_HEADER};
+
+/// Regenerates Fig. 6.
+pub fn run_figure(opts: &Opts) {
+    let mut table = Table::new(
+        "Fig 6: SV-M, increasing T-pressure (4 L-tenants, 4 cores)",
+        &LATENCY_HEADER,
+    );
+    for nr_t in opts.t_stages() {
+        for stack in [
+            StackSpec::vanilla(),
+            StackSpec::blk_switch(),
+            StackSpec::daredevil(),
+        ] {
+            let s = Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM);
+            let out = run(opts, s);
+            table.row(&latency_row(format!("T={nr_t}"), &out));
+        }
+    }
+    opts.emit(&table);
+}

@@ -1,0 +1,30 @@
+//! Fig. 7 — WS-M: the same T-pressure sweep on the workstation machine.
+//!
+//! WS-M exposes 128 NSQs over 24 NCQs (≥5 NSQs per NCQ), giving Daredevil's
+//! NQ scheduling a real second step; the paper's gains grow to 40×/170×
+//! here because requests can scatter across many more NSQs (§7.1).
+
+use dd_metrics::Table;
+use testbed::scenario::{MachinePreset, Scenario, StackSpec};
+
+use crate::{latency_row, run, Opts, LATENCY_HEADER};
+
+/// Regenerates Fig. 7.
+pub fn run_figure(opts: &Opts) {
+    let mut table = Table::new(
+        "Fig 7: WS-M (128 NSQ / 24 NCQ), increasing T-pressure (4 L-tenants, 4 cores)",
+        &LATENCY_HEADER,
+    );
+    for nr_t in opts.t_stages() {
+        for stack in [
+            StackSpec::vanilla(),
+            StackSpec::blk_switch(),
+            StackSpec::daredevil(),
+        ] {
+            let s = Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::WsM);
+            let out = run(opts, s);
+            table.row(&latency_row(format!("T={nr_t}"), &out));
+        }
+    }
+    opts.emit(&table);
+}

@@ -1,0 +1,42 @@
+//! Fig. 9 — sensitivity to the number of available CPU cores.
+//!
+//! L-tenant p99.9 under T ∈ {4,16,32} with the tenant pool confined to 2,
+//! 4, or 8 cores (SV-M). Daredevil should be flat across core counts (its
+//! routing is core-independent) and improve with more cores under high
+//! pressure, while blk-switch's cross-core scheduling worsens (§7.1).
+
+use dd_metrics::table::fmt_ms;
+use dd_metrics::Table;
+use testbed::scenario::{MachinePreset, Scenario, StackSpec};
+
+use crate::{run, Opts};
+
+/// Regenerates Fig. 9.
+pub fn run_figure(opts: &Opts) {
+    let t_stages: Vec<u16> = if opts.quick {
+        vec![16]
+    } else {
+        vec![4, 16, 32]
+    };
+    let mut table = Table::new(
+        "Fig 9: L-tenant p99.9 (ms) vs available cores (SV-M)",
+        &["T-tenants", "stack", "2 cores", "4 cores", "8 cores"],
+    );
+    for nr_t in &t_stages {
+        for stack in [
+            StackSpec::vanilla(),
+            StackSpec::blk_switch(),
+            StackSpec::daredevil(),
+        ] {
+            let mut cells = vec![format!("T={nr_t}"), stack.name().to_string()];
+            for cores in [2u16, 4, 8] {
+                let s =
+                    Scenario::multi_tenant_fio(stack.clone(), 4, *nr_t, cores, MachinePreset::SvM);
+                let out = run(opts, s);
+                cells.push(fmt_ms(out.summary.class("L").latency.p999()));
+            }
+            table.row(&cells);
+        }
+    }
+    opts.emit(&table);
+}

@@ -1,0 +1,20 @@
+//! One module per regenerated artifact of the paper's evaluation.
+//!
+//! Each module exposes `run(&Opts)`, printing the paper-style rows. The
+//! thin binaries in `src/bin/` and the `cargo bench` harness both call
+//! these functions; DESIGN.md §3 maps artifacts to modules.
+
+pub mod ext_baselines;
+pub mod ext_breakdown;
+pub mod ext_virtio;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

@@ -1,0 +1,48 @@
+//! Table 1 — the qualitative factor matrix, generated from each stack's
+//! reported capabilities plus the literature rows (FlashShare/D2FQ).
+
+use blkstack::Capabilities;
+use dd_metrics::Table;
+
+use crate::Opts;
+
+fn mark(b: bool, considered: bool) -> String {
+    if !considered && !b {
+        "-".to_string()
+    } else if b {
+        "yes".to_string()
+    } else {
+        "no".to_string()
+    }
+}
+
+/// Regenerates Table 1.
+pub fn run_figure(opts: &Opts) {
+    let mut table = Table::new(
+        "Table 1: comparison factors (yes/no; '-' = not considered in design)",
+        &[
+            "stack",
+            "hw independence",
+            "NQ exploitation",
+            "cross-core autonomy",
+            "multi-ns support",
+        ],
+    );
+    let rows: [(&str, Capabilities); 5] = [
+        ("blk-mq", Capabilities::blk_mq()),
+        ("FlashShare", Capabilities::static_overprovision()),
+        ("D2FQ", Capabilities::static_overprovision()),
+        ("blk-switch", Capabilities::blk_switch()),
+        ("Daredevil", Capabilities::daredevil()),
+    ];
+    for (name, c) in rows {
+        table.row(&[
+            name.to_string(),
+            mark(c.hardware_independent, true),
+            mark(c.nq_exploitation, c.considers_multi_tenancy),
+            mark(c.cross_core_autonomy, c.considers_multi_tenancy),
+            mark(c.multi_namespace, true),
+        ]);
+    }
+    opts.emit(&table);
+}

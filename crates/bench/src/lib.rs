@@ -1,0 +1,127 @@
+//! Shared machinery of the figure/table harness.
+//!
+//! Every binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §3 for the index). They share:
+//!
+//! * [`Opts`] — `--quick` (reduced durations for smoke runs) and `--csv`
+//!   (machine-readable output in addition to the tables);
+//! * duration presets and the T-pressure stages of §7.1;
+//! * [`run`] / [`latency_row`] helpers turning a scenario into the table
+//!   columns the paper reports (p99.9, average latency, L-IOPS,
+//!   T-throughput).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use dd_metrics::table::{fmt_f, fmt_ms};
+use dd_metrics::Table;
+use simkit::SimDuration;
+use testbed::{RunOutput, Scenario};
+
+/// Command-line options shared by the figure binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct Opts {
+    /// Run a reduced-scale version (CI/smoke).
+    pub quick: bool,
+    /// Also print CSV after each table.
+    pub csv: bool,
+}
+
+impl Opts {
+    /// Parses options from the process arguments.
+    pub fn from_args() -> Self {
+        let mut quick = false;
+        let mut csv = false;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--csv" => csv = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: <bin> [--quick] [--csv]");
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+        }
+        Opts { quick, csv }
+    }
+
+    /// Warm-up duration for this scale.
+    pub fn warmup(&self) -> SimDuration {
+        if self.quick {
+            SimDuration::from_millis(5)
+        } else {
+            SimDuration::from_millis(50)
+        }
+    }
+
+    /// Measurement window for this scale.
+    ///
+    /// The paper runs 10 wall-clock minutes per stage; queueing systems at
+    /// these arrival rates reach steady state within tens of milliseconds of
+    /// simulated time, so 800 ms measured per stage preserves the shape
+    /// (EXPERIMENTS.md records this scale substitution).
+    pub fn measure(&self) -> SimDuration {
+        if self.quick {
+            SimDuration::from_millis(40)
+        } else {
+            SimDuration::from_millis(800)
+        }
+    }
+
+    /// The §7.1 T-pressure stages.
+    pub fn t_stages(&self) -> Vec<u16> {
+        if self.quick {
+            vec![2, 8]
+        } else {
+            vec![0, 2, 4, 8, 16, 32]
+        }
+    }
+
+    /// Emits a finished table (and CSV when requested).
+    pub fn emit(&self, table: &Table) {
+        print!("{}", table.render());
+        if self.csv {
+            println!("--- csv ---");
+            print!("{}", table.to_csv());
+            println!("-----------");
+        }
+        println!();
+    }
+}
+
+/// Applies the shared durations to a scenario.
+pub fn scaled(opts: &Opts, s: Scenario) -> Scenario {
+    s.with_durations(opts.warmup(), opts.measure())
+}
+
+/// Runs a scenario and returns its output (panicking on invalid scenarios —
+/// these binaries are the test matrix, failing loudly is correct).
+pub fn run(opts: &Opts, s: Scenario) -> RunOutput {
+    testbed::run(scaled(opts, s))
+}
+
+/// The standard measurement columns of the paper's latency figures.
+pub fn latency_row(stage: impl ToString, out: &RunOutput) -> Vec<String> {
+    vec![
+        stage.to_string(),
+        out.summary.stack.clone(),
+        fmt_ms(out.summary.class("L").latency.p999()),
+        fmt_ms(out.summary.class("L").latency.mean()),
+        fmt_f(out.l_kiops()),
+        fmt_f(out.t_mbps()),
+        fmt_f(out.summary.avg_cpu_util() * 100.0),
+    ]
+}
+
+/// Header matching [`latency_row`].
+pub const LATENCY_HEADER: [&str; 7] = [
+    "stage",
+    "stack",
+    "L p99.9 (ms)",
+    "L avg (ms)",
+    "L kIOPS",
+    "T MB/s",
+    "cpu %",
+];

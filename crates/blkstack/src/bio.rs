@@ -1,0 +1,162 @@
+//! The bio: the I/O unit tenants hand to a storage stack.
+
+use dd_nvme::{IoOpcode, NamespaceId};
+use simkit::SimTime;
+
+use crate::tenant::Pid;
+
+/// Identifier of an outstanding bio.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BioId(pub u64);
+
+/// Request flags relevant to SLA handling.
+///
+/// `REQ_SYNC`-flagged and `REQ_META`-flagged requests are the *outlier
+/// L-requests* a T-tenant can issue (fsync, journal commits, metadata
+/// updates); Daredevil recognises them directly from these flags (§6).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ReqFlags {
+    /// `REQ_SYNC`: the issuer blocks on this request.
+    pub sync: bool,
+    /// `REQ_META`: filesystem metadata.
+    pub meta: bool,
+}
+
+impl ReqFlags {
+    /// No flags (plain asynchronous data I/O).
+    pub const NONE: ReqFlags = ReqFlags {
+        sync: false,
+        meta: false,
+    };
+
+    /// Synchronous data I/O.
+    pub const SYNC: ReqFlags = ReqFlags {
+        sync: true,
+        meta: false,
+    };
+
+    /// Metadata I/O.
+    pub const META: ReqFlags = ReqFlags {
+        sync: false,
+        meta: true,
+    };
+
+    /// True when the kernel would serve this request as high-priority
+    /// (`REQ_HIPRIO` semantics): sync or metadata.
+    pub fn is_outlier(self) -> bool {
+        self.sync || self.meta
+    }
+}
+
+/// One I/O operation issued by a tenant.
+#[derive(Clone, Copy, Debug)]
+pub struct Bio {
+    /// Unique id (assigned by the issuer).
+    pub id: BioId,
+    /// Issuing tenant.
+    pub tenant: Pid,
+    /// Core the submission syscall runs on.
+    pub core: u16,
+    /// Target namespace.
+    pub nsid: NamespaceId,
+    /// Operation.
+    pub op: IoOpcode,
+    /// Starting block within the namespace.
+    pub offset_blocks: u64,
+    /// Transfer size in bytes (0 for flush).
+    pub bytes: u64,
+    /// SLA-relevant flags.
+    pub flags: ReqFlags,
+    /// Time the tenant issued the I/O (latency is measured from here).
+    pub issued_at: SimTime,
+}
+
+/// A finished bio, handed back to the testbed by the stack.
+#[derive(Clone, Copy, Debug)]
+pub struct BioCompletion {
+    /// The completed bio.
+    pub bio: Bio,
+    /// Instant the completion was delivered to the tenant. May be later
+    /// than the processing event's time when the completion path batches
+    /// (the request is signalled at the end of the batch).
+    pub completed_at: SimTime,
+    /// Core whose ISR delivered the completion.
+    pub completion_core: u16,
+    /// When the controller fetched the bio's *final* request from its NSQ
+    /// (phase breakdown: everything before this is in-NSQ wait).
+    pub fetched_at: SimTime,
+    /// When that request's device service (flash/flush) finished.
+    pub service_done_at: SimTime,
+}
+
+impl BioCompletion {
+    /// End-to-end latency of the bio.
+    pub fn latency(&self) -> simkit::SimDuration {
+        self.completed_at.saturating_since(self.bio.issued_at)
+    }
+
+    /// In-NSQ wait of the final request: issue → controller fetch. This is
+    /// where the multi-tenancy HOL lives.
+    pub fn queue_wait(&self) -> simkit::SimDuration {
+        self.fetched_at.saturating_since(self.bio.issued_at)
+    }
+
+    /// Device service time of the final request: fetch → flash done.
+    pub fn device_service(&self) -> simkit::SimDuration {
+        self.service_done_at.saturating_since(self.fetched_at)
+    }
+
+    /// Completion delivery: flash done → signalled to the tenant (interrupt
+    /// delivery, ISR queueing, batched-completion wait).
+    pub fn delivery(&self) -> simkit::SimDuration {
+        self.completed_at.saturating_since(self.service_done_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outlier_flags() {
+        assert!(!ReqFlags::NONE.is_outlier());
+        assert!(ReqFlags::SYNC.is_outlier());
+        assert!(ReqFlags::META.is_outlier());
+        assert!(ReqFlags {
+            sync: true,
+            meta: true
+        }
+        .is_outlier());
+    }
+
+    #[test]
+    fn completion_latency() {
+        let bio = Bio {
+            id: BioId(1),
+            tenant: Pid(1),
+            core: 0,
+            nsid: NamespaceId(1),
+            op: IoOpcode::Read,
+            offset_blocks: 0,
+            bytes: 4096,
+            flags: ReqFlags::NONE,
+            issued_at: SimTime::from_micros(10),
+        };
+        let c = BioCompletion {
+            bio,
+            completed_at: SimTime::from_micros(110),
+            completion_core: 3,
+            fetched_at: SimTime::from_micros(30),
+            service_done_at: SimTime::from_micros(100),
+        };
+        assert_eq!(c.latency().as_micros(), 100);
+        assert_eq!(c.queue_wait().as_micros(), 20);
+        assert_eq!(c.device_service().as_micros(), 70);
+        assert_eq!(c.delivery().as_micros(), 10);
+        // Phases partition the end-to-end latency.
+        assert_eq!(
+            (c.queue_wait() + c.device_service() + c.delivery()).as_micros(),
+            c.latency().as_micros()
+        );
+    }
+}

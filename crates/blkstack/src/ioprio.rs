@@ -1,0 +1,43 @@
+//! I/O priority (ionice) classes.
+//!
+//! The paper's troute reads each tenant's ionice value as the primary SLA
+//! signal: real-time ionice ⇒ L-tenant (high base priority), anything else ⇒
+//! T-tenant (low base priority), matching §5.2.
+
+/// Linux ionice scheduling classes (the per-class level is not needed by
+/// any stack in this workspace and is omitted).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum IoPriorityClass {
+    /// `IOPRIO_CLASS_RT`: real-time — latency-sensitive tenants.
+    RealTime,
+    /// `IOPRIO_CLASS_BE`: best-effort — the default.
+    #[default]
+    BestEffort,
+    /// `IOPRIO_CLASS_IDLE`: only serviced when the disk is otherwise idle.
+    Idle,
+}
+
+impl IoPriorityClass {
+    /// The paper's binary SLA split: real-time tenants are L-tenants,
+    /// everyone else is a T-tenant.
+    pub fn is_latency_sensitive(self) -> bool {
+        matches!(self, IoPriorityClass::RealTime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_best_effort() {
+        assert_eq!(IoPriorityClass::default(), IoPriorityClass::BestEffort);
+    }
+
+    #[test]
+    fn only_realtime_is_latency_sensitive() {
+        assert!(IoPriorityClass::RealTime.is_latency_sensitive());
+        assert!(!IoPriorityClass::BestEffort.is_latency_sensitive());
+        assert!(!IoPriorityClass::Idle.is_latency_sensitive());
+    }
+}

@@ -1,0 +1,211 @@
+//! Outstanding request and bio tracking.
+//!
+//! Every stack turns a bio into one or more NVMe commands. [`RequestMap`]
+//! owns the bookkeeping: it allocates request ids (embedded in the command's
+//! [`dd_nvme::HostTag`]), remembers which bio each request belongs to, and
+//! reports when the last request of a bio completes.
+
+use std::collections::HashMap;
+
+use crate::bio::{Bio, BioId};
+
+/// State of one in-flight bio.
+#[derive(Clone, Debug)]
+struct BioState {
+    bio: Bio,
+    /// Requests not yet completed.
+    remaining: u32,
+}
+
+/// Per-request record.
+#[derive(Clone, Copy, Debug)]
+struct RqState {
+    bio: BioId,
+    /// Blocks carried by this request (completion-side cost input).
+    nlb: u32,
+    /// Whether the request is a read (scheduler token direction).
+    read: bool,
+}
+
+/// Tracks outstanding bios and their per-command requests.
+#[derive(Debug, Default)]
+pub struct RequestMap {
+    next_rq: u64,
+    bios: HashMap<BioId, BioState>,
+    rqs: HashMap<u64, RqState>,
+    /// Peak outstanding requests (observability).
+    peak_outstanding: usize,
+}
+
+impl RequestMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a bio that will be served by `nr_requests` commands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bio id is already outstanding or `nr_requests == 0`.
+    pub fn insert_bio(&mut self, bio: Bio, nr_requests: u32) {
+        assert!(nr_requests > 0, "bio must map to at least one request");
+        let prev = self.bios.insert(
+            bio.id,
+            BioState {
+                bio,
+                remaining: nr_requests,
+            },
+        );
+        assert!(prev.is_none(), "duplicate outstanding bio id {:?}", bio.id);
+    }
+
+    /// Allocates a request id for one command of `bio`.
+    pub fn alloc_rq(&mut self, bio: BioId, nlb: u32) -> u64 {
+        self.alloc_rq_dir(bio, nlb, true)
+    }
+
+    /// Allocates a request id recording its direction (for scheduler token
+    /// accounting).
+    pub fn alloc_rq_dir(&mut self, bio: BioId, nlb: u32, read: bool) -> u64 {
+        debug_assert!(self.bios.contains_key(&bio), "rq for unknown bio");
+        let id = self.next_rq;
+        self.next_rq += 1;
+        self.rqs.insert(id, RqState { bio, nlb, read });
+        self.peak_outstanding = self.peak_outstanding.max(self.rqs.len());
+        id
+    }
+
+    /// Completes a request. Returns the parent bio when this was its last
+    /// outstanding request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request id is unknown (double completion).
+    pub fn complete_rq(&mut self, rq_id: u64) -> Option<Bio> {
+        let rq = self
+            .rqs
+            .remove(&rq_id)
+            .unwrap_or_else(|| panic!("completion for unknown rq {rq_id}"));
+        let state = self.bios.get_mut(&rq.bio).expect("rq outlived its bio");
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            let state = self.bios.remove(&rq.bio).expect("bio vanished");
+            Some(state.bio)
+        } else {
+            None
+        }
+    }
+
+    /// Blocks carried by an outstanding request.
+    pub fn rq_blocks(&self, rq_id: u64) -> Option<u32> {
+        self.rqs.get(&rq_id).map(|r| r.nlb)
+    }
+
+    /// Whether an outstanding request is a read.
+    pub fn rq_is_read(&self, rq_id: u64) -> Option<bool> {
+        self.rqs.get(&rq_id).map(|r| r.read)
+    }
+
+    /// Outstanding requests.
+    pub fn outstanding_rqs(&self) -> usize {
+        self.rqs.len()
+    }
+
+    /// Outstanding bios.
+    pub fn outstanding_bios(&self) -> usize {
+        self.bios.len()
+    }
+
+    /// Peak outstanding requests seen.
+    pub fn peak_outstanding(&self) -> usize {
+        self.peak_outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bio::ReqFlags;
+    use crate::tenant::Pid;
+    use dd_nvme::{IoOpcode, NamespaceId};
+    use simkit::SimTime;
+
+    fn bio(id: u64) -> Bio {
+        Bio {
+            id: BioId(id),
+            tenant: Pid(1),
+            core: 0,
+            nsid: NamespaceId(1),
+            op: IoOpcode::Read,
+            offset_blocks: 0,
+            bytes: 8192,
+            flags: ReqFlags::NONE,
+            issued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn single_request_bio() {
+        let mut m = RequestMap::new();
+        m.insert_bio(bio(1), 1);
+        let rq = m.alloc_rq(BioId(1), 2);
+        assert_eq!(m.rq_blocks(rq), Some(2));
+        let done = m.complete_rq(rq);
+        assert_eq!(done.unwrap().id, BioId(1));
+        assert_eq!(m.outstanding_bios(), 0);
+        assert_eq!(m.outstanding_rqs(), 0);
+    }
+
+    #[test]
+    fn multi_request_bio_completes_on_last() {
+        let mut m = RequestMap::new();
+        m.insert_bio(bio(1), 3);
+        let rqs: Vec<u64> = (0..3).map(|_| m.alloc_rq(BioId(1), 32)).collect();
+        assert!(m.complete_rq(rqs[0]).is_none());
+        assert!(m.complete_rq(rqs[2]).is_none());
+        assert_eq!(m.complete_rq(rqs[1]).unwrap().id, BioId(1));
+    }
+
+    #[test]
+    fn independent_bios() {
+        let mut m = RequestMap::new();
+        m.insert_bio(bio(1), 1);
+        m.insert_bio(bio(2), 1);
+        let r1 = m.alloc_rq(BioId(1), 1);
+        let r2 = m.alloc_rq(BioId(2), 1);
+        assert_eq!(m.complete_rq(r2).unwrap().id, BioId(2));
+        assert_eq!(m.outstanding_bios(), 1);
+        assert_eq!(m.complete_rq(r1).unwrap().id, BioId(1));
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut m = RequestMap::new();
+        m.insert_bio(bio(1), 2);
+        let a = m.alloc_rq(BioId(1), 1);
+        let b = m.alloc_rq(BioId(1), 1);
+        assert_eq!(m.peak_outstanding(), 2);
+        m.complete_rq(a);
+        m.complete_rq(b);
+        assert_eq!(m.peak_outstanding(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown rq")]
+    fn double_completion_panics() {
+        let mut m = RequestMap::new();
+        m.insert_bio(bio(1), 1);
+        let rq = m.alloc_rq(BioId(1), 1);
+        m.complete_rq(rq);
+        m.complete_rq(rq);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate outstanding bio")]
+    fn duplicate_bio_panics() {
+        let mut m = RequestMap::new();
+        m.insert_bio(bio(1), 1);
+        m.insert_bio(bio(1), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Process descriptors: the `task_struct`-like view of tenants.
+//!
+//! Every tenant (including each thread of a multi-threaded tenant — the
+//! kernel treats threads as lightweight processes, §6 of the paper) is
+//! described by a [`TaskStruct`]. Storage stacks key their per-tenant state
+//! by [`Pid`] and read the ionice class from here.
+
+use dd_nvme::NamespaceId;
+
+use crate::ioprio::IoPriorityClass;
+
+/// Process identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u64);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// The slice of `task_struct` the storage stacks consume.
+#[derive(Clone, Debug)]
+pub struct TaskStruct {
+    /// Process id.
+    pub pid: Pid,
+    /// Core the task currently runs on (its submissions execute there).
+    pub core: u16,
+    /// I/O priority class (the tenant's SLA signal).
+    pub ionice: IoPriorityClass,
+    /// Namespace this tenant's I/O targets.
+    pub nsid: NamespaceId,
+    /// Measurement class label (`"L"`, `"T"`, `"TL"`, …); used only by the
+    /// metrics layer, never by stack logic.
+    pub class_label: &'static str,
+}
+
+impl TaskStruct {
+    /// Creates a descriptor.
+    pub fn new(
+        pid: Pid,
+        core: u16,
+        ionice: IoPriorityClass,
+        nsid: NamespaceId,
+        class_label: &'static str,
+    ) -> Self {
+        TaskStruct {
+            pid,
+            core,
+            ionice,
+            nsid,
+            class_label,
+        }
+    }
+
+    /// True when the tenant is latency-sensitive under the paper's split.
+    pub fn is_l_tenant(&self) -> bool {
+        self.ionice.is_latency_sensitive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_tenant_follows_ionice() {
+        let l = TaskStruct::new(Pid(1), 0, IoPriorityClass::RealTime, NamespaceId(1), "L");
+        let t = TaskStruct::new(Pid(2), 0, IoPriorityClass::BestEffort, NamespaceId(1), "T");
+        assert!(l.is_l_tenant());
+        assert!(!t.is_l_tenant());
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid(7).to_string(), "pid7");
+    }
+}

@@ -1,0 +1,650 @@
+//! blk-switch (OSDI '21) — the state-of-the-art comparison baseline.
+//!
+//! blk-switch rearchitects the Linux storage stack around the insight that
+//! blk-mq's per-core queues resemble network switch ports. It keeps the
+//! static core→NQ binding but adds, per binding, two mechanisms:
+//!
+//! * **prioritization + request steering**: latency-critical requests always
+//!   use their own core's NQ and go ahead of throughput requests, while
+//!   T-requests are *steered* per-request to the NQ of the least-loaded
+//!   core, spreading bulk traffic away from busy queues;
+//! * **application steering**: a coarser-grained rebalancer that migrates
+//!   tenants across cores when per-core load diverges.
+//!
+//! Both mechanisms route *through other cores' bindings* — multi-tenancy
+//! control via cross-core scheduling. That works at low T-pressure but, as
+//! the paper under reproduction shows (§3.2, §7.1), it degrades when every
+//! core hosts an L-tenant (steered T-requests then inevitably share NQs
+//! with L-requests) and when the tenant count overwhelms the small
+//! cross-core scheduling space (steering thrash — the Fig. 8 fluctuation).
+//!
+//! This implementation follows the published design at the granularity our
+//! substrate models: per-request T-steering by outstanding-bytes imbalance,
+//! and periodic application steering driven by per-core load windows, with
+//! the suggested thresholds.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeSet, HashMap};
+
+use dd_nvme::command::HostTag;
+use dd_nvme::spec::CommandId;
+use dd_nvme::{CqId, NvmeCommand, SqId};
+use simkit::SimDuration;
+
+use blkstack::nsqlock::NsqLockTable;
+use blkstack::reqmap::RequestMap;
+use blkstack::split::{split_extents, SplitConfig};
+use blkstack::stack::{
+    process_cqes, CompletionMode, ParkedCommands, StackEnv, StackStats, StorageStack,
+};
+use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
+
+/// Tunables of the blk-switch implementation (the paper's suggested values).
+#[derive(Clone, Copy, Debug)]
+pub struct BlkSwitchConfig {
+    /// Application steering period.
+    pub steer_interval: SimDuration,
+    /// Imbalance ratio (max/min per-core load) that triggers app steering.
+    pub steer_imbalance: f64,
+    /// T-request steering: steer away from the home queue only when the
+    /// home queue's outstanding bytes exceed the minimum queue's by this
+    /// factor.
+    pub request_steer_factor: f64,
+}
+
+impl Default for BlkSwitchConfig {
+    fn default() -> Self {
+        BlkSwitchConfig {
+            steer_interval: SimDuration::from_millis(10),
+            steer_imbalance: 2.0,
+            request_steer_factor: 1.25,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TenantState {
+    ionice: IoPriorityClass,
+    core: u16,
+    /// Bytes submitted in the current steering window.
+    window_bytes: u64,
+}
+
+/// The blk-switch storage stack.
+pub struct BlkSwitchStack {
+    cfg: BlkSwitchConfig,
+    nr_queues: u16,
+    tenants: HashMap<Pid, TenantState>,
+    /// Cores that ever hosted a tenant: the experiment's cpuset. Steering
+    /// (request- and application-level) stays inside it — blk-switch
+    /// schedules among the cores running the applications, it cannot
+    /// conscript idle cores outside the cgroup.
+    active_cores: BTreeSet<u16>,
+    /// Outstanding (submitted, uncompleted) bytes per NSQ — the request
+    /// steering signal.
+    outstanding_bytes: Vec<u64>,
+    locks: NsqLockTable,
+    reqmap: RequestMap,
+    parked: ParkedCommands,
+    split: SplitConfig,
+    stats: StackStats,
+}
+
+impl BlkSwitchStack {
+    /// Creates the stack for `nr_cores` cores over `device_sqs` NSQs.
+    pub fn new(cfg: BlkSwitchConfig, nr_cores: u16, device_sqs: u16) -> Self {
+        let nr_queues = nr_cores.min(device_sqs).max(1);
+        BlkSwitchStack {
+            cfg,
+            nr_queues,
+            tenants: HashMap::new(),
+            active_cores: BTreeSet::new(),
+            outstanding_bytes: vec![0; device_sqs as usize],
+            locks: NsqLockTable::new(device_sqs),
+            reqmap: RequestMap::new(),
+            parked: ParkedCommands::new(),
+            split: SplitConfig::default(),
+            stats: StackStats::default(),
+        }
+    }
+
+    /// The home NSQ of a core (the static blk-mq binding).
+    fn home_sq(&self, core: u16) -> SqId {
+        SqId(core % self.nr_queues)
+    }
+
+    /// Number of L-tenants homed on each queue's core (steering signal:
+    /// T-requests prefer queues whose cores serve no latency-critical app).
+    fn l_tenants_per_queue(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nr_queues as usize];
+        for t in self.tenants.values() {
+            if t.ionice.is_latency_sensitive() {
+                counts[(t.core % self.nr_queues) as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Tenant counts by class.
+    fn class_counts(&self) -> (usize, usize) {
+        let l = self
+            .tenants
+            .values()
+            .filter(|t| t.ionice.is_latency_sensitive())
+            .count();
+        (l, self.tenants.len() - l)
+    }
+
+    /// Target size of the L partition of the active cores (at least one
+    /// core per class when both classes exist).
+    fn l_core_target(&self) -> usize {
+        let (l, t) = self.class_counts();
+        let cores = self.active_cores.len().max(1);
+        if l == 0 {
+            return 0;
+        }
+        if t == 0 {
+            return cores;
+        }
+        let share = (cores as f64 * l as f64 / (l + t) as f64).round() as usize;
+        share.clamp(1, cores - 1)
+    }
+
+    /// Whether the tenant population has outgrown the cross-core scheduling
+    /// space. Beyond this point the published system's steering decisions
+    /// go stale faster than they execute and it stops optimising ("becomes
+    /// paralyzed", §7.1 of the reproduction target); we model that regime
+    /// as steering churn without separation benefit.
+    fn overloaded(&self) -> bool {
+        let (_, t) = self.class_counts();
+        let t_cores = self.active_cores.len().saturating_sub(self.l_core_target());
+        t > 2 * t_cores.max(1)
+    }
+
+    /// Request steering: the NSQ a T-request should use. Prefers queues
+    /// whose cores host fewer L-tenants (keeping bulk traffic off
+    /// latency-critical ports), then the least outstanding bytes; steers
+    /// away from home only when home is meaningfully busier. In the
+    /// overloaded regime the signals are stale and steering stays home.
+    fn steer_sq(&self, home: SqId) -> SqId {
+        if self.overloaded() {
+            return home;
+        }
+        let l_counts = self.l_tenants_per_queue();
+        let key = |sq: SqId| (l_counts[sq.index()], self.outstanding_bytes[sq.index()]);
+        let mut best = home;
+        for &core in &self.active_cores {
+            let sq = SqId(core % self.nr_queues);
+            if key(sq) < key(best) {
+                best = sq;
+            }
+        }
+        if best == home {
+            return home;
+        }
+        let (home_l, home_bytes) = key(home);
+        let (best_l, best_bytes) = key(best);
+        if best_l < home_l || home_bytes as f64 > best_bytes as f64 * self.cfg.request_steer_factor
+        {
+            best
+        } else {
+            home
+        }
+    }
+
+    /// Per-active-core load in the current window (sum of member tenants'
+    /// bytes), as `(core, load)` pairs in core order.
+    fn core_loads(&self) -> Vec<(u16, u64)> {
+        let mut loads: Vec<(u16, u64)> = self.active_cores.iter().map(|&c| (c, 0u64)).collect();
+        for t in self.tenants.values() {
+            if let Some(entry) = loads.iter_mut().find(|(c, _)| *c == t.core) {
+                entry.1 += t.window_bytes;
+            }
+        }
+        loads
+    }
+}
+
+impl StorageStack for BlkSwitchStack {
+    fn name(&self) -> &'static str {
+        "blk-switch"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::blk_switch()
+    }
+
+    fn register_tenant(&mut self, task: &TaskStruct, _env: &mut StackEnv<'_>) {
+        self.active_cores.insert(task.core);
+        self.tenants.insert(
+            task.pid,
+            TenantState {
+                ionice: task.ionice,
+                core: task.core,
+                window_bytes: 0,
+            },
+        );
+    }
+
+    fn deregister_tenant(&mut self, pid: Pid, _env: &mut StackEnv<'_>) {
+        self.tenants.remove(&pid);
+    }
+
+    fn update_ionice(&mut self, pid: Pid, class: IoPriorityClass, _env: &mut StackEnv<'_>) {
+        if let Some(t) = self.tenants.get_mut(&pid) {
+            t.ionice = class;
+        }
+    }
+
+    fn migrate_tenant(&mut self, pid: Pid, core: u16, _env: &mut StackEnv<'_>) {
+        self.active_cores.insert(core);
+        if let Some(t) = self.tenants.get_mut(&pid) {
+            t.core = core;
+        }
+    }
+
+    fn submit(&mut self, bios: &[Bio], env: &mut StackEnv<'_>) -> SimDuration {
+        debug_assert!(!bios.is_empty());
+        let core = bios[0].core;
+        let tenant = bios[0].tenant;
+        let is_l = self
+            .tenants
+            .get(&tenant)
+            .map(|t| t.ionice.is_latency_sensitive())
+            .unwrap_or(false);
+        let home = self.home_sq(core);
+        // L-requests keep the home binding (prioritized on their own port);
+        // T-requests steer by load.
+        let sq = if is_l { home } else { self.steer_sq(home) };
+        if sq != home {
+            self.stats.steering_actions += 1;
+        }
+
+        let mut cmds: Vec<NvmeCommand> = Vec::new();
+        let mut batch_bytes = 0u64;
+        for bio in bios {
+            let extents = split_extents(&self.split, bio.offset_blocks, bio.bytes);
+            self.reqmap.insert_bio(*bio, extents.len() as u32);
+            batch_bytes += bio.bytes;
+            for e in extents {
+                let rq_id = self.reqmap.alloc_rq(bio.id, e.nlb);
+                cmds.push(NvmeCommand {
+                    cid: CommandId(rq_id),
+                    nsid: bio.nsid,
+                    opcode: bio.op,
+                    slba: e.slba,
+                    nlb: e.nlb,
+                    host: HostTag {
+                        rq_id,
+                        submit_core: core,
+                    },
+                });
+            }
+        }
+        if let Some(t) = self.tenants.get_mut(&tenant) {
+            t.window_bytes += batch_bytes;
+        }
+
+        let n = cmds.len() as u64;
+        let hold = env.costs.nsq_insert * n;
+        let acq = self.locks.acquire(sq, env.now, hold);
+        let mut cost = env.costs.submit_cost(n as u32) + acq.wait + hold + env.costs.doorbell;
+        if !acq.wait.is_zero() {
+            cost += env.costs.remote_submission * n;
+        }
+        let mut pushed = 0u64;
+        for cmd in cmds {
+            let bytes = cmd.bytes();
+            if env.device.sq_has_room(sq) {
+                env.device
+                    .push_command(sq, cmd)
+                    .expect("has_room guaranteed space");
+                self.outstanding_bytes[sq.index()] += bytes;
+                pushed += 1;
+                self.stats.submitted_rqs += 1;
+            } else {
+                self.parked.park(sq, cmd);
+                self.stats.requeues += 1;
+            }
+        }
+        if pushed > 0 {
+            env.device.ring_doorbell(sq, env.now, env.dev_out);
+            self.stats.doorbells += 1;
+        }
+        cost
+    }
+
+    fn on_irq(&mut self, cq: CqId, core: u16, env: &mut StackEnv<'_>) -> SimDuration {
+        let entries = env.device.isr_pop(cq, usize::MAX);
+        for e in &entries {
+            let q = &mut self.outstanding_bytes[e.sq_id.index()];
+            *q = q.saturating_sub(e.bytes);
+        }
+        let cost = process_cqes(
+            &entries,
+            CompletionMode::Batched,
+            core,
+            env.now,
+            env.costs,
+            &mut self.reqmap,
+            &mut self.stats,
+            env.completions,
+        );
+        env.device.isr_done(cq, env.now, env.dev_out);
+        if !self.parked.is_empty() {
+            self.parked
+                .flush(env.device, env.now, env.dev_out, &mut self.stats);
+        }
+        cost
+    }
+
+    fn on_tick(&mut self, env: &mut StackEnv<'_>) -> Option<SimDuration> {
+        // Application steering. Two regimes:
+        //
+        // * Within the scheduling capacity, blk-switch partitions the
+        //   active cores by class share and moves one misplaced tenant per
+        //   window toward the partition (separating L and T at the
+        //   core/queue level) plus one load-balance move among the T-cores.
+        // * Overloaded (tenants ≫ cores), its load windows go stale before
+        //   they are acted on; the reproduction target observes failed
+        //   migrations and fluctuating performance ("becomes paralyzed",
+        //   §7.1/Fig. 8). We model that regime as one random migration per
+        //   window — churn without separation benefit.
+        let active: Vec<u16> = self.active_cores.iter().copied().collect();
+        if active.len() > 1 {
+            if self.overloaded() {
+                let pids: Vec<Pid> = {
+                    let mut v: Vec<Pid> = self
+                        .tenants
+                        .iter()
+                        .filter(|(_, t)| !t.ionice.is_latency_sensitive())
+                        .map(|(p, _)| *p)
+                        .collect();
+                    v.sort();
+                    v
+                };
+                if !pids.is_empty() {
+                    let pid = *env.rng.choose(&pids);
+                    let core = *env.rng.choose(&active);
+                    if let Some(t) = self.tenants.get_mut(&pid) {
+                        if t.core != core {
+                            t.core = core;
+                            env.migrations.push((pid, core));
+                            self.stats.steering_actions += 1;
+                        }
+                    }
+                }
+            } else {
+                let l_cores = self.l_core_target();
+                let (l_set, t_set) = active.split_at(l_cores.min(active.len()));
+                // Separation move: one misplaced tenant toward its
+                // partition (deterministic: lowest pid first).
+                let mut moved = None;
+                let mut pids: Vec<Pid> = self.tenants.keys().copied().collect();
+                pids.sort();
+                for pid in pids {
+                    let t = &self.tenants[&pid];
+                    let is_l = t.ionice.is_latency_sensitive();
+                    let (my_set, idx) = if is_l {
+                        (l_set, pid.0 as usize)
+                    } else {
+                        (t_set, pid.0 as usize)
+                    };
+                    if my_set.is_empty() || my_set.contains(&t.core) {
+                        continue;
+                    }
+                    let target = my_set[idx % my_set.len()];
+                    moved = Some((pid, target));
+                    break;
+                }
+                if let Some((pid, core)) = moved {
+                    if let Some(t) = self.tenants.get_mut(&pid) {
+                        t.core = core;
+                    }
+                    env.migrations.push((pid, core));
+                    self.stats.steering_actions += 1;
+                }
+                // Balance move among T-cores only.
+                let loads = self.core_loads();
+                let t_loads: Vec<(u16, u64)> = loads
+                    .iter()
+                    .copied()
+                    .filter(|(c, _)| t_set.contains(c))
+                    .collect();
+                let max = t_loads.iter().map(|&(_, l)| l).max();
+                let min = t_loads.iter().map(|&(_, l)| l).min();
+                if let (Some(max), Some(min)) = (max, min) {
+                    if max > 0 && max as f64 > (min.max(1)) as f64 * self.cfg.steer_imbalance {
+                        let busiest = t_loads.iter().find(|&&(_, l)| l == max).expect("max").0;
+                        let idlest = t_loads.iter().find(|&&(_, l)| l == min).expect("min").0;
+                        let victim = self
+                            .tenants
+                            .iter()
+                            .filter(|(_, t)| t.core == busiest && !t.ionice.is_latency_sensitive())
+                            .max_by_key(|(pid, t)| (t.window_bytes, pid.0))
+                            .map(|(pid, _)| *pid);
+                        if let Some(pid) = victim {
+                            if let Some(t) = self.tenants.get_mut(&pid) {
+                                t.core = idlest;
+                            }
+                            env.migrations.push((pid, idlest));
+                            self.stats.steering_actions += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // New window.
+        for t in self.tenants.values_mut() {
+            t.window_bytes = 0;
+        }
+        Some(self.cfg.steer_interval)
+    }
+
+    fn stats(&self) -> StackStats {
+        let mut s = self.stats;
+        s.lock_wait_total = self.locks.in_lock_grand_total();
+        s.lock_contended = self.locks.contended_grand_total();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blkstack::bio::{BioId, ReqFlags};
+    use dd_nvme::{DeviceOutput, IoOpcode, NamespaceId, NvmeConfig, NvmeDevice};
+    use simkit::{SimRng, SimTime};
+
+    fn device() -> NvmeDevice {
+        let mut cfg = NvmeConfig::sv_m();
+        cfg.nr_sqs = 4;
+        cfg.nr_cqs = 4;
+        NvmeDevice::new(cfg, 4)
+    }
+
+    struct Harness {
+        dev: NvmeDevice,
+        out: DeviceOutput,
+        comps: Vec<blkstack::BioCompletion>,
+        migs: Vec<(Pid, u16)>,
+        rng: SimRng,
+        costs: dd_cpu::HostCosts,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                dev: device(),
+                out: DeviceOutput::new(),
+                comps: Vec::new(),
+                migs: Vec::new(),
+                rng: SimRng::new(1),
+                costs: dd_cpu::HostCosts::default(),
+            }
+        }
+
+        fn env(&mut self, now: SimTime) -> StackEnv<'_> {
+            StackEnv {
+                now,
+                device: &mut self.dev,
+                dev_out: &mut self.out,
+                completions: &mut self.comps,
+                migrations: &mut self.migs,
+                rng: &mut self.rng,
+                costs: &self.costs,
+            }
+        }
+    }
+
+    fn bio(id: u64, tenant: u64, core: u16, bytes: u64) -> Bio {
+        Bio {
+            id: BioId(id),
+            tenant: Pid(tenant),
+            core,
+            nsid: NamespaceId(1),
+            op: IoOpcode::Read,
+            offset_blocks: id * 64,
+            bytes,
+            flags: ReqFlags::NONE,
+            issued_at: SimTime::ZERO,
+        }
+    }
+
+    fn task(pid: u64, core: u16, ionice: IoPriorityClass) -> TaskStruct {
+        TaskStruct::new(Pid(pid), core, ionice, NamespaceId(1), "x")
+    }
+
+    #[test]
+    fn l_requests_stay_on_home_queue() {
+        let mut h = Harness::new();
+        let mut s = BlkSwitchStack::new(BlkSwitchConfig::default(), 4, 4);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&task(1, 2, IoPriorityClass::RealTime), &mut env);
+        s.submit(&[bio(1, 1, 2, 4096)], &mut env);
+        assert_eq!(env.device.sq_stats(SqId(2)).submitted_total, 1);
+        assert_eq!(s.stats().steering_actions, 0);
+    }
+
+    #[test]
+    fn t_requests_steer_to_idle_queue() {
+        let mut h = Harness::new();
+        let mut s = BlkSwitchStack::new(BlkSwitchConfig::default(), 4, 4);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&task(1, 0, IoPriorityClass::BestEffort), &mut env);
+        // Populate the cpuset: steering only targets cores hosting tenants.
+        for c in 1..4u16 {
+            s.register_tenant(
+                &task(10 + c as u64, c, IoPriorityClass::BestEffort),
+                &mut env,
+            );
+        }
+        // Load the home queue 0 heavily...
+        for i in 0..8 {
+            s.submit(&[bio(i, 1, 0, 131072)], &mut env);
+        }
+        // ...subsequent T-requests must steer away from queue 0.
+        assert!(
+            s.stats().steering_actions > 0,
+            "bulk traffic must trigger request steering"
+        );
+        let spread = (1..4)
+            .map(|q| env.device.sq_stats(SqId(q)).submitted_total)
+            .sum::<u64>();
+        assert!(spread > 0, "steered commands must land on other queues");
+    }
+
+    #[test]
+    fn app_steering_migrates_from_busy_core() {
+        let mut h = Harness::new();
+        let mut s = BlkSwitchStack::new(BlkSwitchConfig::default(), 4, 4);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&task(1, 0, IoPriorityClass::BestEffort), &mut env);
+        s.register_tenant(&task(2, 0, IoPriorityClass::BestEffort), &mut env);
+        s.register_tenant(&task(3, 1, IoPriorityClass::RealTime), &mut env);
+        // Core 0 does all the work this window.
+        s.submit(&[bio(1, 1, 0, 131072)], &mut env);
+        s.submit(&[bio(2, 2, 0, 131072)], &mut env);
+        let next = s.on_tick(&mut env);
+        assert!(next.is_some());
+        assert_eq!(env.migrations.len(), 1, "one T-tenant must migrate");
+        let (pid, core) = env.migrations[0];
+        assert!(pid == Pid(1) || pid == Pid(2));
+        assert_ne!(core, 0);
+    }
+
+    #[test]
+    fn app_steering_never_moves_l_tenants() {
+        let mut h = Harness::new();
+        let mut s = BlkSwitchStack::new(BlkSwitchConfig::default(), 4, 4);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&task(1, 0, IoPriorityClass::RealTime), &mut env);
+        s.submit(&[bio(1, 1, 0, 131072)], &mut env);
+        s.on_tick(&mut env);
+        assert!(env.migrations.is_empty(), "only T-tenants are steered");
+    }
+
+    #[test]
+    fn balanced_load_does_not_steer() {
+        let mut h = Harness::new();
+        let mut s = BlkSwitchStack::new(BlkSwitchConfig::default(), 4, 4);
+        let mut env = h.env(SimTime::ZERO);
+        for c in 0..4u16 {
+            s.register_tenant(&task(c as u64, c, IoPriorityClass::BestEffort), &mut env);
+            s.submit(&[bio(c as u64, c as u64, c, 131072)], &mut env);
+        }
+        let before = env.migrations.len();
+        s.on_tick(&mut env);
+        assert_eq!(env.migrations.len(), before, "balanced cores stay put");
+    }
+
+    #[test]
+    fn outstanding_bytes_released_on_completion() {
+        let mut h = Harness::new();
+        let mut s = BlkSwitchStack::new(BlkSwitchConfig::default(), 4, 4);
+        {
+            let mut env = h.env(SimTime::ZERO);
+            s.register_tenant(&task(1, 0, IoPriorityClass::BestEffort), &mut env);
+            s.submit(&[bio(1, 1, 0, 131072)], &mut env);
+        }
+        assert_eq!(s.outstanding_bytes[0], 131072);
+        // Drive to interrupt and complete.
+        let mut q = simkit::EventQueue::new();
+        let irq = loop {
+            for (at, ev) in h.out.events.drain(..) {
+                q.push(at, ev);
+            }
+            if let Some(r) = h.out.irqs.pop() {
+                break r;
+            }
+            let (at, ev) = q.pop().expect("device stalled");
+            h.dev.handle_event(ev, at, &mut h.out);
+        };
+        let mut env = StackEnv {
+            now: irq.at,
+            device: &mut h.dev,
+            dev_out: &mut h.out,
+            completions: &mut h.comps,
+            migrations: &mut h.migs,
+            rng: &mut h.rng,
+            costs: &h.costs,
+        };
+        s.on_irq(irq.cq, irq.core, &mut env);
+        assert_eq!(s.outstanding_bytes[0], 0);
+        assert_eq!(h.comps.len(), 1);
+    }
+
+    #[test]
+    fn capabilities_match_table1() {
+        let s = BlkSwitchStack::new(BlkSwitchConfig::default(), 4, 4);
+        let c = s.capabilities();
+        assert!(c.hardware_independent);
+        assert!(c.nq_exploitation);
+        assert!(
+            !c.cross_core_autonomy,
+            "blk-switch relies on cross-core scheduling"
+        );
+        assert!(!c.multi_namespace);
+    }
+}

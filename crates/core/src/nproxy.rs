@@ -1,0 +1,214 @@
+//! The nproxy layer of blex: per-NSQ state exposed to the block layer.
+//!
+//! NSQs belong to the NVMe driver; exposing them directly to the block layer
+//! would break the kernel's module boundary. blex instead interposes one
+//! [`Nproxy`] per NSQ — a lightweight wrapper carrying the queue's identity
+//! (its paired NCQ), the priority nqreg designated it to serve, and the
+//! bitmap of CPU cores claiming frequent use of it (the contention hint
+//! troute maintains for NQ scheduling, §5.2). Proxies are device-level and
+//! therefore uniform across namespaces — the root of Daredevil's
+//! multi-namespace support.
+
+use dd_nvme::{CqId, SqId};
+
+/// The SLA a queue serves.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Priority {
+    /// Serves L-requests (latency-sensitive).
+    High,
+    /// Serves T-requests (throughput-oriented).
+    Low,
+}
+
+impl Priority {
+    /// Dense index for per-priority arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Low => 1,
+        }
+    }
+
+    /// Both priorities, high first.
+    pub const ALL: [Priority; 2] = [Priority::High, Priority::Low];
+}
+
+/// One NSQ's proxy.
+#[derive(Clone, Copy, Debug)]
+pub struct Nproxy {
+    /// The NSQ this proxy wraps.
+    pub sq: SqId,
+    /// The NCQ paired with the NSQ (implicitly observable, §5.1).
+    pub cq: CqId,
+    /// The SLA this NSQ serves, designated by nqreg.
+    pub prio: Priority,
+    /// Bitmap of cores whose tenants use this NSQ as default/outlier NSQ.
+    claimed_cores: u128,
+    /// Number of tenant assignments currently pointing here (used as the
+    /// deterministic tie-breaker that spreads fresh tenants over idle NQs).
+    assignments: u32,
+}
+
+impl Nproxy {
+    /// Creates a proxy.
+    pub fn new(sq: SqId, cq: CqId, prio: Priority) -> Self {
+        Nproxy {
+            sq,
+            cq,
+            prio,
+            claimed_cores: 0,
+            assignments: 0,
+        }
+    }
+
+    /// A tenant on `core` starts using this NSQ as default/outlier NSQ.
+    pub fn claim(&mut self, core: u16) {
+        debug_assert!(core < 128, "claimed-core bitmap supports 128 cores");
+        self.claimed_cores |= 1u128 << core;
+        self.assignments += 1;
+    }
+
+    /// A tenant on `core` stops using this NSQ. `core_still_used` tells
+    /// whether other tenants on the same core still claim it (the bitmap bit
+    /// only clears when the last claimant on that core leaves).
+    pub fn unclaim(&mut self, core: u16, core_still_used: bool) {
+        debug_assert!(self.assignments > 0, "unclaim without claim");
+        self.assignments -= 1;
+        if !core_still_used {
+            self.claimed_cores &= !(1u128 << core);
+        }
+    }
+
+    /// Number of distinct cores claiming this NSQ (`nq.nr_claimed_cores` in
+    /// Algorithm 2).
+    pub fn nr_claimed_cores(&self) -> u32 {
+        self.claimed_cores.count_ones()
+    }
+
+    /// Number of tenant assignments pointing here.
+    pub fn assignments(&self) -> u32 {
+        self.assignments
+    }
+
+    /// True if `core` is in the claimed bitmap.
+    pub fn claims_core(&self, core: u16) -> bool {
+        self.claimed_cores & (1u128 << core) != 0
+    }
+}
+
+/// All proxies of a device, indexed by NSQ id.
+#[derive(Clone, Debug)]
+pub struct ProxyTable {
+    proxies: Vec<Nproxy>,
+}
+
+impl ProxyTable {
+    /// Builds proxies for `nr_sqs` NSQs. `cq_of` supplies each NSQ's paired
+    /// NCQ; `prio_of` the priority nqreg designated.
+    pub fn new(
+        nr_sqs: u16,
+        mut cq_of: impl FnMut(u16) -> CqId,
+        mut prio_of: impl FnMut(u16) -> Priority,
+    ) -> Self {
+        ProxyTable {
+            proxies: (0..nr_sqs)
+                .map(|i| Nproxy::new(SqId(i), cq_of(i), prio_of(i)))
+                .collect(),
+        }
+    }
+
+    /// Number of proxies.
+    pub fn len(&self) -> usize {
+        self.proxies.len()
+    }
+
+    /// True when empty (never, for a valid device).
+    pub fn is_empty(&self) -> bool {
+        self.proxies.is_empty()
+    }
+
+    /// Immutable proxy access.
+    pub fn get(&self, sq: SqId) -> &Nproxy {
+        &self.proxies[sq.index()]
+    }
+
+    /// Mutable proxy access.
+    pub fn get_mut(&mut self, sq: SqId) -> &mut Nproxy {
+        &mut self.proxies[sq.index()]
+    }
+
+    /// Iterates all proxies.
+    pub fn iter(&self) -> impl Iterator<Item = &Nproxy> {
+        self.proxies.iter()
+    }
+
+    /// NSQs serving a priority.
+    pub fn sqs_with_priority(&self, prio: Priority) -> Vec<SqId> {
+        self.proxies
+            .iter()
+            .filter(|p| p.prio == prio)
+            .map(|p| p.sq)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ProxyTable {
+        ProxyTable::new(
+            4,
+            |i| CqId(i / 2),
+            |i| if i < 2 { Priority::High } else { Priority::Low },
+        )
+    }
+
+    #[test]
+    fn construction_maps_pairings() {
+        let t = table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(SqId(3)).cq, CqId(1));
+        assert_eq!(t.get(SqId(0)).prio, Priority::High);
+        assert_eq!(t.get(SqId(2)).prio, Priority::Low);
+    }
+
+    #[test]
+    fn priority_partition() {
+        let t = table();
+        assert_eq!(t.sqs_with_priority(Priority::High), vec![SqId(0), SqId(1)]);
+        assert_eq!(t.sqs_with_priority(Priority::Low), vec![SqId(2), SqId(3)]);
+    }
+
+    #[test]
+    fn claim_bitmap_counts_distinct_cores() {
+        let mut t = table();
+        let p = t.get_mut(SqId(0));
+        p.claim(1);
+        p.claim(1); // Second tenant on the same core.
+        p.claim(3);
+        assert_eq!(p.nr_claimed_cores(), 2);
+        assert_eq!(p.assignments(), 3);
+        assert!(p.claims_core(1));
+        assert!(!p.claims_core(2));
+    }
+
+    #[test]
+    fn unclaim_clears_bit_only_when_last() {
+        let mut t = table();
+        let p = t.get_mut(SqId(0));
+        p.claim(5);
+        p.claim(5);
+        p.unclaim(5, true);
+        assert!(p.claims_core(5), "another tenant still claims core 5");
+        p.unclaim(5, false);
+        assert!(!p.claims_core(5));
+        assert_eq!(p.assignments(), 0);
+    }
+
+    #[test]
+    fn priority_indices() {
+        assert_eq!(Priority::High.index(), 0);
+        assert_eq!(Priority::Low.index(), 1);
+    }
+}

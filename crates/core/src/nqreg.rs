@@ -1,0 +1,493 @@
+//! nqreg: the NQ-level regulator (Algorithm 2).
+//!
+//! nqreg owns the *NQ heterogeneity*: at driver initialization it divides
+//! the NCQs (and their attached NSQs) into a high- and a low-priority
+//! NQGroup, then serves NSQ-selection queries from troute by a two-step
+//! scheduling procedure inside the requested group:
+//!
+//! 1. pick an NCQ from the group's merit min-heap (criterion: IRQ
+//!    balancing);
+//! 2. pick an NSQ from the chosen NCQ's merit min-heap (criterion:
+//!    contention avoidance); with a 1:1 NSQ–NCQ binding this step
+//!    degenerates to the single attached NSQ.
+//!
+//! Merits are exponentially smoothed (`α ∈ (0.5, 1)`) and heaps are only
+//! recomputed when their MRU budget is exhausted, bounding the scheduling
+//! cost on the critical path. The kernel prototype protects the heaps with
+//! RCU; the simulation is single-threaded, so what is modelled is the
+//! *update frequency* the MRU policy produces — the performance-relevant
+//! part.
+
+use dd_nvme::{CqId, NvmeDevice, SqId};
+use simkit::{Ewma, KeyedMinHeap, SimDuration};
+
+use blkstack::nsqlock::NsqLockTable;
+
+use crate::nproxy::{Priority, ProxyTable};
+
+/// Equal division of NCQs into priorities: first half high, second half low
+/// (nqreg cannot foresee the tenant mix at init, §5.3). A single-CQ device
+/// cannot be divided; everything lands in one shared group.
+pub fn divide_priorities(nr_cqs: u16) -> Vec<Priority> {
+    if nr_cqs < 2 {
+        return vec![Priority::High; nr_cqs as usize];
+    }
+    let half = nr_cqs / 2;
+    (0..nr_cqs)
+        .map(|i| {
+            if i < half {
+                Priority::High
+            } else {
+                Priority::Low
+            }
+        })
+        .collect()
+}
+
+/// The instantaneous NCQ merit (`MeritCalc`, Algorithm 2 line 4):
+/// `(in_flight/depth + complete/irqs) × irqs`, computed over the window
+/// since the last heap update.
+pub fn ncq_merit_k(in_flight: u64, depth: u16, complete_delta: u64, irq_delta: u64) -> f64 {
+    let incoming = in_flight as f64 / depth.max(1) as f64;
+    let per_irq = complete_delta as f64 / irq_delta.max(1) as f64;
+    (incoming + per_irq) * irq_delta as f64
+}
+
+/// The instantaneous NSQ merit (Algorithm 2 line 6):
+/// `(in_lock_us/submitted_rqs) × nr_claimed_cores` over the window since the
+/// last heap update.
+pub fn nsq_merit_k(lock_wait: SimDuration, submitted_delta: u64, claimed_cores: u32) -> f64 {
+    let per_rq_us = lock_wait.as_micros_f64() / submitted_delta.max(1) as f64;
+    per_rq_us * claimed_cores.max(1) as f64
+}
+
+/// Weight of the assignment-count tie-breaker added to every merit.
+///
+/// Fresh queues all have zero merit; without a tie-breaker every new tenant
+/// would be assigned the same NSQ. Counting current assignments (scaled far
+/// below any real merit signal) spreads tenants deterministically — the
+/// "helps to distribute tenants to use different NQs" behaviour of §5.3.
+const ASSIGNMENT_TIE_WEIGHT: f64 = 1e-3;
+
+#[derive(Debug)]
+struct NcqMeritState {
+    ewma: Ewma,
+    last_complete: u64,
+    last_irqs: u64,
+}
+
+#[derive(Debug)]
+struct NsqMeritState {
+    ewma: Ewma,
+    last_lock_wait: SimDuration,
+    last_submitted: u64,
+}
+
+/// Per-NCQ node: the attached NSQs and their merit heap.
+#[derive(Debug)]
+struct NcqNode {
+    nsq_heap: KeyedMinHeap<SqId>,
+    mru: i64,
+}
+
+/// One priority group of NCQs.
+#[derive(Debug)]
+struct NqGroup {
+    ncq_heap: KeyedMinHeap<CqId>,
+    mru: i64,
+    /// Flattened NSQ list for the round-robin fallback (`dare-base`).
+    rr_flat: Vec<SqId>,
+    rr_cursor: usize,
+}
+
+/// The NQ regulator.
+#[derive(Debug)]
+pub struct NqReg {
+    alpha: f64,
+    mru_init: u32,
+    /// Merit-based scheduling on (false = round-robin, the `dare-base`
+    /// ablation).
+    use_merit: bool,
+    groups: [NqGroup; 2],
+    ncq_nodes: Vec<NcqNode>,
+    ncq_state: Vec<NcqMeritState>,
+    nsq_state: Vec<NsqMeritState>,
+    cq_priority: Vec<Priority>,
+    /// Heap recomputations performed (observability: the MRU policy's whole
+    /// point is keeping this small relative to queries).
+    resorts: u64,
+    queries: u64,
+}
+
+impl NqReg {
+    /// Builds the regulator for a device with `nr_sqs` NSQs and `nr_cqs`
+    /// NCQs, where NSQ `i` pairs NCQ `cq_of(i)`.
+    pub fn new(
+        alpha: f64,
+        mru: u32,
+        use_merit: bool,
+        nr_sqs: u16,
+        nr_cqs: u16,
+        mut cq_of: impl FnMut(u16) -> u16,
+    ) -> Self {
+        let cq_priority = divide_priorities(nr_cqs);
+        let mut ncq_nodes: Vec<NcqNode> = (0..nr_cqs)
+            .map(|_| NcqNode {
+                nsq_heap: KeyedMinHeap::new(),
+                mru: mru as i64,
+            })
+            .collect();
+        // Attach NSQs to their NCQ nodes. An NSQ inherits its NCQ's priority.
+        let mut sq_prio = vec![Priority::High; nr_sqs as usize];
+        for sq in 0..nr_sqs {
+            let cq = cq_of(sq);
+            ncq_nodes[cq as usize].nsq_heap.insert(SqId(sq), 0.0);
+            sq_prio[sq as usize] = cq_priority[cq as usize];
+        }
+        let mut groups = [
+            NqGroup {
+                ncq_heap: KeyedMinHeap::new(),
+                mru: mru as i64,
+                rr_flat: Vec::new(),
+                rr_cursor: 0,
+            },
+            NqGroup {
+                ncq_heap: KeyedMinHeap::new(),
+                mru: mru as i64,
+                rr_flat: Vec::new(),
+                rr_cursor: 0,
+            },
+        ];
+        for (cq, prio) in cq_priority.iter().enumerate() {
+            groups[prio.index()].ncq_heap.insert(CqId(cq as u16), 0.0);
+        }
+        for sq in 0..nr_sqs {
+            groups[sq_prio[sq as usize].index()].rr_flat.push(SqId(sq));
+        }
+        // A single-CQ (or single-priority) device leaves the low group
+        // empty: fall back to sharing the high group's queues so routing
+        // never dead-ends (separation is simply impossible there).
+        if groups[Priority::Low.index()].ncq_heap.is_empty() {
+            let high = &groups[Priority::High.index()];
+            let cqs: Vec<CqId> = high.ncq_heap.iter().map(|(c, _)| c).collect();
+            let flat = high.rr_flat.clone();
+            let low = &mut groups[Priority::Low.index()];
+            for c in cqs {
+                low.ncq_heap.insert(c, 0.0);
+            }
+            low.rr_flat = flat;
+        }
+        NqReg {
+            alpha,
+            mru_init: mru,
+            use_merit,
+            groups,
+            ncq_nodes,
+            ncq_state: (0..nr_cqs)
+                .map(|_| NcqMeritState {
+                    ewma: Ewma::new(alpha),
+                    last_complete: 0,
+                    last_irqs: 0,
+                })
+                .collect(),
+            nsq_state: (0..nr_sqs)
+                .map(|_| NsqMeritState {
+                    ewma: Ewma::new(alpha),
+                    last_lock_wait: SimDuration::ZERO,
+                    last_submitted: 0,
+                })
+                .collect(),
+            cq_priority,
+            resorts: 0,
+            queries: 0,
+        }
+    }
+
+    /// The priority an NCQ's group serves (drives the completion-path
+    /// dispatch: per-request for high, batched for low).
+    pub fn cq_priority(&self, cq: CqId) -> Priority {
+        self.cq_priority[cq.index()]
+    }
+
+    /// The priority an NSQ serves.
+    pub fn sq_priority(&self, sq: SqId, device: &NvmeDevice) -> Priority {
+        self.cq_priority(device.cq_of_sq(sq))
+    }
+
+    /// `NQSchedule` (Algorithm 2): selects the NSQ within `prio`'s NQGroup
+    /// that best satisfies the criteria. `m` is the MRU decrement set by
+    /// troute's calling context (MRU for tenant-based and tagged-outlier
+    /// contexts, 1 for per-request outlier queries).
+    pub fn schedule(
+        &mut self,
+        prio: Priority,
+        m: u32,
+        device: &NvmeDevice,
+        locks: &NsqLockTable,
+        proxies: &ProxyTable,
+    ) -> SqId {
+        self.queries += 1;
+        if !self.use_merit {
+            let group = &mut self.groups[prio.index()];
+            let sq = group.rr_flat[group.rr_cursor % group.rr_flat.len()];
+            group.rr_cursor = (group.rr_cursor + 1) % group.rr_flat.len();
+            return sq;
+        }
+        // Step 1: NCQ by IRQ-balancing merit. The MRU-gated recomputation
+        // runs *before* taking the top (Algorithm 2 fetches then updates;
+        // updating first is functionally equivalent modulo a one-query lag
+        // and lets the merit see live assignment counts, so consecutive
+        // tenant-based queries spread across NQs as §5.3 intends).
+        let group_idx = prio.index();
+        self.groups[group_idx].mru -= m as i64;
+        if self.groups[group_idx].mru <= 0 {
+            self.resort_ncq_heap(group_idx, device, proxies);
+        }
+        let ncq = self.groups[group_idx]
+            .ncq_heap
+            .top()
+            .expect("priority group has no NCQs");
+        // Step 2: NSQ by contention merit within the chosen NCQ.
+        let node = &self.ncq_nodes[ncq.index()];
+        debug_assert!(!node.nsq_heap.is_empty());
+        if node.nsq_heap.len() == 1 {
+            // 1:1 binding degenerates: select directly, no scheduling.
+            return node.nsq_heap.top().expect("non-empty heap");
+        }
+        let node = &mut self.ncq_nodes[ncq.index()];
+        node.mru -= m as i64;
+        if node.mru <= 0 {
+            self.resort_nsq_heap(ncq, locks, device, proxies);
+        }
+        self.ncq_nodes[ncq.index()]
+            .nsq_heap
+            .top()
+            .expect("non-empty heap")
+    }
+
+    fn resort_ncq_heap(&mut self, group_idx: usize, device: &NvmeDevice, proxies: &ProxyTable) {
+        self.resorts += 1;
+        let ncq_state = &mut self.ncq_state;
+        let ncq_nodes = &self.ncq_nodes;
+        self.groups[group_idx].ncq_heap.resort_with(|cq| {
+            let st = device.cq_stats(cq);
+            let state = &mut ncq_state[cq.index()];
+            let complete_delta = st.complete_rqs - state.last_complete;
+            let irq_delta = st.irqs - state.last_irqs;
+            state.last_complete = st.complete_rqs;
+            state.last_irqs = st.irqs;
+            let merit_k = ncq_merit_k(
+                st.in_flight_rqs,
+                device.cq_depth(cq),
+                complete_delta,
+                irq_delta,
+            );
+            let tie: f64 = ncq_nodes[cq.index()]
+                .nsq_heap
+                .iter()
+                .map(|(sq, _)| proxies.get(sq).assignments() as f64)
+                .sum::<f64>()
+                * ASSIGNMENT_TIE_WEIGHT;
+            state.ewma.observe(merit_k + tie)
+        });
+        self.groups[group_idx].mru = self.mru_init as i64;
+    }
+
+    fn resort_nsq_heap(
+        &mut self,
+        ncq: CqId,
+        locks: &NsqLockTable,
+        device: &NvmeDevice,
+        proxies: &ProxyTable,
+    ) {
+        self.resorts += 1;
+        let nsq_state = &mut self.nsq_state;
+        let node = &mut self.ncq_nodes[ncq.index()];
+        node.nsq_heap.resort_with(|sq| {
+            let state = &mut nsq_state[sq.index()];
+            let lock_total = locks.in_lock_total(sq);
+            let submitted = device.sq_stats(sq).submitted_total;
+            let lock_delta = lock_total.saturating_sub(state.last_lock_wait);
+            let submitted_delta = submitted - state.last_submitted;
+            state.last_lock_wait = lock_total;
+            state.last_submitted = submitted;
+            let proxy = proxies.get(sq);
+            let merit_k = nsq_merit_k(lock_delta, submitted_delta, proxy.nr_claimed_cores());
+            let tie = proxy.assignments() as f64 * ASSIGNMENT_TIE_WEIGHT;
+            state.ewma.observe(merit_k + tie)
+        });
+        node.mru = self.mru_init as i64;
+    }
+
+    /// The smoothing weight in use.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Heap recomputations performed so far.
+    pub fn resorts(&self) -> u64 {
+        self.resorts
+    }
+
+    /// Scheduling queries served so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// NSQs in the given priority group.
+    pub fn group_sqs(&self, prio: Priority) -> &[SqId] {
+        &self.groups[prio.index()].rr_flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_nvme::NvmeConfig;
+
+    fn device(sqs: u16, cqs: u16) -> NvmeDevice {
+        let mut cfg = NvmeConfig::sv_m();
+        cfg.nr_sqs = sqs;
+        cfg.nr_cqs = cqs;
+        NvmeDevice::new(cfg, 4)
+    }
+
+    fn proxies(device: &NvmeDevice) -> ProxyTable {
+        let prios = divide_priorities(device.nr_cqs());
+        ProxyTable::new(
+            device.nr_sqs(),
+            |i| device.cq_of_sq(SqId(i)),
+            |i| prios[device.cq_of_sq(SqId(i)).index()],
+        )
+    }
+
+    #[test]
+    fn division_is_equal_halves() {
+        let p = divide_priorities(8);
+        assert_eq!(p.iter().filter(|p| **p == Priority::High).count(), 4);
+        assert_eq!(p[0], Priority::High);
+        assert_eq!(p[7], Priority::Low);
+    }
+
+    #[test]
+    fn single_cq_degenerates_to_shared() {
+        let p = divide_priorities(1);
+        assert_eq!(p, vec![Priority::High]);
+        let dev = device(2, 1);
+        let locks = NsqLockTable::new(2);
+        let prox = proxies(&dev);
+        let mut reg = NqReg::new(0.8, 16, true, 2, 1, |_| 0);
+        // Low-priority scheduling still returns a queue.
+        let sq = reg.schedule(Priority::Low, 16, &dev, &locks, &prox);
+        assert!(sq.0 < 2);
+    }
+
+    #[test]
+    fn merit_formulas_match_paper() {
+        // NCQ: (in_flight/depth + complete/irqs) * irqs.
+        let m = ncq_merit_k(512, 1024, 100, 10);
+        assert!((m - (0.5 + 10.0) * 10.0).abs() < 1e-9);
+        // NSQ: (in_lock_us / submitted) * claimed.
+        let m = nsq_merit_k(SimDuration::from_micros(30), 10, 4);
+        assert!((m - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merit_guards_division_by_zero() {
+        assert_eq!(ncq_merit_k(0, 1024, 0, 0), 0.0);
+        assert_eq!(nsq_merit_k(SimDuration::ZERO, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn schedule_respects_priority_groups() {
+        let dev = device(8, 8);
+        let locks = NsqLockTable::new(8);
+        let prox = proxies(&dev);
+        let mut reg = NqReg::new(0.8, 4, true, 8, 8, |i| i);
+        for _ in 0..32 {
+            let h = reg.schedule(Priority::High, 4, &dev, &locks, &prox);
+            assert!(h.0 < 4, "high-priority NSQ expected, got {h}");
+            let l = reg.schedule(Priority::Low, 4, &dev, &locks, &prox);
+            assert!(l.0 >= 4, "low-priority NSQ expected, got {l}");
+        }
+    }
+
+    #[test]
+    fn assignments_spread_tenants() {
+        // Registering tenants (schedule + claim) must not pile everyone on
+        // one NSQ: the assignment tie-breaker rotates the heap.
+        let dev = device(8, 8);
+        let locks = NsqLockTable::new(8);
+        let mut prox = proxies(&dev);
+        let mut reg = NqReg::new(0.8, 1, true, 8, 8, |i| i);
+        let mut used = std::collections::HashSet::new();
+        for core in 0..4u16 {
+            let sq = reg.schedule(Priority::High, 1, &dev, &locks, &prox);
+            prox.get_mut(sq).claim(core);
+            used.insert(sq.0);
+        }
+        assert!(used.len() >= 3, "tenants clumped: {used:?}");
+    }
+
+    #[test]
+    fn mru_bounds_resorts() {
+        let dev = device(8, 8);
+        let locks = NsqLockTable::new(8);
+        let prox = proxies(&dev);
+        let mut reg = NqReg::new(0.8, 1000, true, 8, 8, |i| i);
+        for _ in 0..100 {
+            reg.schedule(Priority::High, 1, &dev, &locks, &prox);
+        }
+        assert_eq!(reg.queries(), 100);
+        assert_eq!(reg.resorts(), 0, "MRU=1000 must suppress resorts");
+        let mut reg = NqReg::new(0.8, 1, true, 8, 8, |i| i);
+        for _ in 0..100 {
+            reg.schedule(Priority::High, 1, &dev, &locks, &prox);
+        }
+        assert!(reg.resorts() >= 100, "MRU=1 must resort every query");
+    }
+
+    #[test]
+    fn round_robin_fallback_cycles() {
+        let dev = device(8, 8);
+        let locks = NsqLockTable::new(8);
+        let prox = proxies(&dev);
+        let mut reg = NqReg::new(0.8, 4, false, 8, 8, |i| i);
+        let picks: Vec<u16> = (0..8)
+            .map(|_| reg.schedule(Priority::High, 4, &dev, &locks, &prox).0)
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn contended_nsq_avoided_after_resort() {
+        // WS-M-like fan-out: 8 NSQs on 2 NCQs → NSQ step is non-degenerate.
+        let dev = device(8, 2);
+        let mut locks = NsqLockTable::new(8);
+        let mut prox = proxies(&dev);
+        let mut reg = NqReg::new(0.8, 1, true, 8, 2, |i| i % 2);
+        // High group = CQ 0 = NSQs {0, 2, 4, 6}. Make NSQ 0 heavily
+        // contended and claimed.
+        for _ in 0..100 {
+            locks.acquire(SqId(0), simkit::SimTime::ZERO, SimDuration::from_micros(5));
+        }
+        prox.get_mut(SqId(0)).claim(0);
+        prox.get_mut(SqId(0)).claim(1);
+        // First schedule may still return the stale top; after the forced
+        // resort (mru = 1) the contended queue must stop being chosen.
+        let _ = reg.schedule(Priority::High, 1, &dev, &locks, &prox);
+        for _ in 0..8 {
+            let sq = reg.schedule(Priority::High, 1, &dev, &locks, &prox);
+            assert_ne!(sq, SqId(0), "contended NSQ must be avoided");
+            assert_eq!(sq.0 % 2, 0, "must stay within the high group");
+        }
+    }
+
+    #[test]
+    fn cq_priority_lookup() {
+        let reg = NqReg::new(0.8, 4, true, 8, 8, |i| i);
+        assert_eq!(reg.cq_priority(CqId(0)), Priority::High);
+        assert_eq!(reg.cq_priority(CqId(7)), Priority::Low);
+        assert_eq!(reg.group_sqs(Priority::High).len(), 4);
+    }
+}

@@ -1,0 +1,578 @@
+//! The Daredevil storage stack: blex + troute + nqreg wired together.
+//!
+//! The submission path replaces blk-mq's static SQ→HQ→NQ walk with a routing
+//! decision (`troute.route`, Algorithm 1) per request: any core can submit
+//! to any NSQ, which is full connectivity between cores and NQs. The
+//! completion path dispatches per NCQ priority: high-priority NCQs get the
+//! per-request fast path, low-priority NCQs the kernel-default batched path
+//! (§5.3's SLA-aware I/O service dispatching).
+//!
+//! One modelling note: entries pushed within a single submission call all
+//! become device-visible at the call's instant, so the immediate-vs-batched
+//! *doorbell* half of the dispatching shows up as CPU cost (one MMIO write
+//! per L-request) rather than visibility timing; the completion half carries
+//! the latency effect, matching where the paper's gains come from.
+
+use dd_nvme::command::HostTag;
+use dd_nvme::spec::CommandId;
+use dd_nvme::{CqId, NvmeCommand, SqId};
+use simkit::SimDuration;
+
+use blkstack::nsqlock::NsqLockTable;
+use blkstack::reqmap::RequestMap;
+use blkstack::split::{split_extents, SplitConfig};
+use blkstack::stack::{
+    process_cqes, CompletionMode, ParkedCommands, StackEnv, StackStats, StorageStack,
+};
+use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
+
+use crate::config::{DaredevilConfig, Variant};
+use crate::nproxy::{Priority, ProxyTable};
+use crate::nqreg::{divide_priorities, NqReg};
+use crate::troute::{RouteStats, Troute};
+
+/// The Daredevil kernel storage stack.
+pub struct DaredevilStack {
+    cfg: DaredevilConfig,
+    nqreg: NqReg,
+    troute: Troute,
+    proxies: ProxyTable,
+    locks: NsqLockTable,
+    reqmap: RequestMap,
+    parked: ParkedCommands,
+    split: SplitConfig,
+    stats: StackStats,
+    irq_policy_configured: bool,
+}
+
+impl DaredevilStack {
+    /// Builds the stack over a device with `nr_sqs` NSQs and `nr_cqs` NCQs
+    /// where NSQ `i` pairs NCQ `cq_of(i)`. `nr_cores` is accepted for parity
+    /// with the other stacks (Daredevil's routing is core-count independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`DaredevilConfig`].
+    pub fn new(
+        cfg: DaredevilConfig,
+        _nr_cores: u16,
+        nr_sqs: u16,
+        nr_cqs: u16,
+        mut cq_of: impl FnMut(u16) -> u16,
+    ) -> Self {
+        cfg.validate().expect("invalid Daredevil config");
+        let use_merit = cfg.variant != Variant::Base;
+        let pairing: Vec<u16> = (0..nr_sqs).map(&mut cq_of).collect();
+        let nqreg = NqReg::new(cfg.alpha, cfg.mru, use_merit, nr_sqs, nr_cqs, |sq| {
+            pairing[sq as usize]
+        });
+        let prios = divide_priorities(nr_cqs);
+        let proxies = ProxyTable::new(
+            nr_sqs,
+            |i| CqId(pairing[i as usize]),
+            |i| prios[pairing[i as usize] as usize],
+        );
+        DaredevilStack {
+            troute: Troute::new(cfg.mru, cfg.profile_window),
+            nqreg,
+            proxies,
+            locks: NsqLockTable::new(nr_sqs),
+            reqmap: RequestMap::new(),
+            parked: ParkedCommands::new(),
+            split: SplitConfig::default(),
+            stats: StackStats::default(),
+            irq_policy_configured: false,
+            cfg,
+        }
+    }
+
+    /// Convenience constructor from a device handle.
+    pub fn for_device(cfg: DaredevilConfig, nr_cores: u16, device: &dd_nvme::NvmeDevice) -> Self {
+        let nr_cqs = device.nr_cqs();
+        Self::new(cfg, nr_cores, device.nr_sqs(), nr_cqs, move |sq| {
+            sq % nr_cqs
+        })
+    }
+
+    /// The ablation variant in use.
+    pub fn variant(&self) -> Variant {
+        self.cfg.variant
+    }
+
+    /// Router statistics (Fig. 14 inputs).
+    pub fn troute_stats(&self) -> RouteStats {
+        self.troute.stats()
+    }
+
+    /// NQ-scheduler statistics.
+    pub fn nqreg_resorts(&self) -> u64 {
+        self.nqreg.resorts()
+    }
+
+    /// The proxy table (read-only introspection for tests and benches).
+    pub fn proxies(&self) -> &ProxyTable {
+        &self.proxies
+    }
+
+    /// The router (read-only introspection).
+    pub fn troute(&self) -> &Troute {
+        &self.troute
+    }
+
+    /// SLA-aware interrupt policy (part of the I/O service dispatching of
+    /// §5.3 applied to device features): when the device coalesces
+    /// interrupts, the full variant opts the high-priority NCQs out —
+    /// aggregation is throughput machinery, exactly wrong for L-requests.
+    fn configure_irq_policy(&mut self, device: &mut dd_nvme::NvmeDevice) {
+        if self.irq_policy_configured || self.cfg.variant != Variant::Full {
+            return;
+        }
+        self.irq_policy_configured = true;
+        if device.config().irq_coalescing.is_none() {
+            return;
+        }
+        for cq in 0..device.nr_cqs() {
+            if self.nqreg.cq_priority(CqId(cq)) == Priority::High {
+                device.set_cq_coalescing(CqId(cq), false);
+            }
+        }
+    }
+}
+
+impl StorageStack for DaredevilStack {
+    fn name(&self) -> &'static str {
+        match self.cfg.variant {
+            Variant::Base => "dare-base",
+            Variant::Sched => "dare-sched",
+            Variant::Full => "daredevil",
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::daredevil()
+    }
+
+    fn register_tenant(&mut self, task: &TaskStruct, env: &mut StackEnv<'_>) {
+        self.configure_irq_policy(env.device);
+        self.troute.register(
+            task,
+            &mut self.nqreg,
+            env.device,
+            &self.locks,
+            &mut self.proxies,
+        );
+    }
+
+    fn deregister_tenant(&mut self, pid: Pid, _env: &mut StackEnv<'_>) {
+        self.troute.deregister(pid, &mut self.proxies);
+    }
+
+    fn update_ionice(&mut self, pid: Pid, class: IoPriorityClass, env: &mut StackEnv<'_>) {
+        self.troute.update_ionice(
+            pid,
+            class,
+            &mut self.nqreg,
+            env.device,
+            &self.locks,
+            &mut self.proxies,
+        );
+    }
+
+    fn migrate_tenant(&mut self, pid: Pid, core: u16, _env: &mut StackEnv<'_>) {
+        self.troute.migrate(pid, core, &mut self.proxies);
+    }
+
+    fn submit(&mut self, bios: &[Bio], env: &mut StackEnv<'_>) -> SimDuration {
+        debug_assert!(!bios.is_empty());
+        let core = bios[0].core;
+        // Route every bio, then group its commands by target NSQ so each
+        // NSQ's lock is taken once per batch.
+        let mut per_sq: Vec<(SqId, Vec<NvmeCommand>)> = Vec::new();
+        let mut total_rqs = 0u32;
+        for bio in bios {
+            let sq = if self.cfg.variant == Variant::Base {
+                // dare-base: the decoupled layer only — requests round-robin
+                // across the NQs of their SLA group per request, with no
+                // tenant defaults and no merit scheduling (§7.3).
+                let base = self
+                    .troute
+                    .route_of(bio.tenant)
+                    .map(|r| r.base_prio)
+                    .unwrap_or(Priority::Low);
+                let prio = if base == Priority::Low && bio.flags.is_outlier() {
+                    Priority::High
+                } else {
+                    base
+                };
+                self.nqreg
+                    .schedule(prio, 1, env.device, &self.locks, &self.proxies)
+            } else {
+                self.troute.route(
+                    bio,
+                    &mut self.nqreg,
+                    env.device,
+                    &self.locks,
+                    &mut self.proxies,
+                )
+            };
+            let extents = split_extents(&self.split, bio.offset_blocks, bio.bytes);
+            self.reqmap.insert_bio(*bio, extents.len() as u32);
+            let bucket = match per_sq.iter_mut().find(|(s, _)| *s == sq) {
+                Some((_, v)) => v,
+                None => {
+                    per_sq.push((sq, Vec::new()));
+                    &mut per_sq.last_mut().expect("just pushed").1
+                }
+            };
+            for e in extents {
+                let rq_id = self.reqmap.alloc_rq(bio.id, e.nlb);
+                total_rqs += 1;
+                bucket.push(NvmeCommand {
+                    cid: CommandId(rq_id),
+                    nsid: bio.nsid,
+                    opcode: bio.op,
+                    slba: e.slba,
+                    nlb: e.nlb,
+                    host: HostTag {
+                        rq_id,
+                        submit_core: core,
+                    },
+                });
+            }
+        }
+
+        let mut cost = env.costs.submit_cost(total_rqs);
+        let full_dispatch = self.cfg.variant == Variant::Full;
+        for (sq, cmds) in per_sq {
+            let n = cmds.len() as u64;
+            let hold = env.costs.nsq_insert * n;
+            let acq = self.locks.acquire(sq, env.now, hold);
+            cost += acq.wait + hold;
+            if !acq.wait.is_zero() {
+                // Contended tail: the cache line bounced between cores.
+                cost += env.costs.remote_submission * n;
+            }
+            let high_prio = self.proxies.get(sq).prio == Priority::High;
+            let mut pushed = 0u64;
+            for cmd in cmds {
+                if env.device.sq_has_room(sq) {
+                    env.device
+                        .push_command(sq, cmd)
+                        .expect("has_room guaranteed space");
+                    pushed += 1;
+                    self.stats.submitted_rqs += 1;
+                    if full_dispatch && high_prio {
+                        // Immediate notification per L-request.
+                        env.device.ring_doorbell(sq, env.now, env.dev_out);
+                        self.stats.doorbells += 1;
+                        cost += env.costs.doorbell;
+                    }
+                } else {
+                    self.parked.park(sq, cmd);
+                    self.stats.requeues += 1;
+                }
+            }
+            if pushed > 0 && !(full_dispatch && high_prio) {
+                // Postponed notification: one doorbell per enqueued batch.
+                env.device.ring_doorbell(sq, env.now, env.dev_out);
+                self.stats.doorbells += 1;
+                cost += env.costs.doorbell;
+            }
+        }
+        cost
+    }
+
+    fn on_irq(&mut self, cq: CqId, core: u16, env: &mut StackEnv<'_>) -> SimDuration {
+        let entries = env.device.isr_pop(cq, usize::MAX);
+        let mode =
+            if self.cfg.variant == Variant::Full && self.nqreg.cq_priority(cq) == Priority::High {
+                CompletionMode::PerRequest
+            } else {
+                CompletionMode::Batched
+            };
+        let cost = process_cqes(
+            &entries,
+            mode,
+            core,
+            env.now,
+            env.costs,
+            &mut self.reqmap,
+            &mut self.stats,
+            env.completions,
+        );
+        env.device.isr_done(cq, env.now, env.dev_out);
+        if !self.parked.is_empty() {
+            self.parked
+                .flush(env.device, env.now, env.dev_out, &mut self.stats);
+        }
+        cost
+    }
+
+    fn stats(&self) -> StackStats {
+        let mut s = self.stats;
+        s.lock_wait_total = self.locks.in_lock_grand_total();
+        s.lock_contended = self.locks.contended_grand_total();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blkstack::bio::{BioId, ReqFlags};
+    use dd_nvme::{DeviceOutput, IoOpcode, NamespaceId, NvmeConfig, NvmeDevice};
+    use simkit::{EventQueue, SimRng, SimTime};
+
+    fn device() -> NvmeDevice {
+        let mut cfg = NvmeConfig::sv_m();
+        cfg.nr_sqs = 8;
+        cfg.nr_cqs = 8;
+        NvmeDevice::new(cfg, 4)
+    }
+
+    fn bio(id: u64, tenant: u64, core: u16, bytes: u64, flags: ReqFlags) -> Bio {
+        Bio {
+            id: BioId(id),
+            tenant: Pid(tenant),
+            core,
+            nsid: NamespaceId(1),
+            op: IoOpcode::Read,
+            offset_blocks: id * 64,
+            bytes,
+            flags,
+            issued_at: SimTime::ZERO,
+        }
+    }
+
+    fn task(pid: u64, core: u16, ionice: IoPriorityClass) -> TaskStruct {
+        TaskStruct::new(Pid(pid), core, ionice, NamespaceId(1), "x")
+    }
+
+    struct Harness {
+        dev: NvmeDevice,
+        out: DeviceOutput,
+        comps: Vec<blkstack::BioCompletion>,
+        migs: Vec<(Pid, u16)>,
+        rng: SimRng,
+        costs: dd_cpu::HostCosts,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                dev: device(),
+                out: DeviceOutput::new(),
+                comps: Vec::new(),
+                migs: Vec::new(),
+                rng: SimRng::new(1),
+                costs: dd_cpu::HostCosts::default(),
+            }
+        }
+
+        fn env(&mut self, now: SimTime) -> StackEnv<'_> {
+            StackEnv {
+                now,
+                device: &mut self.dev,
+                dev_out: &mut self.out,
+                completions: &mut self.comps,
+                migrations: &mut self.migs,
+                rng: &mut self.rng,
+                costs: &self.costs,
+            }
+        }
+    }
+
+    fn stack(variant: Variant, dev: &NvmeDevice) -> DaredevilStack {
+        let cfg = DaredevilConfig {
+            variant,
+            mru: 4,
+            profile_window: 8,
+            ..DaredevilConfig::default()
+        };
+        DaredevilStack::for_device(cfg, 4, dev)
+    }
+
+    #[test]
+    fn nq_level_separation_holds() {
+        let mut h = Harness::new();
+        let mut s = stack(Variant::Full, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&task(1, 0, IoPriorityClass::RealTime), &mut env);
+        s.register_tenant(&task(2, 0, IoPriorityClass::BestEffort), &mut env);
+        // L and T submit from the SAME core — the vanilla stack would
+        // intertwine them in NSQ 0; Daredevil must not.
+        s.submit(&[bio(1, 1, 0, 4096, ReqFlags::NONE)], &mut env);
+        s.submit(&[bio(2, 2, 0, 131072, ReqFlags::NONE)], &mut env);
+        let mut l_sqs = Vec::new();
+        let mut t_sqs = Vec::new();
+        for i in 0..8u16 {
+            let st = env.device.sq_stats(SqId(i));
+            if st.submitted_total > 0 {
+                if i < 4 {
+                    l_sqs.push(i);
+                } else {
+                    t_sqs.push(i);
+                }
+            }
+        }
+        assert_eq!(l_sqs.len(), 1, "one high-group NSQ used for L");
+        assert_eq!(t_sqs.len(), 1, "one low-group NSQ used for T");
+    }
+
+    #[test]
+    fn end_to_end_completion() {
+        let mut h = Harness::new();
+        let mut s = stack(Variant::Full, &h.dev);
+        {
+            let mut env = h.env(SimTime::ZERO);
+            s.register_tenant(&task(1, 0, IoPriorityClass::RealTime), &mut env);
+            s.submit(&[bio(9, 1, 0, 4096, ReqFlags::NONE)], &mut env);
+        }
+        // Drive device to the interrupt.
+        let mut q = EventQueue::new();
+        let irq = loop {
+            for (at, ev) in h.out.events.drain(..) {
+                q.push(at, ev);
+            }
+            if let Some(r) = h.out.irqs.pop() {
+                break r;
+            }
+            let (at, ev) = q.pop().expect("device stalled");
+            h.dev.handle_event(ev, at, &mut h.out);
+        };
+        let mut env = StackEnv {
+            now: irq.at,
+            device: &mut h.dev,
+            dev_out: &mut h.out,
+            completions: &mut h.comps,
+            migrations: &mut h.migs,
+            rng: &mut h.rng,
+            costs: &h.costs,
+        };
+        s.on_irq(irq.cq, irq.core, &mut env);
+        assert_eq!(h.comps.len(), 1);
+        assert_eq!(h.comps[0].bio.id, BioId(9));
+        assert_eq!(s.stats().completed_rqs, 1);
+    }
+
+    #[test]
+    fn full_variant_rings_per_l_request() {
+        let mut h = Harness::new();
+        let mut s = stack(Variant::Full, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&task(1, 0, IoPriorityClass::RealTime), &mut env);
+        let bios: Vec<Bio> = (0..4).map(|i| bio(i, 1, 0, 4096, ReqFlags::NONE)).collect();
+        s.submit(&bios, &mut env);
+        assert_eq!(s.stats().doorbells, 4, "immediate per-request doorbells");
+        // T batch gets one doorbell.
+        s.register_tenant(&task(2, 1, IoPriorityClass::BestEffort), &mut env);
+        let bios: Vec<Bio> = (10..14)
+            .map(|i| bio(i, 2, 1, 131072, ReqFlags::NONE))
+            .collect();
+        s.submit(&bios, &mut env);
+        assert_eq!(s.stats().doorbells, 5, "batched T doorbell");
+    }
+
+    #[test]
+    fn base_variant_round_robins_and_batches() {
+        let mut h = Harness::new();
+        let mut s = stack(Variant::Base, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&task(1, 0, IoPriorityClass::RealTime), &mut env);
+        // 8 L bios round-robin across the 4 high-group NSQs: two commands
+        // per NSQ, one batched doorbell per NSQ (not per request).
+        let bios: Vec<Bio> = (0..8).map(|i| bio(i, 1, 0, 4096, ReqFlags::NONE)).collect();
+        s.submit(&bios, &mut env);
+        for q in 0..4u16 {
+            assert_eq!(
+                env.device.sq_stats(SqId(q)).submitted_total,
+                2,
+                "per-request round-robin must spread evenly"
+            );
+        }
+        assert_eq!(s.stats().doorbells, 4, "one batched doorbell per NSQ");
+        assert_eq!(s.name(), "dare-base");
+    }
+
+    #[test]
+    fn base_variant_still_separates_priorities() {
+        // dare-base routes by SLA group (round-robin inside): L and T must
+        // still never share an NSQ.
+        let mut h = Harness::new();
+        let mut s = stack(Variant::Base, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        for p in 0..4u64 {
+            let ionice = if p % 2 == 0 {
+                IoPriorityClass::RealTime
+            } else {
+                IoPriorityClass::BestEffort
+            };
+            s.register_tenant(&task(p, p as u16 % 4, ionice), &mut env);
+        }
+        for p in 0..4u64 {
+            s.submit(&[bio(p, p, p as u16 % 4, 4096, ReqFlags::NONE)], &mut env);
+        }
+        // Tenants 0,2 are L (high group: SQs 0-3); 1,3 are T (SQs 4-7).
+        let high_used: u64 = (0..4u16)
+            .map(|i| env.device.sq_stats(SqId(i)).submitted_total)
+            .sum();
+        let low_used: u64 = (4..8u16)
+            .map(|i| env.device.sq_stats(SqId(i)).submitted_total)
+            .sum();
+        assert_eq!(high_used, 2, "two L bios in high group");
+        assert_eq!(low_used, 2, "two T bios in low group");
+    }
+
+    #[test]
+    fn outlier_sync_requests_escape_low_group() {
+        let mut h = Harness::new();
+        let mut s = stack(Variant::Full, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&task(2, 0, IoPriorityClass::BestEffort), &mut env);
+        // A T-tenant's fsync-like request must land in the high group.
+        s.submit(&[bio(1, 2, 0, 4096, ReqFlags::SYNC)], &mut env);
+        let high_used: u64 = (0..4u16)
+            .map(|i| env.device.sq_stats(SqId(i)).submitted_total)
+            .sum();
+        assert_eq!(high_used, 1);
+    }
+
+    #[test]
+    fn multi_namespace_routing_is_uniform() {
+        // Two tenants with identical SLAs on different namespaces must be
+        // treated identically: same priority group, device-level proxies.
+        let mut cfg = NvmeConfig::sv_m().with_namespaces(4);
+        cfg.nr_sqs = 8;
+        cfg.nr_cqs = 8;
+        let dev = NvmeDevice::new(cfg, 4);
+        let mut h = Harness::new();
+        h.dev = dev;
+        let mut s = stack(Variant::Full, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        let mut t1 = task(1, 0, IoPriorityClass::RealTime);
+        t1.nsid = NamespaceId(1);
+        let mut t2 = task(2, 1, IoPriorityClass::RealTime);
+        t2.nsid = NamespaceId(3);
+        s.register_tenant(&t1, &mut env);
+        s.register_tenant(&t2, &mut env);
+        let mut b1 = bio(1, 1, 0, 4096, ReqFlags::NONE);
+        b1.nsid = NamespaceId(1);
+        let mut b2 = bio(2, 2, 1, 4096, ReqFlags::NONE);
+        b2.nsid = NamespaceId(3);
+        s.submit(&[b1], &mut env);
+        s.submit(&[b2], &mut env);
+        let high_used: u64 = (0..4u16)
+            .map(|i| env.device.sq_stats(SqId(i)).submitted_total)
+            .sum();
+        assert_eq!(high_used, 2, "both L tenants in the high group");
+    }
+
+    #[test]
+    fn capabilities_are_all_four() {
+        let h = Harness::new();
+        let s = stack(Variant::Full, &h.dev);
+        let c = s.capabilities();
+        assert!(c.hardware_independent && c.nq_exploitation);
+        assert!(c.cross_core_autonomy && c.multi_namespace);
+    }
+}

@@ -1,0 +1,633 @@
+//! troute: the tenant-NQ request router (Algorithm 1).
+//!
+//! troute performs the multi-tenancy control on the critical I/O path. Per
+//! tenant it keeps a *base priority* derived from the ionice class
+//! (real-time ⇒ high), a *default NSQ* obtained from nqreg at registration,
+//! and — for T-tenants with an *outlier tendency* — a dedicated *outlier
+//! NSQ* for their sync/metadata requests. Request routing then reduces to a
+//! table lookup for the common cases; only an untagged T-tenant's occasional
+//! outlier request pays a per-request nqreg query (`m = 1`).
+//!
+//! troute also maintains each NSQ's claimed-core bitmap (via the proxies),
+//! the contention hint nqreg's NSQ merit consumes.
+
+use std::collections::HashMap;
+
+use dd_nvme::{NvmeDevice, SqId};
+
+use blkstack::nsqlock::NsqLockTable;
+use blkstack::{Bio, IoPriorityClass, Pid, TaskStruct};
+
+use crate::nproxy::{Priority, ProxyTable};
+use crate::nqreg::NqReg;
+
+/// Per-tenant routing state.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantRoute {
+    /// Base priority from the ionice class.
+    pub base_prio: Priority,
+    /// NSQ serving the tenant's normal requests.
+    pub default_sq: SqId,
+    /// NSQ serving a tagged T-tenant's outlier requests.
+    pub outlier_sq: Option<SqId>,
+    /// Whether the tenant currently carries the outlier tag.
+    pub outlier_tag: bool,
+    /// Core the tenant runs on (for bitmap maintenance).
+    pub core: u16,
+    /// Profiling counters within the current window.
+    normal_count: u64,
+    outlier_count: u64,
+}
+
+/// The calling context of an nqreg query — determines the MRU decrement
+/// (§5.2: tenant-based and tagged-outlier contexts use `m = MRU`, the
+/// request-specific context of untagged T-tenants uses `m = 1`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryContext {
+    /// Default/outlier NSQ assignment for a tenant.
+    TenantBased,
+    /// One-off query for an untagged T-tenant's outlier request.
+    RequestSpecific,
+}
+
+/// Routing statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouteStats {
+    /// Requests routed via the default NSQ.
+    pub default_routes: u64,
+    /// Outlier requests routed via a tagged tenant's outlier NSQ.
+    pub outlier_routes: u64,
+    /// Outlier requests that paid a per-request nqreg query.
+    pub per_request_queries: u64,
+    /// Tag transitions (off→on and on→off).
+    pub tag_changes: u64,
+    /// Default-NSQ re-assignments due to ionice updates.
+    pub reassignments: u64,
+}
+
+/// The request router.
+#[derive(Debug)]
+pub struct Troute {
+    tenants: HashMap<Pid, TenantRoute>,
+    mru: u32,
+    profile_window: u64,
+    stats: RouteStats,
+}
+
+impl Troute {
+    /// Creates a router. `mru` is the heap MRU budget (the `m` used for
+    /// tenant-based queries); `profile_window` the re-evaluation period of
+    /// the outlier tag.
+    pub fn new(mru: u32, profile_window: u64) -> Self {
+        Troute {
+            tenants: HashMap::new(),
+            mru,
+            profile_window,
+            stats: RouteStats::default(),
+        }
+    }
+
+    /// Base priority implied by an ionice class.
+    pub fn base_priority(ionice: IoPriorityClass) -> Priority {
+        if ionice.is_latency_sensitive() {
+            Priority::High
+        } else {
+            Priority::Low
+        }
+    }
+
+    /// Registers a tenant: assigns its default NSQ with a tenant-based
+    /// query and claims its core on the proxy.
+    pub fn register(
+        &mut self,
+        task: &TaskStruct,
+        nqreg: &mut NqReg,
+        device: &NvmeDevice,
+        locks: &NsqLockTable,
+        proxies: &mut ProxyTable,
+    ) {
+        let base_prio = Self::base_priority(task.ionice);
+        let default_sq = nqreg.schedule(base_prio, self.mru, device, locks, proxies);
+        proxies.get_mut(default_sq).claim(task.core);
+        self.tenants.insert(
+            task.pid,
+            TenantRoute {
+                base_prio,
+                default_sq,
+                outlier_sq: None,
+                outlier_tag: false,
+                core: task.core,
+                normal_count: 0,
+                outlier_count: 0,
+            },
+        );
+    }
+
+    /// Removes a tenant, releasing its claims.
+    pub fn deregister(&mut self, pid: Pid, proxies: &mut ProxyTable) {
+        if let Some(route) = self.tenants.remove(&pid) {
+            self.unclaim(route.default_sq, route.core, proxies);
+            if let Some(osq) = route.outlier_sq {
+                self.unclaim(osq, route.core, proxies);
+            }
+        }
+    }
+
+    fn core_still_used(&self, sq: SqId, core: u16) -> bool {
+        self.tenants
+            .values()
+            .any(|r| r.core == core && (r.default_sq == sq || r.outlier_sq == Some(sq)))
+    }
+
+    fn unclaim(&self, sq: SqId, core: u16, proxies: &mut ProxyTable) {
+        // `tenants` no longer contains the departing route at call sites, so
+        // remaining claimants are counted correctly.
+        let still = self.core_still_used(sq, core);
+        proxies.get_mut(sq).unclaim(core, still);
+    }
+
+    /// Routing state of a tenant.
+    pub fn route_of(&self, pid: Pid) -> Option<&TenantRoute> {
+        self.tenants.get(&pid)
+    }
+
+    /// Handles a runtime ionice change: if the base priority flips, the
+    /// default NSQ is re-scheduled (asynchronously to the I/O path in the
+    /// kernel; one extra nqreg query here, §5.2).
+    pub fn update_ionice(
+        &mut self,
+        pid: Pid,
+        ionice: IoPriorityClass,
+        nqreg: &mut NqReg,
+        device: &NvmeDevice,
+        locks: &NsqLockTable,
+        proxies: &mut ProxyTable,
+    ) {
+        let new_prio = Self::base_priority(ionice);
+        let Some(route) = self.tenants.get(&pid).copied() else {
+            return;
+        };
+        if route.base_prio == new_prio {
+            return;
+        }
+        let new_sq = nqreg.schedule(new_prio, self.mru, device, locks, proxies);
+        // Swap claims: remove the tenant's entry view first so the
+        // still-used check does not see the stale route.
+        let r = self.tenants.remove(&pid).expect("checked above");
+        self.unclaim(r.default_sq, r.core, proxies);
+        let mut r = r;
+        r.base_prio = new_prio;
+        r.default_sq = new_sq;
+        // An L-tenant (or ex-T-tenant) has no use for an outlier NSQ.
+        if new_prio == Priority::High {
+            if let Some(osq) = r.outlier_sq.take() {
+                self.unclaim(osq, r.core, proxies);
+            }
+            r.outlier_tag = false;
+        }
+        proxies.get_mut(new_sq).claim(r.core);
+        self.tenants.insert(pid, r);
+        self.stats.reassignments += 1;
+    }
+
+    /// Handles a tenant migration to another core: the claimed-core bitmaps
+    /// move with it.
+    pub fn migrate(&mut self, pid: Pid, new_core: u16, proxies: &mut ProxyTable) {
+        let Some(route) = self.tenants.get(&pid).copied() else {
+            return;
+        };
+        if route.core == new_core {
+            return;
+        }
+        let mut r = self.tenants.remove(&pid).expect("checked above");
+        self.unclaim(r.default_sq, r.core, proxies);
+        if let Some(osq) = r.outlier_sq {
+            self.unclaim(osq, r.core, proxies);
+        }
+        r.core = new_core;
+        proxies.get_mut(r.default_sq).claim(new_core);
+        if let Some(osq) = r.outlier_sq {
+            proxies.get_mut(osq).claim(new_core);
+        }
+        self.tenants.insert(pid, r);
+    }
+
+    /// Algorithm 1: routes one request, returning the target NSQ.
+    ///
+    /// Also feeds the outlier-tendency profiler for T-tenants; crossing the
+    /// tendency threshold assigns (or drops) the tenant's outlier NSQ.
+    pub fn route(
+        &mut self,
+        bio: &Bio,
+        nqreg: &mut NqReg,
+        device: &NvmeDevice,
+        locks: &NsqLockTable,
+        proxies: &mut ProxyTable,
+    ) -> SqId {
+        let route = self
+            .tenants
+            .get_mut(&bio.tenant)
+            .expect("routing for unregistered tenant");
+        // Line 1-2: high-priority tenants always use their default NSQ.
+        if route.base_prio == Priority::High {
+            self.stats.default_routes += 1;
+            return route.default_sq;
+        }
+        // T-tenant: profile the request mix.
+        let is_outlier = bio.flags.is_outlier();
+        if is_outlier {
+            route.outlier_count += 1;
+        } else {
+            route.normal_count += 1;
+        }
+        let total = route.outlier_count + route.normal_count;
+        if total.is_multiple_of(self.profile_window) {
+            self.reevaluate_tag(bio.tenant, nqreg, device, locks, proxies);
+        }
+        let route = self.tenants.get(&bio.tenant).expect("still registered");
+        if !is_outlier {
+            // Line 3 fallthrough: normal T-requests use the default NSQ.
+            self.stats.default_routes += 1;
+            return route.default_sq;
+        }
+        // Line 4-9: outlier request.
+        if let (true, Some(osq)) = (route.outlier_tag, route.outlier_sq) {
+            self.stats.outlier_routes += 1;
+            osq
+        } else {
+            // Request-specific context: one-off high-priority query, m = 1.
+            self.stats.per_request_queries += 1;
+            nqreg.schedule(Priority::High, 1, device, locks, proxies)
+        }
+    }
+
+    /// Re-evaluates a T-tenant's outlier tendency: tagged when outlier
+    /// requests are within the same order of magnitude as normal ones
+    /// (outliers × 10 ≥ normals, §5.2).
+    fn reevaluate_tag(
+        &mut self,
+        pid: Pid,
+        nqreg: &mut NqReg,
+        device: &NvmeDevice,
+        locks: &NsqLockTable,
+        proxies: &mut ProxyTable,
+    ) {
+        let route = self.tenants.get(&pid).copied().expect("registered");
+        let tendency = route.outlier_count * 10 >= route.normal_count && route.outlier_count > 0;
+        if tendency == route.outlier_tag {
+            // Reset the window counters and keep the tag.
+            let r = self.tenants.get_mut(&pid).expect("registered");
+            r.normal_count = 0;
+            r.outlier_count = 0;
+            return;
+        }
+        self.stats.tag_changes += 1;
+        if tendency {
+            // Tag on: assign an outlier NSQ (tenant-based context).
+            let osq = nqreg.schedule(Priority::High, self.mru, device, locks, proxies);
+            proxies.get_mut(osq).claim(route.core);
+            let r = self.tenants.get_mut(&pid).expect("registered");
+            r.outlier_tag = true;
+            r.outlier_sq = Some(osq);
+            r.normal_count = 0;
+            r.outlier_count = 0;
+        } else {
+            // Tag off: drop the outlier NSQ.
+            let mut r = self.tenants.remove(&pid).expect("registered");
+            if let Some(osq) = r.outlier_sq.take() {
+                self.unclaim(osq, r.core, proxies);
+            }
+            r.outlier_tag = false;
+            r.normal_count = 0;
+            r.outlier_count = 0;
+            self.tenants.insert(pid, r);
+        }
+    }
+
+    /// Routing statistics.
+    pub fn stats(&self) -> RouteStats {
+        self.stats
+    }
+
+    /// Registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nqreg::divide_priorities;
+    use blkstack::bio::{BioId, ReqFlags};
+    use dd_nvme::{IoOpcode, NamespaceId, NvmeConfig};
+    use simkit::SimTime;
+
+    struct Fixture {
+        device: NvmeDevice,
+        locks: NsqLockTable,
+        proxies: ProxyTable,
+        nqreg: NqReg,
+        troute: Troute,
+    }
+
+    fn fixture() -> Fixture {
+        let mut cfg = NvmeConfig::sv_m();
+        cfg.nr_sqs = 8;
+        cfg.nr_cqs = 8;
+        let device = NvmeDevice::new(cfg, 4);
+        let locks = NsqLockTable::new(8);
+        let prios = divide_priorities(8);
+        let proxies = ProxyTable::new(
+            8,
+            |i| device.cq_of_sq(SqId(i)),
+            |i| prios[device.cq_of_sq(SqId(i)).index()],
+        );
+        let nqreg = NqReg::new(0.8, 4, true, 8, 8, |i| i);
+        Fixture {
+            device,
+            locks,
+            proxies,
+            nqreg,
+            troute: Troute::new(4, 8),
+        }
+    }
+
+    fn task(pid: u64, core: u16, ionice: IoPriorityClass) -> TaskStruct {
+        TaskStruct::new(Pid(pid), core, ionice, NamespaceId(1), "x")
+    }
+
+    fn bio(tenant: u64, flags: ReqFlags) -> Bio {
+        Bio {
+            id: BioId(0),
+            tenant: Pid(tenant),
+            core: 0,
+            nsid: NamespaceId(1),
+            op: IoOpcode::Read,
+            offset_blocks: 0,
+            bytes: 4096,
+            flags,
+            issued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn l_tenant_gets_high_priority_default() {
+        let mut f = fixture();
+        f.troute.register(
+            &task(1, 0, IoPriorityClass::RealTime),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        let r = f.troute.route_of(Pid(1)).unwrap();
+        assert_eq!(r.base_prio, Priority::High);
+        assert!(r.default_sq.0 < 4, "L default NSQ in high group");
+        assert!(f.proxies.get(r.default_sq).claims_core(0));
+    }
+
+    #[test]
+    fn t_tenant_gets_low_priority_default() {
+        let mut f = fixture();
+        f.troute.register(
+            &task(2, 1, IoPriorityClass::BestEffort),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        let r = f.troute.route_of(Pid(2)).unwrap();
+        assert_eq!(r.base_prio, Priority::Low);
+        assert!(r.default_sq.0 >= 4, "T default NSQ in low group");
+    }
+
+    #[test]
+    fn l_requests_always_route_default() {
+        let mut f = fixture();
+        f.troute.register(
+            &task(1, 0, IoPriorityClass::RealTime),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        let def = f.troute.route_of(Pid(1)).unwrap().default_sq;
+        for flags in [ReqFlags::NONE, ReqFlags::SYNC, ReqFlags::META] {
+            let sq = f.troute.route(
+                &bio(1, flags),
+                &mut f.nqreg,
+                &f.device,
+                &f.locks,
+                &mut f.proxies,
+            );
+            assert_eq!(sq, def);
+        }
+    }
+
+    #[test]
+    fn t_outlier_requests_route_high_priority() {
+        let mut f = fixture();
+        f.troute.register(
+            &task(2, 0, IoPriorityClass::BestEffort),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        // Untagged tenant's sync request: per-request high-priority query.
+        let sq = f.troute.route(
+            &bio(2, ReqFlags::SYNC),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        assert!(sq.0 < 4, "outlier must land in the high group, got {sq}");
+        assert_eq!(f.troute.stats().per_request_queries, 1);
+        // Normal request: default (low) NSQ.
+        let sq = f.troute.route(
+            &bio(2, ReqFlags::NONE),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        assert!(sq.0 >= 4);
+    }
+
+    #[test]
+    fn outlier_tendency_earns_tag_and_outlier_nsq() {
+        let mut f = fixture();
+        f.troute.register(
+            &task(2, 0, IoPriorityClass::BestEffort),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        // 50/50 outlier mix: well past the order-of-magnitude threshold.
+        for i in 0..32 {
+            let flags = if i % 2 == 0 {
+                ReqFlags::SYNC
+            } else {
+                ReqFlags::NONE
+            };
+            f.troute.route(
+                &bio(2, flags),
+                &mut f.nqreg,
+                &f.device,
+                &f.locks,
+                &mut f.proxies,
+            );
+        }
+        let r = f.troute.route_of(Pid(2)).unwrap();
+        assert!(r.outlier_tag, "tenant must be tagged");
+        let osq = r.outlier_sq.expect("tagged tenant has outlier NSQ");
+        assert!(osq.0 < 4, "outlier NSQ in high group");
+        // Tagged outliers route to the outlier NSQ without new queries.
+        let before = f.troute.stats().per_request_queries;
+        let sq = f.troute.route(
+            &bio(2, ReqFlags::META),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        assert_eq!(sq, osq);
+        assert_eq!(f.troute.stats().per_request_queries, before);
+    }
+
+    #[test]
+    fn rare_outliers_do_not_earn_tag() {
+        let mut f = fixture();
+        f.troute.register(
+            &task(2, 0, IoPriorityClass::BestEffort),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        // 1 outlier per 64 normals: below the threshold.
+        for i in 0..128 {
+            let flags = if i % 64 == 0 {
+                ReqFlags::SYNC
+            } else {
+                ReqFlags::NONE
+            };
+            f.troute.route(
+                &bio(2, flags),
+                &mut f.nqreg,
+                &f.device,
+                &f.locks,
+                &mut f.proxies,
+            );
+        }
+        assert!(!f.troute.route_of(Pid(2)).unwrap().outlier_tag);
+    }
+
+    #[test]
+    fn ionice_flip_reassigns_default() {
+        let mut f = fixture();
+        f.troute.register(
+            &task(2, 0, IoPriorityClass::BestEffort),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        let old = f.troute.route_of(Pid(2)).unwrap().default_sq;
+        f.troute.update_ionice(
+            Pid(2),
+            IoPriorityClass::RealTime,
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        let r = f.troute.route_of(Pid(2)).unwrap();
+        assert_eq!(r.base_prio, Priority::High);
+        assert!(r.default_sq.0 < 4);
+        assert_ne!(r.default_sq, old);
+        assert_eq!(f.troute.stats().reassignments, 1);
+        assert_eq!(f.proxies.get(old).assignments(), 0, "old claim released");
+        // No-op update does not re-schedule.
+        f.troute.update_ionice(
+            Pid(2),
+            IoPriorityClass::RealTime,
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        assert_eq!(f.troute.stats().reassignments, 1);
+    }
+
+    #[test]
+    fn migration_moves_claims() {
+        let mut f = fixture();
+        f.troute.register(
+            &task(1, 0, IoPriorityClass::RealTime),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        let sq = f.troute.route_of(Pid(1)).unwrap().default_sq;
+        f.troute.migrate(Pid(1), 3, &mut f.proxies);
+        assert!(!f.proxies.get(sq).claims_core(0));
+        assert!(f.proxies.get(sq).claims_core(3));
+        assert_eq!(f.troute.route_of(Pid(1)).unwrap().core, 3);
+    }
+
+    #[test]
+    fn deregister_releases_everything() {
+        let mut f = fixture();
+        f.troute.register(
+            &task(2, 0, IoPriorityClass::BestEffort),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        let sq = f.troute.route_of(Pid(2)).unwrap().default_sq;
+        f.troute.deregister(Pid(2), &mut f.proxies);
+        assert!(f.troute.is_empty());
+        assert_eq!(f.proxies.get(sq).assignments(), 0);
+    }
+
+    #[test]
+    fn shared_core_claims_persist() {
+        let mut f = fixture();
+        // Two L-tenants on core 0: if they share a default NSQ, removing one
+        // must keep the core bit set.
+        f.troute.register(
+            &task(1, 0, IoPriorityClass::RealTime),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        f.troute.register(
+            &task(2, 0, IoPriorityClass::RealTime),
+            &mut f.nqreg,
+            &f.device,
+            &f.locks,
+            &mut f.proxies,
+        );
+        let sq1 = f.troute.route_of(Pid(1)).unwrap().default_sq;
+        let sq2 = f.troute.route_of(Pid(2)).unwrap().default_sq;
+        f.troute.deregister(Pid(1), &mut f.proxies);
+        if sq1 == sq2 {
+            assert!(f.proxies.get(sq2).claims_core(0));
+        } else {
+            assert!(!f.proxies.get(sq1).claims_core(0));
+            assert!(f.proxies.get(sq2).claims_core(0));
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Per-core run queues and the multi-core system facade.
+//!
+//! A [`CpuCore`] executes one work item at a time. Pending payloads wait in
+//! per-class FIFOs; the highest-priority non-empty class supplies the next.
+//!
+//! The execution protocol is *dispatch-style*, because the cost of an item
+//! (e.g. a submission that hits NSQ lock contention) is only known when the
+//! storage stack actually executes it:
+//!
+//! 1. [`CpuSystem::enqueue`] adds a payload. If it returns `true` the core
+//!    was idle and the host must schedule a *dispatch* event for the core at
+//!    the current time.
+//! 2. On dispatch, [`CpuSystem::take_next`] pops the next payload; the host
+//!    runs the corresponding action (which mutates stack/device state and
+//!    returns a CPU cost) and calls [`CpuSystem::begin`] with that cost,
+//!    scheduling a *core-done* event at the returned finish time.
+//! 3. On core-done, [`CpuSystem::finish`] retires the item; if payloads
+//!    remain the host schedules another dispatch immediately.
+//!
+//! Action effects apply at item *start* and the core then stays busy for the
+//! returned duration. Preemption is at item granularity: an IRQ arriving
+//! mid-item waits for the item, then runs before queued task work. Items are
+//! µs-scale here, so both approximations sit far below the latency effects
+//! under study (DESIGN.md §4).
+
+use std::collections::VecDeque;
+
+use simkit::{SimDuration, SimTime};
+
+use crate::topology::CpuTopology;
+use crate::work::WorkClass;
+
+/// Execution state of one core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CoreState {
+    /// Nothing running, no dispatch event pending.
+    Idle,
+    /// A dispatch event is scheduled but `take_next` has not run yet.
+    DispatchPending,
+    /// An item is running until the stored finish time.
+    Running,
+}
+
+/// One CPU core.
+#[derive(Debug)]
+pub struct CpuCore<P> {
+    /// Per-class FIFO queues, indexed by `WorkClass::index()`.
+    queues: [VecDeque<P>; 3],
+    state: CoreState,
+    /// Speed factor: durations divide by this (1.0 = nominal).
+    speed: f64,
+    /// Accumulated busy time up to the end of the last finished item.
+    busy_accum: SimDuration,
+    /// Start time of the current item, if running.
+    running_since: Option<SimTime>,
+    /// Items executed to completion.
+    items_done: u64,
+}
+
+impl<P> CpuCore<P> {
+    fn new(speed: f64) -> Self {
+        CpuCore {
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            state: CoreState::Idle,
+            speed,
+            busy_accum: SimDuration::ZERO,
+            running_since: None,
+            items_done: 0,
+        }
+    }
+
+    /// True when no item is running and no dispatch is pending.
+    pub fn is_idle(&self) -> bool {
+        self.state == CoreState::Idle
+    }
+
+    /// Number of queued (not yet started) payloads.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Number of queued payloads of one class.
+    pub fn pending_class(&self, class: WorkClass) -> usize {
+        self.queues[class.index()].len()
+    }
+
+    /// Total busy time up to `now`.
+    pub fn busy_until(&self, now: SimTime) -> SimDuration {
+        match self.running_since {
+            Some(start) => self.busy_accum + now.saturating_since(start),
+            None => self.busy_accum,
+        }
+    }
+
+    /// Items executed to completion.
+    pub fn items_done(&self) -> u64 {
+        self.items_done
+    }
+
+    fn effective_duration(&self, nominal: SimDuration) -> SimDuration {
+        if self.speed == 1.0 {
+            nominal
+        } else {
+            nominal.mul_f64(1.0 / self.speed)
+        }
+    }
+}
+
+/// The multi-core system.
+#[derive(Debug)]
+pub struct CpuSystem<P> {
+    cores: Vec<CpuCore<P>>,
+}
+
+impl<P> CpuSystem<P> {
+    /// Builds the system from a topology.
+    pub fn new(topology: &CpuTopology) -> Self {
+        CpuSystem {
+            cores: topology.speeds().iter().map(|&s| CpuCore::new(s)).collect(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn nr_cores(&self) -> u16 {
+        self.cores.len() as u16
+    }
+
+    /// Immutable access to one core.
+    pub fn core(&self, core: u16) -> &CpuCore<P> {
+        &self.cores[core as usize]
+    }
+
+    /// Queues a payload on `core`. Returns `true` when the caller must
+    /// schedule a dispatch event for the core (it was idle).
+    pub fn enqueue(&mut self, core: u16, class: WorkClass, payload: P) -> bool {
+        let c = &mut self.cores[core as usize];
+        c.queues[class.index()].push_back(payload);
+        if c.state == CoreState::Idle {
+            c.state = CoreState::DispatchPending;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the next payload to execute (highest class first, FIFO within).
+    ///
+    /// Returns `None` if the queues drained between the dispatch event being
+    /// scheduled and firing (cannot happen with the standard protocol, but
+    /// is tolerated to keep the host loop simple).
+    pub fn take_next(&mut self, core: u16) -> Option<(WorkClass, P)> {
+        let c = &mut self.cores[core as usize];
+        debug_assert_eq!(
+            c.state,
+            CoreState::DispatchPending,
+            "take_next without a pending dispatch"
+        );
+        for class in WorkClass::ALL {
+            if let Some(p) = c.queues[class.index()].pop_front() {
+                return Some((class, p));
+            }
+        }
+        c.state = CoreState::Idle;
+        None
+    }
+
+    /// Marks the item taken by [`CpuSystem::take_next`] as running for
+    /// `cost` (scaled by the core speed); returns its finish time, for which
+    /// the caller schedules a core-done event.
+    pub fn begin(&mut self, core: u16, now: SimTime, cost: SimDuration) -> SimTime {
+        let c = &mut self.cores[core as usize];
+        debug_assert_eq!(
+            c.state,
+            CoreState::DispatchPending,
+            "begin without take_next"
+        );
+        c.state = CoreState::Running;
+        c.running_since = Some(now);
+        now + c.effective_duration(cost)
+    }
+
+    /// Retires the running item at its core-done event. Returns `true` when
+    /// payloads remain and the caller must schedule another dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core was not running (a stale or duplicate core-done
+    /// event — a host event-loop bug).
+    pub fn finish(&mut self, core: u16, now: SimTime) -> bool {
+        let c = &mut self.cores[core as usize];
+        assert_eq!(c.state, CoreState::Running, "core-done for an idle core");
+        let start = c.running_since.take().expect("running without start time");
+        c.busy_accum += now.saturating_since(start);
+        c.items_done += 1;
+        if c.pending() > 0 {
+            c.state = CoreState::DispatchPending;
+            true
+        } else {
+            c.state = CoreState::Idle;
+            false
+        }
+    }
+
+    /// Busy-time snapshot for all cores (baseline for window accounting).
+    pub fn busy_snapshot(&self, now: SimTime) -> Vec<SimDuration> {
+        self.cores.iter().map(|c| c.busy_until(now)).collect()
+    }
+
+    /// Per-core busy fractions over `[window_start, now]`, given snapshots
+    /// taken at `window_start`.
+    pub fn busy_fractions(
+        &self,
+        window_start: SimTime,
+        baseline: &[SimDuration],
+        now: SimTime,
+    ) -> Vec<f64> {
+        let window = now.saturating_since(window_start);
+        if window.is_zero() {
+            return vec![0.0; self.cores.len()];
+        }
+        self.cores
+            .iter()
+            .zip(baseline)
+            .map(|(c, &b)| {
+                let busy = c.busy_until(now).saturating_sub(b);
+                busy.as_nanos() as f64 / window.as_nanos() as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    fn t(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    fn sys(n: u16) -> CpuSystem<&'static str> {
+        CpuSystem::new(&CpuTopology::uniform(n))
+    }
+
+    #[test]
+    fn idle_core_requests_dispatch() {
+        let mut s = sys(1);
+        assert!(s.enqueue(0, WorkClass::Task, "a"));
+        // Second enqueue while dispatch pending: no new dispatch.
+        assert!(!s.enqueue(0, WorkClass::Task, "b"));
+    }
+
+    #[test]
+    fn dispatch_run_finish_cycle() {
+        let mut s = sys(1);
+        assert!(s.enqueue(0, WorkClass::Task, "a"));
+        let (class, p) = s.take_next(0).unwrap();
+        assert_eq!(class, WorkClass::Task);
+        assert_eq!(p, "a");
+        let fin = s.begin(0, t(0), us(5));
+        assert_eq!(fin, t(5));
+        assert!(!s.finish(0, t(5)), "no more work");
+        assert!(s.core(0).is_idle());
+        assert_eq!(s.core(0).items_done(), 1);
+    }
+
+    #[test]
+    fn finish_requests_redispatch_when_backlogged() {
+        let mut s = sys(1);
+        assert!(s.enqueue(0, WorkClass::Task, "a"));
+        s.take_next(0);
+        s.begin(0, t(0), us(5));
+        assert!(!s.enqueue(0, WorkClass::Task, "b"), "busy core queues");
+        assert!(s.finish(0, t(5)), "backlog must request dispatch");
+        let (_, p) = s.take_next(0).unwrap();
+        assert_eq!(p, "b");
+    }
+
+    #[test]
+    fn irq_jumps_ahead_of_tasks() {
+        let mut s = sys(1);
+        s.enqueue(0, WorkClass::Task, "running");
+        s.take_next(0);
+        s.begin(0, t(0), us(5));
+        s.enqueue(0, WorkClass::Task, "task-q");
+        s.enqueue(0, WorkClass::HardIrq, "irq");
+        s.finish(0, t(5));
+        let (class, p) = s.take_next(0).unwrap();
+        assert_eq!(class, WorkClass::HardIrq);
+        assert_eq!(p, "irq", "IRQ must run before queued task work");
+        s.begin(0, t(5), us(1));
+        s.finish(0, t(6));
+        let (_, p) = s.take_next(0).unwrap();
+        assert_eq!(p, "task-q");
+    }
+
+    #[test]
+    fn class_order_full() {
+        let mut s = sys(1);
+        s.enqueue(0, WorkClass::Task, "t");
+        s.enqueue(0, WorkClass::SoftIrq, "s");
+        s.enqueue(0, WorkClass::HardIrq, "h");
+        let mut order = Vec::new();
+        let mut now = t(0);
+        for _ in 0..3 {
+            let (_, p) = s.take_next(0).unwrap();
+            order.push(p);
+            let fin = s.begin(0, now, us(1));
+            s.finish(0, fin);
+            now = fin;
+        }
+        assert_eq!(order, vec!["h", "s", "t"]);
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut s = sys(2);
+        assert!(s.enqueue(0, WorkClass::Task, "a"));
+        assert!(s.enqueue(1, WorkClass::Task, "b"));
+        s.take_next(0);
+        s.begin(0, t(0), us(5));
+        assert_eq!(s.core(1).pending(), 1);
+        assert!(s.core(0).pending() == 0);
+    }
+
+    #[test]
+    fn speed_scales_duration() {
+        let topo = CpuTopology::with_speeds(vec![2.0]);
+        let mut s: CpuSystem<()> = CpuSystem::new(&topo);
+        s.enqueue(0, WorkClass::Task, ());
+        s.take_next(0);
+        let fin = s.begin(0, t(0), us(10));
+        assert_eq!(fin, t(5), "2x core halves the duration");
+    }
+
+    #[test]
+    fn busy_accounting_and_windows() {
+        let mut s = sys(2);
+        s.enqueue(0, WorkClass::Task, "a");
+        s.take_next(0);
+        s.begin(0, t(0), us(4));
+        s.finish(0, t(4));
+        assert_eq!(s.core(0).busy_until(t(10)), us(4));
+        let base = s.busy_snapshot(t(4));
+        s.enqueue(0, WorkClass::Task, "b");
+        s.take_next(0);
+        s.begin(0, t(5), us(3));
+        // Mid-item busy time counts.
+        assert_eq!(s.core(0).busy_until(t(7)), us(6));
+        s.finish(0, t(8));
+        let fr = s.busy_fractions(t(4), &base, t(10));
+        assert!((fr[0] - 0.5).abs() < 1e-9, "fr={fr:?}");
+        assert_eq!(fr[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle core")]
+    fn stale_core_done_panics() {
+        let mut s = sys(1);
+        let _ = s.finish(0, t(0));
+    }
+
+    #[test]
+    fn take_next_on_empty_idles() {
+        let mut s = sys(1);
+        s.enqueue(0, WorkClass::Task, "a");
+        // Manually drain behind the dispatch's back is impossible through
+        // the public API, so emulate the tolerated None path by taking twice.
+        let _ = s.take_next(0).unwrap();
+        s.begin(0, t(0), us(1));
+        s.finish(0, t(1));
+        assert!(s.core(0).is_idle());
+    }
+}

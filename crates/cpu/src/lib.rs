@@ -1,0 +1,31 @@
+//! Host CPU model.
+//!
+//! The paper's latency results are not a pure device phenomenon: under high
+//! T-pressure, cores are busy issuing and completing T-requests, so
+//! L-tenants also wait for *CPU*. This crate models that contention at work-
+//! item granularity:
+//!
+//! * a work item is a bounded slice of core time (a syscall submission, an
+//!   ISR, a request-reap) whose payload the testbed executes when the item
+//!   starts, learning its cost from the executed action (see
+//!   [`core_model::CpuSystem`] for the dispatch protocol);
+//! * each [`core_model::CpuCore`] runs one item at a time, picking the next
+//!   by class priority (hard-IRQ > soft-IRQ > task) then FIFO — interrupts
+//!   preempt application work at item boundaries, which is why long batched
+//!   completion ISRs of T-requests delay everything else on the core;
+//! * [`topology::CpuTopology`] describes core counts and speed factors for
+//!   the two evaluation machines (SV-M, WS-M);
+//! * [`costs::HostCosts`] centralises the host-side timing constants shared
+//!   by every storage stack implementation.
+
+#![warn(missing_docs)]
+
+pub mod core_model;
+pub mod costs;
+pub mod topology;
+pub mod work;
+
+pub use core_model::{CpuCore, CpuSystem};
+pub use costs::HostCosts;
+pub use topology::CpuTopology;
+pub use work::WorkClass;

@@ -1,0 +1,82 @@
+//! CPU topologies of the evaluation machines.
+
+/// Core counts and speed factors of a host.
+#[derive(Clone, Debug)]
+pub struct CpuTopology {
+    speeds: Vec<f64>,
+}
+
+impl CpuTopology {
+    /// `n` identical speed-1.0 cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: u16) -> Self {
+        assert!(n > 0, "need at least one core");
+        CpuTopology {
+            speeds: vec![1.0; n as usize],
+        }
+    }
+
+    /// Cores with explicit per-core speed factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or any speed is non-positive.
+    pub fn with_speeds(speeds: Vec<f64>) -> Self {
+        assert!(!speeds.is_empty(), "need at least one core");
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        CpuTopology { speeds }
+    }
+
+    /// SV-M: the paper's server (64 physical EPYC cores, SMT off).
+    pub fn sv_m() -> Self {
+        CpuTopology::uniform(64)
+    }
+
+    /// WS-M: the paper's workstation — only the 8 P-cores are used to avoid
+    /// asymmetric-core interference (§7).
+    pub fn ws_m() -> Self {
+        CpuTopology::uniform(8)
+    }
+
+    /// Number of cores.
+    pub fn nr_cores(&self) -> u16 {
+        self.speeds.len() as u16
+    }
+
+    /// Per-core speed factors.
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(CpuTopology::sv_m().nr_cores(), 64);
+        assert_eq!(CpuTopology::ws_m().nr_cores(), 8);
+    }
+
+    #[test]
+    fn uniform_speeds_are_one() {
+        let t = CpuTopology::uniform(4);
+        assert!(t.speeds().iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = CpuTopology::uniform(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_speed_rejected() {
+        let _ = CpuTopology::with_speeds(vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Work classes: the priority levels of core work.
+
+/// Scheduling class of a work item, highest priority first.
+///
+/// The ordering mirrors the kernel: hardware interrupt handlers run before
+/// softirq-style completion work, which runs before application tasks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum WorkClass {
+    /// Hardware interrupt service routine.
+    HardIrq,
+    /// Deferred completion work (softirq / threaded IRQ bottom half).
+    SoftIrq,
+    /// Application / syscall work.
+    Task,
+}
+
+impl WorkClass {
+    /// All classes, highest priority first.
+    pub const ALL: [WorkClass; 3] = [WorkClass::HardIrq, WorkClass::SoftIrq, WorkClass::Task];
+
+    /// Dense index for per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            WorkClass::HardIrq => 0,
+            WorkClass::SoftIrq => 1,
+            WorkClass::Task => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_priority_order() {
+        assert!(WorkClass::HardIrq < WorkClass::SoftIrq);
+        assert!(WorkClass::SoftIrq < WorkClass::Task);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, c) in WorkClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

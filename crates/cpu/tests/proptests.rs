@@ -1,0 +1,103 @@
+//! Property-based tests of the CPU model.
+
+use dd_cpu::{CpuSystem, CpuTopology, WorkClass};
+use proptest::prelude::*;
+use simkit::{SimDuration, SimTime};
+
+/// Random op stream: (class, duration_us) pairs, executed through the full
+/// dispatch protocol on one core.
+fn drive(ops: &[(u8, u64)]) -> (Vec<(WorkClass, usize)>, SimDuration, SimTime) {
+    let mut sys: CpuSystem<usize> = CpuSystem::new(&CpuTopology::uniform(1));
+    let mut now = SimTime::ZERO;
+    let mut executed = Vec::new();
+    let mut durations = Vec::new();
+    // Enqueue everything up front (worst-case backlog).
+    for (i, &(class, us)) in ops.iter().enumerate() {
+        let class = match class % 3 {
+            0 => WorkClass::HardIrq,
+            1 => WorkClass::SoftIrq,
+            _ => WorkClass::Task,
+        };
+        durations.push(SimDuration::from_micros(us));
+        sys.enqueue(0, class, i);
+    }
+    // Drain.
+    while let Some((class, payload)) = {
+        if sys.core(0).is_idle() {
+            None
+        } else {
+            sys.take_next(0)
+        }
+    } {
+        executed.push((class, payload));
+        let fin = sys.begin(0, now, durations[payload]);
+        now = fin;
+        sys.finish(0, now);
+    }
+    (executed, sys.core(0).busy_until(now), now)
+}
+
+proptest! {
+    /// Every enqueued item executes exactly once; total busy time equals
+    /// the sum of durations; execution respects class priority with FIFO
+    /// within class.
+    #[test]
+    fn cpu_executes_all_exactly_once(
+        ops in proptest::collection::vec((0u8..3, 1u64..100), 1..60),
+    ) {
+        let (executed, busy, end) = drive(&ops);
+        prop_assert_eq!(executed.len(), ops.len());
+        // Exactly once.
+        let mut seen: Vec<usize> = executed.iter().map(|&(_, p)| p).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..ops.len()).collect::<Vec<_>>());
+        // Busy time conservation.
+        let total: u64 = ops.iter().map(|&(_, us)| us).sum();
+        prop_assert_eq!(busy, SimDuration::from_micros(total));
+        prop_assert_eq!(end, SimTime::ZERO + SimDuration::from_micros(total));
+        // With everything enqueued up front, the whole run is sorted by
+        // class, FIFO within class.
+        let mut last_class = WorkClass::HardIrq;
+        let mut last_payload_per_class = [None::<usize>; 3];
+        for &(class, payload) in &executed {
+            prop_assert!(class >= last_class, "priority inversion");
+            last_class = class;
+            let idx = class.index();
+            if let Some(prev) = last_payload_per_class[idx] {
+                prop_assert!(payload > prev, "FIFO violated within class");
+            }
+            last_payload_per_class[idx] = Some(payload);
+        }
+    }
+
+    /// Busy fractions are within [0, 1] for any window whose baseline was
+    /// snapshot at the window start (the testbed's protocol).
+    #[test]
+    fn busy_fractions_bounded(
+        ops in proptest::collection::vec((0u8..3, 1u64..100), 1..40),
+        window_start_us in 0u64..1000,
+    ) {
+        let mut sys: CpuSystem<usize> = CpuSystem::new(&CpuTopology::uniform(2));
+        let mut now = SimTime::ZERO;
+        for (i, &(class, us)) in ops.iter().enumerate() {
+            let class = match class % 3 {
+                0 => WorkClass::HardIrq,
+                1 => WorkClass::SoftIrq,
+                _ => WorkClass::Task,
+            };
+            let core = (i % 2) as u16;
+            if sys.enqueue(core, class, i) {
+                sys.take_next(core);
+                let fin = sys.begin(core, now, SimDuration::from_micros(us));
+                sys.finish(core, fin);
+                now = now.max(fin);
+            }
+        }
+        let start = SimTime::from_micros(window_start_us).min(now);
+        let baseline = sys.busy_snapshot(start);
+        let end = now + SimDuration::from_micros(1);
+        for f in sys.busy_fractions(start, &baseline, end) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&f), "fraction {f} out of range");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text table emission for the figure binaries.
+//!
+//! Every `bench` binary prints the rows/series of the paper artifact it
+//! regenerates. [`Table`] renders aligned plain text (readable in a
+//! terminal) and CSV (machine-readable for re-plotting).
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience row from displayable values.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:<width$}", c, width = widths[i]);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (header first; fields containing commas are quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 significant-ish decimals for table cells.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a duration in ms with 3 decimals (the paper's latency unit).
+pub fn fmt_ms(d: simkit::SimDuration) -> String {
+    format!("{:.3}", d.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "longcol"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a    longcol"));
+        assert!(s.contains("333  4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(&["a,b".into(), "q\"q".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1234.5), "1234");
+        assert_eq!(fmt_f(12.345), "12.35");
+        assert_eq!(fmt_f(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(fmt_ms(simkit::SimDuration::from_micros(1500)), "1.500");
+    }
+
+    #[test]
+    fn len_tracks_rows() {
+        let mut t = Table::new("demo", &["a"]);
+        assert!(t.is_empty());
+        t.row(&["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

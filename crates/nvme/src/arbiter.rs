@@ -1,0 +1,365 @@
+//! Queue arbitration: round-robin and weighted round-robin.
+//!
+//! When multiple NSQs hold published commands, the controller decides which
+//! queue to fetch from next. The NVMe default — and the mechanism this paper
+//! assumes (§2.1) — is round-robin with a configurable burst: up to `burst`
+//! commands are fetched from one queue before the arbiter advances.
+//!
+//! The spec also defines *weighted round robin with urgent priority class*
+//! (WRR), where each SQ belongs to the urgent, high, medium, or low class
+//! and the controller serves the classes by credit weights. WRR is the
+//! device feature the FlashShare/D2FQ line of work builds on; the
+//! [`WrrArbiter`] here backs the static-overprovision baseline stack
+//! (see the `overprov` crate).
+//!
+//! Arbiters hold no queue state; callers tell them which queues are
+//! currently non-empty and they pick the next one deterministically.
+
+use crate::spec::SqId;
+
+/// Round-robin arbiter over a fixed set of submission queues.
+#[derive(Clone, Debug)]
+pub struct RoundRobinArbiter {
+    nr_sqs: u16,
+    /// Next queue index to consider.
+    cursor: u16,
+    /// Commands fetched from the current queue in the current burst window.
+    burst_used: u8,
+    /// Burst limit.
+    burst: u8,
+    /// The queue the current burst belongs to.
+    burst_sq: Option<SqId>,
+}
+
+impl RoundRobinArbiter {
+    /// Creates an arbiter over `nr_sqs` queues with the given burst limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nr_sqs == 0` or `burst == 0`.
+    pub fn new(nr_sqs: u16, burst: u8) -> Self {
+        assert!(nr_sqs > 0, "arbiter needs at least one queue");
+        assert!(burst > 0, "burst must be >= 1");
+        RoundRobinArbiter {
+            nr_sqs,
+            cursor: 0,
+            burst_used: 0,
+            burst,
+            burst_sq: None,
+        }
+    }
+
+    /// Picks the next queue to fetch from.
+    ///
+    /// `has_work(sq)` must return whether the queue currently has published,
+    /// unfetched commands. Returns `None` when no queue has work.
+    pub fn next(&mut self, mut has_work: impl FnMut(SqId) -> bool) -> Option<SqId> {
+        // Continue the current burst if its queue still has work.
+        if let Some(sq) = self.burst_sq {
+            if self.burst_used < self.burst && has_work(sq) {
+                self.burst_used += 1;
+                return Some(sq);
+            }
+            self.burst_sq = None;
+            self.burst_used = 0;
+        }
+        // Scan at most one full round starting at the cursor.
+        for off in 0..self.nr_sqs {
+            let idx = (self.cursor + off) % self.nr_sqs;
+            let sq = SqId(idx);
+            if has_work(sq) {
+                self.cursor = (idx + 1) % self.nr_sqs;
+                self.burst_sq = Some(sq);
+                self.burst_used = 1;
+                return Some(sq);
+            }
+        }
+        None
+    }
+
+    /// Number of queues under arbitration.
+    pub fn nr_sqs(&self) -> u16 {
+        self.nr_sqs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_order() {
+        let mut a = RoundRobinArbiter::new(4, 1);
+        let picks: Vec<u16> = (0..8).map(|_| a.next(|_| true).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skips_empty_queues() {
+        let mut a = RoundRobinArbiter::new(4, 1);
+        let picks: Vec<u16> = (0..4)
+            .map(|_| a.next(|sq| sq.0 % 2 == 1).unwrap().0)
+            .collect();
+        assert_eq!(picks, vec![1, 3, 1, 3]);
+    }
+
+    #[test]
+    fn returns_none_when_idle() {
+        let mut a = RoundRobinArbiter::new(4, 1);
+        assert_eq!(a.next(|_| false), None);
+        // And recovers afterwards.
+        assert_eq!(a.next(|_| true), Some(SqId(0)));
+    }
+
+    #[test]
+    fn burst_fetches_consecutively() {
+        let mut a = RoundRobinArbiter::new(2, 3);
+        let picks: Vec<u16> = (0..8).map(|_| a.next(|_| true).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 0, 0, 1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn burst_ends_early_when_queue_drains() {
+        let mut a = RoundRobinArbiter::new(2, 4);
+        // Queue 0 has exactly 2 commands, then drains.
+        let mut q0_left = 2;
+        let mut picks = Vec::new();
+        for _ in 0..3 {
+            let sq = a
+                .next(|sq| if sq.0 == 0 { q0_left > 0 } else { true })
+                .unwrap();
+            if sq.0 == 0 {
+                q0_left -= 1;
+            }
+            picks.push(sq.0);
+        }
+        assert_eq!(picks, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn single_queue_always_picked() {
+        let mut a = RoundRobinArbiter::new(1, 1);
+        for _ in 0..5 {
+            assert_eq!(a.next(|_| true), Some(SqId(0)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "burst")]
+    fn zero_burst_rejected() {
+        let _ = RoundRobinArbiter::new(1, 0);
+    }
+}
+
+/// NVMe WRR priority classes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum SqPriorityClass {
+    /// Strict priority over everything else.
+    Urgent,
+    /// Weighted class, largest default weight.
+    High,
+    /// Weighted class, middle weight.
+    #[default]
+    Medium,
+    /// Weighted class, smallest weight.
+    Low,
+}
+
+/// Credit weights of the high/medium/low classes.
+#[derive(Clone, Copy, Debug)]
+pub struct WrrWeights {
+    /// Commands served from high-class queues per credit round.
+    pub high: u8,
+    /// Commands served from medium-class queues per credit round.
+    pub medium: u8,
+    /// Commands served from low-class queues per credit round.
+    pub low: u8,
+}
+
+impl Default for WrrWeights {
+    fn default() -> Self {
+        // The common 8:4:2 configuration.
+        WrrWeights {
+            high: 8,
+            medium: 4,
+            low: 2,
+        }
+    }
+}
+
+/// Weighted-round-robin arbiter with an urgent class.
+///
+/// Urgent queues are always served first (round-robin among themselves).
+/// The weighted classes consume per-class credits; when every class with
+/// pending work is out of credits, all credits refill. Within a class,
+/// queues are served round-robin.
+#[derive(Clone, Debug)]
+pub struct WrrArbiter {
+    classes: Vec<SqPriorityClass>,
+    weights: WrrWeights,
+    /// Remaining credits per weighted class.
+    credits: [i32; 3],
+    /// Round-robin cursor per weighted class plus urgent (index 3).
+    cursors: [u16; 4],
+}
+
+impl WrrArbiter {
+    /// Creates a WRR arbiter over `nr_sqs` queues, all initially medium.
+    pub fn new(nr_sqs: u16, weights: WrrWeights) -> Self {
+        assert!(nr_sqs > 0, "arbiter needs at least one queue");
+        assert!(
+            weights.high > 0 && weights.medium > 0 && weights.low > 0,
+            "WRR weights must be positive"
+        );
+        WrrArbiter {
+            classes: vec![SqPriorityClass::Medium; nr_sqs as usize],
+            weights,
+            credits: [
+                weights.high as i32,
+                weights.medium as i32,
+                weights.low as i32,
+            ],
+            cursors: [0; 4],
+        }
+    }
+
+    /// Assigns a queue's priority class (the admin `Create I/O SQ` field).
+    pub fn set_class(&mut self, sq: SqId, class: SqPriorityClass) {
+        self.classes[sq.index()] = class;
+    }
+
+    /// The class of a queue.
+    pub fn class_of(&self, sq: SqId) -> SqPriorityClass {
+        self.classes[sq.index()]
+    }
+
+    fn weight_of(&self, idx: usize) -> i32 {
+        match idx {
+            0 => self.weights.high as i32,
+            1 => self.weights.medium as i32,
+            _ => self.weights.low as i32,
+        }
+    }
+
+    /// Round-robin scan of one class starting at its cursor.
+    fn scan_class(
+        &mut self,
+        class: SqPriorityClass,
+        cursor_idx: usize,
+        has_work: &mut impl FnMut(SqId) -> bool,
+    ) -> Option<SqId> {
+        let n = self.classes.len() as u16;
+        for off in 0..n {
+            let idx = (self.cursors[cursor_idx] + off) % n;
+            let sq = SqId(idx);
+            if self.classes[idx as usize] == class && has_work(sq) {
+                self.cursors[cursor_idx] = (idx + 1) % n;
+                return Some(sq);
+            }
+        }
+        None
+    }
+
+    /// Picks the next queue to fetch from, or `None` when idle.
+    pub fn next(&mut self, mut has_work: impl FnMut(SqId) -> bool) -> Option<SqId> {
+        // Urgent first, strictly.
+        if let Some(sq) = self.scan_class(SqPriorityClass::Urgent, 3, &mut has_work) {
+            return Some(sq);
+        }
+        // Weighted classes: serve the highest class that has both credits
+        // and work; refill when every class with work is out of credits.
+        for _refill in 0..2 {
+            for (idx, class) in [
+                (0usize, SqPriorityClass::High),
+                (1, SqPriorityClass::Medium),
+                (2, SqPriorityClass::Low),
+            ] {
+                if self.credits[idx] <= 0 {
+                    continue;
+                }
+                if let Some(sq) = self.scan_class(class, idx, &mut has_work) {
+                    self.credits[idx] -= 1;
+                    return Some(sq);
+                }
+            }
+            // Nothing served: either no work at all, or the classes with
+            // work are out of credits. Refill and retry once.
+            let any_work = (0..self.classes.len() as u16).any(|i| has_work(SqId(i)));
+            if !any_work {
+                return None;
+            }
+            for idx in 0..3 {
+                self.credits[idx] = self.weight_of(idx);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod wrr_tests {
+    use super::*;
+
+    #[test]
+    fn urgent_preempts_everything() {
+        let mut a = WrrArbiter::new(4, WrrWeights::default());
+        a.set_class(SqId(0), SqPriorityClass::Urgent);
+        a.set_class(SqId(1), SqPriorityClass::Low);
+        for _ in 0..10 {
+            assert_eq!(a.next(|_| true), Some(SqId(0)));
+        }
+    }
+
+    #[test]
+    fn weights_shape_service_ratio() {
+        let mut a = WrrArbiter::new(
+            2,
+            WrrWeights {
+                high: 8,
+                medium: 4,
+                low: 2,
+            },
+        );
+        a.set_class(SqId(0), SqPriorityClass::High);
+        a.set_class(SqId(1), SqPriorityClass::Low);
+        let mut high = 0;
+        let mut low = 0;
+        for _ in 0..100 {
+            match a.next(|_| true) {
+                Some(SqId(0)) => high += 1,
+                Some(SqId(1)) => low += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let ratio = high as f64 / low as f64;
+        assert!((ratio - 4.0).abs() < 0.5, "high:low = {high}:{low}");
+    }
+
+    #[test]
+    fn class_round_robin_within_class() {
+        let mut a = WrrArbiter::new(4, WrrWeights::default());
+        for q in 0..4 {
+            a.set_class(SqId(q), SqPriorityClass::High);
+        }
+        let picks: Vec<u16> = (0..8).map(|_| a.next(|_| true).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn idle_returns_none_and_recovers() {
+        let mut a = WrrArbiter::new(2, WrrWeights::default());
+        assert_eq!(a.next(|_| false), None);
+        assert!(a.next(|_| true).is_some());
+    }
+
+    #[test]
+    fn lower_class_served_when_higher_idle() {
+        let mut a = WrrArbiter::new(2, WrrWeights::default());
+        a.set_class(SqId(0), SqPriorityClass::High);
+        a.set_class(SqId(1), SqPriorityClass::Low);
+        // Only the low queue has work.
+        for _ in 0..5 {
+            assert_eq!(a.next(|sq| sq.0 == 1), Some(SqId(1)));
+        }
+    }
+}

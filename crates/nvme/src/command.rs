@@ -1,0 +1,128 @@
+//! NVMe command and completion entry structures.
+
+use simkit::SimTime;
+
+use crate::spec::{CommandId, NamespaceId, SqId, BLOCK_BYTES};
+
+/// I/O opcode subset the model supports.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IoOpcode {
+    /// Read `nlb` blocks starting at `slba`.
+    Read,
+    /// Write `nlb` blocks starting at `slba`.
+    Write,
+    /// Flush the namespace's volatile write cache (no data transfer).
+    Flush,
+}
+
+/// Opaque host cookie carried through the device untouched.
+///
+/// The storage stack uses it to find its request when the completion entry
+/// comes back: `rq_id` names the block-layer request and `submit_core` the
+/// CPU core that issued it (used for the cross-core completion accounting of
+/// Fig. 13).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct HostTag {
+    /// Block-layer request id.
+    pub rq_id: u64,
+    /// Core that pushed the command into the NSQ.
+    pub submit_core: u16,
+}
+
+/// A submission queue entry.
+#[derive(Clone, Copy, Debug)]
+pub struct NvmeCommand {
+    /// Host-assigned command id, unique among outstanding commands.
+    pub cid: CommandId,
+    /// Target namespace.
+    pub nsid: NamespaceId,
+    /// Operation.
+    pub opcode: IoOpcode,
+    /// Starting logical block (namespace-relative).
+    pub slba: u64,
+    /// Number of logical blocks (0 for flush).
+    pub nlb: u32,
+    /// Host cookie.
+    pub host: HostTag,
+}
+
+impl NvmeCommand {
+    /// Transfer size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.nlb as u64 * BLOCK_BYTES
+    }
+
+    /// Number of flash pages touched (1 page = 1 block in this model).
+    pub fn pages(&self) -> u32 {
+        self.nlb
+    }
+
+    /// True when the command carries no data (flush).
+    pub fn is_dataless(&self) -> bool {
+        matches!(self.opcode, IoOpcode::Flush)
+    }
+}
+
+/// Status of a completed command.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CqStatus {
+    /// Successful completion.
+    Success,
+    /// LBA out of the namespace's range.
+    LbaOutOfRange,
+    /// Invalid field (e.g. unknown namespace).
+    InvalidField,
+}
+
+/// A completion queue entry.
+#[derive(Clone, Copy, Debug)]
+pub struct CqEntry {
+    /// The completed command.
+    pub cid: CommandId,
+    /// The submission queue the command arrived on.
+    pub sq_id: SqId,
+    /// Completion status.
+    pub status: CqStatus,
+    /// Host cookie from the command.
+    pub host: HostTag,
+    /// Transfer size of the completed command in bytes (0 for flush); lets
+    /// the host ISR charge size-proportional completion work without a
+    /// lookup.
+    pub bytes: u64,
+    /// When the controller fetched the command from the NSQ — everything
+    /// before this is in-queue wait, the multi-tenancy issue's home.
+    pub fetched_at: SimTime,
+    /// When the command's flash (or flush) service finished.
+    pub service_done_at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(opcode: IoOpcode, nlb: u32) -> NvmeCommand {
+        NvmeCommand {
+            cid: CommandId(1),
+            nsid: NamespaceId(1),
+            opcode,
+            slba: 0,
+            nlb,
+            host: HostTag::default(),
+        }
+    }
+
+    #[test]
+    fn sizes() {
+        let c = cmd(IoOpcode::Read, 32);
+        assert_eq!(c.bytes(), 131072);
+        assert_eq!(c.pages(), 32);
+        assert!(!c.is_dataless());
+    }
+
+    #[test]
+    fn flush_is_dataless() {
+        let c = cmd(IoOpcode::Flush, 0);
+        assert!(c.is_dataless());
+        assert_eq!(c.bytes(), 0);
+    }
+}

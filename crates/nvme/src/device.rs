@@ -1,0 +1,312 @@
+//! The NVMe device facade.
+//!
+//! [`NvmeDevice`] owns the queues, arbiter, flash backend, namespace table,
+//! and IRQ vectors, and exposes the host-facing API a storage stack uses:
+//!
+//! * [`NvmeDevice::push_command`] — write an SQ entry (not yet visible);
+//! * [`NvmeDevice::ring_doorbell`] — publish entries, possibly waking the
+//!   controller's fetch engine;
+//! * [`NvmeDevice::handle_event`] — advance internal state at an event the
+//!   device previously scheduled;
+//! * [`NvmeDevice::isr_pop`] / [`NvmeDevice::isr_done`] — the host interrupt
+//!   service routine draining a CQ and acknowledging the vector.
+//!
+//! The device never calls into the host. Every externally visible effect is
+//! returned through [`DeviceOutput`]: future device events for the host's
+//! event loop, and interrupts to deliver to cores. This keeps the device a
+//! pure state machine that the unit tests can single-step.
+
+use simkit::SimTime;
+
+use crate::arbiter::{RoundRobinArbiter, SqPriorityClass, WrrArbiter};
+use crate::command::{CqEntry, NvmeCommand};
+use crate::config::{Arbitration, NvmeConfig};
+use crate::flash::FlashBackend;
+use crate::irq::IrqVector;
+use crate::namespace::NamespaceTable;
+use crate::queue::CqStats;
+use crate::queue::{CompletionQueue, QueueFull, SqStats, SubmissionQueue};
+use crate::spec::{CqId, SqId};
+
+/// An internal device event, scheduled by the device into the host's event
+/// loop and handed back via [`NvmeDevice::handle_event`].
+#[derive(Clone, Copy, Debug)]
+pub enum NvmeEvent {
+    /// The fetch engine finished fetching + decomposing a command.
+    FetchDone {
+        /// The command that was fetched.
+        cmd: NvmeCommand,
+        /// The SQ it came from.
+        sq: SqId,
+    },
+    /// A command's flash (or flush) service completed.
+    CmdDone {
+        /// The completed command.
+        cmd: NvmeCommand,
+        /// The SQ it came from.
+        sq: SqId,
+        /// When the fetch engine picked the command up (phase breakdown).
+        fetched_at: SimTime,
+    },
+    /// The interrupt-coalescing aggregation timer of a CQ expired.
+    CoalesceTimeout {
+        /// The CQ whose timer fired.
+        cq: CqId,
+    },
+}
+
+/// An interrupt the host must deliver to a core.
+#[derive(Clone, Copy, Debug)]
+pub struct IrqRaise {
+    /// The CQ whose vector fired.
+    pub cq: CqId,
+    /// Core the vector is bound to.
+    pub core: u16,
+    /// Delivery time (assertion + propagation delay).
+    pub at: SimTime,
+}
+
+/// Collected externally visible effects of a device call.
+#[derive(Debug, Default)]
+pub struct DeviceOutput {
+    /// Device events to schedule into the host event loop.
+    pub events: Vec<(SimTime, NvmeEvent)>,
+    /// Interrupts to deliver.
+    pub irqs: Vec<IrqRaise>,
+}
+
+impl DeviceOutput {
+    /// Creates an empty output buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the buffer (callers reuse one allocation).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.irqs.clear();
+    }
+
+    /// True when no effects are pending.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.irqs.is_empty()
+    }
+}
+
+/// Device-wide counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceStats {
+    /// Commands fetched by the controller.
+    pub fetched: u64,
+    /// Commands completed (CQE posted).
+    pub completed: u64,
+    /// Data bytes moved by completed commands.
+    pub bytes: u64,
+}
+
+/// Either arbitration mechanism, behind one `next` call.
+pub(crate) enum Arbiter {
+    RoundRobin(RoundRobinArbiter),
+    Wrr(WrrArbiter),
+}
+
+impl Arbiter {
+    pub(crate) fn next(&mut self, has_work: impl FnMut(SqId) -> bool) -> Option<SqId> {
+        match self {
+            Arbiter::RoundRobin(a) => a.next(has_work),
+            Arbiter::Wrr(a) => a.next(has_work),
+        }
+    }
+}
+
+/// The emulated NVMe SSD.
+pub struct NvmeDevice {
+    pub(crate) config: NvmeConfig,
+    pub(crate) sqs: Vec<SubmissionQueue>,
+    pub(crate) cqs: Vec<CompletionQueue>,
+    pub(crate) vectors: Vec<IrqVector>,
+    pub(crate) arbiter: Arbiter,
+    pub(crate) flash: FlashBackend,
+    pub(crate) namespaces: NamespaceTable,
+    /// True while a fetch is in progress (one FetchDone outstanding).
+    pub(crate) fetch_busy: bool,
+    /// Pages of fetched-but-unfinished commands (internal flow control).
+    pub(crate) inflight_pages: u64,
+    /// Per-CQ coalescing state: (enabled, aggregation timer armed).
+    pub(crate) coalesce: Vec<(bool, bool)>,
+    pub(crate) stats: DeviceStats,
+}
+
+impl NvmeDevice {
+    /// Builds a device from a validated configuration.
+    ///
+    /// IRQ vectors are bound round-robin over `host_cores`, matching the
+    /// kernel's default spread of NVMe completion vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NvmeConfig::validate`] or
+    /// `host_cores == 0`.
+    pub fn new(config: NvmeConfig, host_cores: u16) -> Self {
+        config.validate().expect("invalid NVMe config");
+        assert!(host_cores > 0, "need at least one host core");
+        let sqs = (0..config.nr_sqs)
+            .map(|i| SubmissionQueue::new(SqId(i), CqId(config.cq_of_sq(i)), config.sq_depth))
+            .collect();
+        // CQ depth: large enough for all bound SQs' outstanding commands.
+        let fan_in = config.nr_sqs.div_ceil(config.nr_cqs);
+        let cq_depth = config.sq_depth.saturating_mul(fan_in.max(1));
+        let cqs = (0..config.nr_cqs)
+            .map(|i| CompletionQueue::new(CqId(i), cq_depth))
+            .collect();
+        let vectors = (0..config.nr_cqs)
+            .map(|i| IrqVector::new(CqId(i), i % host_cores))
+            .collect();
+        let arbiter = match config.arbitration {
+            Arbitration::RoundRobin => Arbiter::RoundRobin(RoundRobinArbiter::new(
+                config.nr_sqs,
+                config.arbitration_burst,
+            )),
+            Arbitration::Wrr(w) => Arbiter::Wrr(WrrArbiter::new(config.nr_sqs, w)),
+        };
+        NvmeDevice {
+            arbiter,
+            flash: FlashBackend::new(config.flash),
+            namespaces: NamespaceTable::new(&config.namespace_blocks),
+            sqs,
+            cqs,
+            vectors,
+            fetch_busy: false,
+            inflight_pages: 0,
+            coalesce: vec![(true, false); config.nr_cqs as usize],
+            stats: DeviceStats::default(),
+            config,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &NvmeConfig {
+        &self.config
+    }
+
+    /// Number of submission queues.
+    pub fn nr_sqs(&self) -> u16 {
+        self.config.nr_sqs
+    }
+
+    /// Number of completion queues.
+    pub fn nr_cqs(&self) -> u16 {
+        self.config.nr_cqs
+    }
+
+    /// The CQ bound to an SQ.
+    pub fn cq_of_sq(&self, sq: SqId) -> CqId {
+        self.sqs[sq.index()].cq()
+    }
+
+    /// The core a CQ's vector is bound to.
+    pub fn irq_core(&self, cq: CqId) -> u16 {
+        self.vectors[cq.index()].core
+    }
+
+    /// Rebinds a CQ's vector to another core.
+    pub fn set_irq_core(&mut self, cq: CqId, core: u16) {
+        self.vectors[cq.index()].core = core;
+    }
+
+    /// Enables/disables interrupt coalescing for one CQ (hosts disable it
+    /// on latency-critical vectors; NVMe exposes this per-vector).
+    pub fn set_cq_coalescing(&mut self, cq: CqId, enabled: bool) {
+        self.coalesce[cq.index()].0 = enabled;
+    }
+
+    /// Sets an SQ's WRR priority class (the admin `Create I/O SQ` QPRIO
+    /// field). No effect — and a host bug — under round-robin arbitration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device is configured for round-robin arbitration.
+    pub fn set_sq_priority(&mut self, sq: SqId, class: SqPriorityClass) {
+        match &mut self.arbiter {
+            Arbiter::Wrr(a) => a.set_class(sq, class),
+            Arbiter::RoundRobin(_) => {
+                panic!("set_sq_priority requires WRR arbitration")
+            }
+        }
+    }
+
+    /// True when the SQ can accept another entry.
+    pub fn sq_has_room(&self, sq: SqId) -> bool {
+        self.sqs[sq.index()].has_room()
+    }
+
+    /// Host-visible SQ statistics (used by Daredevil's nproxies).
+    pub fn sq_stats(&self, sq: SqId) -> SqStats {
+        self.sqs[sq.index()].stats()
+    }
+
+    /// Host-visible CQ statistics (inputs to the NCQ merit, Algorithm 2).
+    pub fn cq_stats(&self, cq: CqId) -> CqStats {
+        self.cqs[cq.index()].stats()
+    }
+
+    /// CQ depth (denominator of the incoming-intensity ratio).
+    pub fn cq_depth(&self, cq: CqId) -> u16 {
+        self.cqs[cq.index()].depth()
+    }
+
+    /// Pending (posted, unpopped) CQEs on a CQ.
+    pub fn cq_pending(&self, cq: CqId) -> usize {
+        self.cqs[cq.index()].pending()
+    }
+
+    /// Device-wide counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// The flash backend (read-only, for congestion introspection in tests
+    /// and benches).
+    pub fn flash(&self) -> &FlashBackend {
+        &self.flash
+    }
+
+    /// Writes an SQ entry. The entry stays invisible to the controller until
+    /// [`NvmeDevice::ring_doorbell`].
+    pub fn push_command(&mut self, sq: SqId, cmd: NvmeCommand) -> Result<(), QueueFull> {
+        self.sqs[sq.index()].push(cmd)
+    }
+
+    /// Publishes all entries of `sq` and wakes the fetch engine if idle.
+    pub fn ring_doorbell(&mut self, sq: SqId, now: SimTime, out: &mut DeviceOutput) {
+        self.sqs[sq.index()].ring_doorbell();
+        self.maybe_start_fetch(now, out);
+    }
+
+    /// Advances the device at one of its own scheduled events.
+    pub fn handle_event(&mut self, ev: NvmeEvent, now: SimTime, out: &mut DeviceOutput) {
+        match ev {
+            NvmeEvent::FetchDone { cmd, sq } => self.on_fetch_done(cmd, sq, now, out),
+            NvmeEvent::CmdDone {
+                cmd,
+                sq,
+                fetched_at,
+            } => self.on_cmd_done(cmd, sq, fetched_at, now, out),
+            NvmeEvent::CoalesceTimeout { cq } => self.on_coalesce_timeout(cq, now, out),
+        }
+    }
+
+    /// Host ISR pops up to `max` completion entries from a CQ.
+    pub fn isr_pop(&mut self, cq: CqId, max: usize) -> Vec<CqEntry> {
+        self.cqs[cq.index()].pop(max)
+    }
+
+    /// Host ISR finished for `cq`. Re-raises the vector (subject to
+    /// coalescing) if CQEs arrived during the ISR.
+    pub fn isr_done(&mut self, cq: CqId, now: SimTime, out: &mut DeviceOutput) {
+        self.vectors[cq.index()].complete(false);
+        if self.cqs[cq.index()].pending() > 0 {
+            self.maybe_raise(cq, now, out);
+        }
+    }
+}

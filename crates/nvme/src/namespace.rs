@@ -1,0 +1,133 @@
+//! Namespace table: logical partitions over one physical LBA space.
+//!
+//! NVMe namespaces give the OS per-partition block devices, but — crucially
+//! for this paper — they *share the controller's single set of NQs and the
+//! flash backend*. The table maps namespace-relative LBAs onto disjoint
+//! device-LBA ranges so that multi-namespace scenarios contend on exactly
+//! the shared resources the real device would.
+
+use crate::spec::NamespaceId;
+
+/// One namespace's placement in the device LBA space.
+#[derive(Clone, Copy, Debug)]
+pub struct NamespaceInfo {
+    /// Namespace id (1-based).
+    pub nsid: NamespaceId,
+    /// First device LBA of this namespace.
+    pub base: u64,
+    /// Capacity in blocks.
+    pub blocks: u64,
+}
+
+/// The device's namespace table.
+#[derive(Clone, Debug)]
+pub struct NamespaceTable {
+    namespaces: Vec<NamespaceInfo>,
+}
+
+/// Error translating a namespace-relative access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NsError {
+    /// The namespace id does not exist.
+    UnknownNamespace,
+    /// The access exceeds the namespace capacity.
+    OutOfRange,
+}
+
+impl NamespaceTable {
+    /// Builds a table of contiguous namespaces with the given capacities.
+    pub fn new(blocks_per_ns: &[u64]) -> Self {
+        let mut namespaces = Vec::with_capacity(blocks_per_ns.len());
+        let mut base = 0u64;
+        for (i, &blocks) in blocks_per_ns.iter().enumerate() {
+            namespaces.push(NamespaceInfo {
+                nsid: NamespaceId(i as u32 + 1),
+                base,
+                blocks,
+            });
+            base += blocks;
+        }
+        NamespaceTable { namespaces }
+    }
+
+    /// Number of namespaces.
+    pub fn len(&self) -> usize {
+        self.namespaces.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.namespaces.is_empty()
+    }
+
+    /// Looks up a namespace.
+    pub fn get(&self, nsid: NamespaceId) -> Option<&NamespaceInfo> {
+        let idx = nsid.0.checked_sub(1)? as usize;
+        self.namespaces.get(idx)
+    }
+
+    /// Translates a namespace-relative extent to a device LBA, validating
+    /// the range.
+    pub fn translate(&self, nsid: NamespaceId, slba: u64, nlb: u32) -> Result<u64, NsError> {
+        let ns = self.get(nsid).ok_or(NsError::UnknownNamespace)?;
+        let end = slba.checked_add(nlb as u64).ok_or(NsError::OutOfRange)?;
+        if end > ns.blocks {
+            return Err(NsError::OutOfRange);
+        }
+        Ok(ns.base + slba)
+    }
+
+    /// Iterates all namespaces.
+    pub fn iter(&self) -> impl Iterator<Item = &NamespaceInfo> {
+        self.namespaces.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_layout() {
+        let t = NamespaceTable::new(&[100, 200, 300]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(NamespaceId(1)).unwrap().base, 0);
+        assert_eq!(t.get(NamespaceId(2)).unwrap().base, 100);
+        assert_eq!(t.get(NamespaceId(3)).unwrap().base, 300);
+    }
+
+    #[test]
+    fn translate_offsets() {
+        let t = NamespaceTable::new(&[100, 200]);
+        assert_eq!(t.translate(NamespaceId(2), 10, 5), Ok(110));
+        assert_eq!(t.translate(NamespaceId(1), 0, 100), Ok(0));
+    }
+
+    #[test]
+    fn rejects_unknown_and_out_of_range() {
+        let t = NamespaceTable::new(&[100]);
+        assert_eq!(
+            t.translate(NamespaceId(2), 0, 1),
+            Err(NsError::UnknownNamespace)
+        );
+        assert_eq!(t.translate(NamespaceId(1), 99, 2), Err(NsError::OutOfRange));
+        assert_eq!(
+            t.translate(NamespaceId(1), u64::MAX, 1),
+            Err(NsError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn nsid_zero_is_invalid() {
+        let t = NamespaceTable::new(&[100]);
+        assert!(t.get(NamespaceId(0)).is_none());
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let t = NamespaceTable::new(&[64, 64, 64]);
+        let a_end = t.get(NamespaceId(1)).unwrap().base + 64;
+        let b = t.get(NamespaceId(2)).unwrap().base;
+        assert_eq!(a_end, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! Identifiers and constants from the NVMe specification subset we model.
+
+use std::fmt;
+
+/// Logical block size in bytes. The model uses 4 KiB blocks, matching the
+/// formatted LBA size of the paper's enterprise SSDs and the flash page size.
+pub const BLOCK_BYTES: u64 = 4096;
+
+/// Maximum number of I/O queues the spec allows per controller (64 K);
+/// the devices we emulate expose far fewer (SV-M: 64, WS-M: 128).
+pub const SPEC_MAX_QUEUES: u16 = u16::MAX;
+
+/// Maximum namespaces supported by our emulated controllers (the paper's
+/// PM1735 supports 32; the datacenter NVMe spec allows 128).
+pub const MAX_NAMESPACES: u32 = 128;
+
+/// Identifier of an NVMe submission queue (NSQ). Queue 0 is an I/O queue in
+/// this model; the admin queue is not modelled.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SqId(pub u16);
+
+/// Identifier of an NVMe completion queue (NCQ).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CqId(pub u16);
+
+/// Identifier of a namespace (1-based, per the NVMe spec).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NamespaceId(pub u32);
+
+/// A host-assigned command identifier, unique among outstanding commands.
+///
+/// Real NVMe CIDs are 16-bit and per-queue; the model uses a global 64-bit
+/// counter, which is simpler and can never collide.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CommandId(pub u64);
+
+impl SqId {
+    /// Index into dense per-SQ arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CqId {
+    /// Index into dense per-CQ arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NamespaceId {
+    /// Index into dense per-namespace arrays (nsid is 1-based).
+    pub fn index(self) -> usize {
+        debug_assert!(self.0 >= 1, "namespace ids are 1-based");
+        (self.0 - 1) as usize
+    }
+}
+
+impl fmt::Display for SqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nsq{}", self.0)
+    }
+}
+
+impl fmt::Display for CqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ncq{}", self.0)
+    }
+}
+
+impl fmt::Display for NamespaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ns{}", self.0)
+    }
+}
+
+/// Converts a byte count to a block count, rounding up.
+pub fn bytes_to_blocks(bytes: u64) -> u32 {
+    bytes.div_ceil(BLOCK_BYTES) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(SqId(3).to_string(), "nsq3");
+        assert_eq!(CqId(1).to_string(), "ncq1");
+        assert_eq!(NamespaceId(2).to_string(), "ns2");
+    }
+
+    #[test]
+    fn namespace_index_is_zero_based() {
+        assert_eq!(NamespaceId(1).index(), 0);
+        assert_eq!(NamespaceId(5).index(), 4);
+    }
+
+    #[test]
+    fn block_rounding() {
+        assert_eq!(bytes_to_blocks(1), 1);
+        assert_eq!(bytes_to_blocks(4096), 1);
+        assert_eq!(bytes_to_blocks(4097), 2);
+        assert_eq!(bytes_to_blocks(131072), 32);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the NVMe device model.
+
+use proptest::prelude::*;
+
+use dd_nvme::command::{HostTag, IoOpcode};
+use dd_nvme::flash::{FlashBackend, FlashConfig};
+use dd_nvme::namespace::NamespaceTable;
+use dd_nvme::queue::SubmissionQueue;
+use dd_nvme::spec::{CommandId, CqId, NamespaceId, SqId};
+use dd_nvme::{DeviceOutput, NvmeCommand, NvmeConfig, NvmeDevice};
+use simkit::{EventQueue, SimTime};
+
+fn cmd(cid: u64, nlb: u32, slba: u64) -> NvmeCommand {
+    NvmeCommand {
+        cid: CommandId(cid),
+        nsid: NamespaceId(1),
+        opcode: IoOpcode::Read,
+        slba,
+        nlb,
+        host: HostTag {
+            rq_id: cid,
+            submit_core: 0,
+        },
+    }
+}
+
+proptest! {
+    /// A submission queue never loses, duplicates, or reorders commands
+    /// under arbitrary interleavings of push / doorbell / fetch.
+    #[test]
+    fn sq_is_fifo_exactly_once(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        let mut sq = SubmissionQueue::new(SqId(0), CqId(0), 64);
+        let mut next_push = 0u64;
+        let mut expect_fetch = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    if sq.push(cmd(next_push, 1, next_push)).is_ok() {
+                        next_push += 1;
+                    }
+                }
+                1 => {
+                    sq.ring_doorbell();
+                }
+                _ => {
+                    if let Some(c) = sq.fetch() {
+                        prop_assert_eq!(c.cid, CommandId(expect_fetch));
+                        expect_fetch += 1;
+                    }
+                }
+            }
+            prop_assert!(expect_fetch <= next_push);
+            prop_assert!(sq.visible_len() + sq.unpublished_len() <= 64);
+        }
+    }
+
+    /// Namespace translation maps every valid access into the namespace's
+    /// own disjoint device range and rejects everything else.
+    #[test]
+    fn namespace_translation_stays_in_bounds(
+        sizes in proptest::collection::vec(1u64..10_000, 1..8),
+        ns_pick in 0usize..8,
+        slba in 0u64..20_000,
+        nlb in 1u32..64,
+    ) {
+        let table = NamespaceTable::new(&sizes);
+        let idx = ns_pick % sizes.len();
+        let nsid = NamespaceId(idx as u32 + 1);
+        let base: u64 = sizes[..idx].iter().sum();
+        match table.translate(nsid, slba, nlb) {
+            Ok(dev_lba) => {
+                prop_assert!(slba + nlb as u64 <= sizes[idx]);
+                prop_assert!(dev_lba >= base);
+                prop_assert!(dev_lba + nlb as u64 <= base + sizes[idx]);
+            }
+            Err(_) => {
+                prop_assert!(slba + nlb as u64 > sizes[idx]);
+            }
+        }
+    }
+
+    /// Flash dispatch completion times are never earlier than dispatch and
+    /// respect per-die FIFO monotonicity.
+    #[test]
+    fn flash_completions_causal(
+        lbas in proptest::collection::vec(0u64..10_000, 1..100),
+    ) {
+        let mut f = FlashBackend::new(FlashConfig::consumer());
+        let mut last_done_per_lba_class = std::collections::HashMap::new();
+        for (i, &lba) in lbas.iter().enumerate() {
+            let now = SimTime::from_micros(i as u64); // Non-decreasing dispatch.
+            let done = f.dispatch_page(now, lba, IoOpcode::Read);
+            prop_assert!(done > now);
+            // Same (channel, die) ops complete in dispatch order.
+            let class = (lba % 8, (lba / 8) % 4);
+            if let Some(prev) = last_done_per_lba_class.insert(class, done) {
+                prop_assert!(done >= prev);
+            }
+        }
+        prop_assert_eq!(f.pages_serviced(), lbas.len() as u64);
+    }
+
+    /// End-to-end: any batch of valid commands pushed over any queues
+    /// completes exactly once, regardless of sizes and placement.
+    #[test]
+    fn device_completes_everything_exactly_once(
+        specs in proptest::collection::vec((0u16..4, 1u32..40, 0u64..100_000), 1..40),
+    ) {
+        let mut cfg = NvmeConfig::sv_m();
+        cfg.nr_sqs = 4;
+        cfg.nr_cqs = 2;
+        cfg.sq_depth = 64;
+        let mut dev = NvmeDevice::new(cfg, 2);
+        let mut out = DeviceOutput::new();
+        let mut pushed = 0u64;
+        for (i, &(sq, nlb, slba)) in specs.iter().enumerate() {
+            if dev.push_command(SqId(sq), cmd(i as u64, nlb, slba)).is_ok() {
+                pushed += 1;
+            }
+        }
+        for q in 0..4 {
+            dev.ring_doorbell(SqId(q), SimTime::ZERO, &mut out);
+        }
+        // Drain the event stream.
+        let mut queue = EventQueue::new();
+        loop {
+            for (at, ev) in out.events.drain(..) {
+                queue.push(at, ev);
+            }
+            out.irqs.clear();
+            let Some((at, ev)) = queue.pop() else { break };
+            dev.handle_event(ev, at, &mut out);
+        }
+        prop_assert_eq!(dev.stats().completed, pushed);
+        // Every CQE is retrievable exactly once.
+        let total: usize = (0..2).map(|c| dev.isr_pop(CqId(c), usize::MAX).len()).sum();
+        prop_assert_eq!(total as u64, pushed);
+        let again: usize = (0..2).map(|c| dev.isr_pop(CqId(c), usize::MAX).len()).sum();
+        prop_assert_eq!(again, 0);
+    }
+}

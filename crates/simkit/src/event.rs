@@ -1,0 +1,185 @@
+//! Deterministic event queue.
+//!
+//! [`EventQueue`] is a min-priority queue of `(SimTime, E)` pairs. Events
+//! that share a firing time are delivered in insertion order: every push is
+//! stamped with a monotonically increasing sequence number that acts as the
+//! tie-breaker. This makes simulation runs reproducible regardless of how the
+//! underlying binary heap happens to break ties.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event: fires at `at`, ties broken by `seq` (insertion order).
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the `BinaryHeap` max-heap acts as a min-heap on
+        // (time, sequence).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of timed events.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// q.push(SimTime::from_nanos(10), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    pushed_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pushed_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            pushed_total: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed_total += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed (for run statistics).
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed_total
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for t in [5u64, 3, 9, 1, 7] {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn fifo_within_same_time() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(42);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn counts_pushes() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        q.pop();
+        assert_eq!(q.pushed_total(), 2);
+        q.clear();
+        assert_eq!(q.pushed_total(), 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Exponential smoothing, as used by Daredevil's merit calculation.
+//!
+//! Algorithm 2 of the paper updates each NQ's merit as
+//! `merit = α × merit_k + (1 − α) × merit_{k−1}` with `α ∈ (0.5, 1)`, which
+//! emphasises the recent observation while retaining history and damping
+//! bursts. [`Ewma`] is that recurrence.
+
+/// An exponentially smoothed scalar.
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    observations: u64,
+}
+
+impl Ewma {
+    /// Creates a smoother with decay ratio `alpha`.
+    ///
+    /// The paper constrains `alpha` to `(0.5, 1)` for NQ merits; this type
+    /// accepts the full `(0, 1]` range so it can serve other metrics too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma {
+            alpha,
+            value: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// Feeds one observation and returns the smoothed value.
+    ///
+    /// The first observation initialises the smoother directly, avoiding the
+    /// cold-start bias of smoothing against an arbitrary zero.
+    pub fn observe(&mut self, sample: f64) -> f64 {
+        if self.observations == 0 {
+            self.value = sample;
+        } else {
+            self.value = self.alpha * sample + (1.0 - self.alpha) * self.value;
+        }
+        self.observations += 1;
+        self.value
+    }
+
+    /// Current smoothed value (0.0 before any observation).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Number of observations fed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The decay ratio.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Resets to the pre-observation state.
+    pub fn reset(&mut self) {
+        self.value = 0.0;
+        self.observations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn first_observation_initialises() {
+        let mut e = Ewma::new(0.8);
+        assert_eq!(e.observe(10.0), 10.0);
+    }
+
+    #[test]
+    fn matches_paper_recurrence() {
+        let mut e = Ewma::new(0.8);
+        e.observe(10.0);
+        // merit = 0.8 * 20 + 0.2 * 10 = 18
+        assert!((e.observe(20.0) - 18.0).abs() < 1e-12);
+        // merit = 0.8 * 0 + 0.2 * 18 = 3.6
+        assert!((e.observe(0.0) - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.6);
+        for _ in 0..100 {
+            e.observe(42.0);
+        }
+        assert!((e.value() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn damps_bursts_relative_to_raw() {
+        let mut e = Ewma::new(0.8);
+        for _ in 0..10 {
+            e.observe(1.0);
+        }
+        let after_spike = e.observe(100.0);
+        assert!(after_spike < 100.0 && after_spike > 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = Ewma::new(0.8);
+        e.observe(5.0);
+        e.reset();
+        assert_eq!(e.value(), 0.0);
+        assert_eq!(e.observations(), 0);
+        assert_eq!(e.observe(7.0), 7.0);
+    }
+}

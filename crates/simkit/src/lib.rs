@@ -1,0 +1,27 @@
+//! Deterministic discrete-event simulation kit.
+//!
+//! `simkit` provides the substrate every other crate in this workspace is
+//! built on: a nanosecond-resolution virtual clock ([`SimTime`]), a
+//! deterministic event queue ([`EventQueue`]), a seedable PRNG with the
+//! distributions the workloads need ([`rng::SimRng`]), the exponential
+//! smoothing used by Daredevil's NQ scheduler ([`ewma::Ewma`]), and a
+//! re-sortable keyed min-heap ([`keyed_heap::KeyedMinHeap`]) that backs the
+//! merit heaps of Algorithm 2 in the paper.
+//!
+//! Everything here is `std`-only and fully deterministic: replaying a
+//! simulation with the same seed produces bit-identical results.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod ewma;
+pub mod keyed_heap;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use ewma::Ewma;
+pub use keyed_heap::KeyedMinHeap;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,287 @@
+//! Seedable PRNG and the distributions used by the workload generators.
+//!
+//! The generator is xoshiro256\*\* (Blackman & Vigna), seeded through
+//! SplitMix64 so that any `u64` seed — including zero — yields a healthy
+//! state. Implementing the generator in-repo (rather than pulling `rand`)
+//! keeps simulation replays bit-stable across toolchain and dependency
+//! upgrades, which the experiment harness relies on.
+
+use crate::time::SimDuration;
+
+/// Deterministic pseudo-random number generator (xoshiro256\*\*).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step used for seeding.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use simkit::SimRng;
+    /// let mut a = SimRng::new(7);
+    /// let mut b = SimRng::new(7);
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// ```
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent child generator (for per-tenant streams).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64())
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "gen_range bound must be > 0");
+        // Lemire's unbiased multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.gen_range(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    ///
+    /// Used for open-loop arrival processes and think times.
+    pub fn gen_exp(&mut self, mean: SimDuration) -> SimDuration {
+        let u = 1.0 - self.gen_f64(); // in (0, 1]
+        SimDuration::from_nanos((-(u.ln()) * mean.as_nanos() as f64).round() as u64)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.gen_range(xs.len() as u64) as usize]
+    }
+}
+
+/// Zipfian distribution over `[0, n)` with skew `theta`.
+///
+/// This is the YCSB-style generator (Gray et al.'s rejection-free inverse
+/// method), matching the key-popularity skew used by the paper's YCSB runs.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Creates a Zipfian generator over `[0, n)` with the canonical YCSB
+    /// skew `theta = 0.99`.
+    pub fn ycsb(n: u64) -> Self {
+        Zipfian::new(n, 0.99)
+    }
+
+    /// Creates a Zipfian generator over `[0, n)` with skew `theta ∈ (0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian domain must be non-empty");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation; domains used in the harness are ≤ a few million
+        // and construction happens once per workload.
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Number of items in the domain.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws the next item (0 is the most popular).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5_f64.powf(self.theta) {
+            return 1;
+        }
+        let _ = self.zeta2;
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SimRng::new(0);
+        let mut b = SimRng::new(0);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut parent = SimRng::new(9);
+        let mut child = parent.fork();
+        // Child stream must not simply mirror the parent stream.
+        let mirrors = (0..64)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        assert!(mirrors < 4);
+    }
+
+    #[test]
+    fn gen_range_in_bounds_and_covers() {
+        let mut rng = SimRng::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_range(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = SimRng::new(4);
+        for _ in 0..1000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn exp_mean_roughly_correct() {
+        let mut rng = SimRng::new(5);
+        let mean = SimDuration::from_micros(100);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.gen_exp(mean).as_nanos()).sum();
+        let avg = total as f64 / n as f64;
+        let expect = mean.as_nanos() as f64;
+        assert!((avg - expect).abs() / expect < 0.05, "avg={avg}");
+    }
+
+    #[test]
+    fn zipfian_skews_to_head() {
+        let z = Zipfian::ycsb(10_000);
+        let mut rng = SimRng::new(6);
+        let n = 50_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        // With theta=0.99 the top 1% of keys should absorb well over a third
+        // of the draws.
+        assert!(head as f64 / n as f64 > 0.35, "head={head}");
+    }
+
+    #[test]
+    fn zipfian_within_domain() {
+        let z = Zipfian::new(97, 0.7);
+        let mut rng = SimRng::new(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 97);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(8);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

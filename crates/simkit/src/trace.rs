@@ -1,0 +1,113 @@
+//! Lightweight bounded trace buffer for debugging simulations.
+//!
+//! Components can record human-readable trace lines tagged with the virtual
+//! time. The buffer is bounded (oldest entries dropped) and disabled by
+//! default, so tracing costs one branch in the hot path.
+
+use crate::time::SimTime;
+
+/// A bounded, optionally-enabled trace log.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    entries: Vec<(SimTime, String)>,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+impl Trace {
+    /// Creates a disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            capacity: 0,
+            entries: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Creates an enabled trace holding at most `capacity` entries.
+    pub fn enabled(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a line; call sites should guard expensive formatting with
+    /// [`Trace::is_enabled`].
+    pub fn record(&mut self, now: SimTime, line: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+            self.dropped += 1;
+        }
+        self.entries.push((now, line.into()));
+    }
+
+    /// Entries currently buffered, oldest first.
+    pub fn entries(&self) -> &[(SimTime, String)] {
+        &self.entries
+    }
+
+    /// Number of entries evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the buffer as one string, one entry per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (t, line) in &self.entries {
+            out.push_str(&format!("[{t}] {line}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, "x");
+        assert!(t.entries().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_eviction() {
+        let mut t = Trace::enabled(2);
+        t.record(SimTime::from_nanos(1), "a");
+        t.record(SimTime::from_nanos(2), "b");
+        t.record(SimTime::from_nanos(3), "c");
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.entries()[0].1, "b");
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn render_includes_time() {
+        let mut t = Trace::enabled(4);
+        t.record(SimTime::from_micros(5), "hello");
+        assert!(t.render().contains("5.000us"));
+        assert!(t.render().contains("hello"));
+    }
+}

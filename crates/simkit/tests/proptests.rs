@@ -1,0 +1,71 @@
+//! Property-based tests for the simulation kit.
+
+use proptest::prelude::*;
+use simkit::{EventQueue, KeyedMinHeap, SimRng, SimTime};
+
+proptest! {
+    /// Popping the event queue always yields non-decreasing times, and
+    /// events pushed with equal times come out in push order.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), (t, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut count = 0;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at, SimTime::from_nanos(t));
+            if let Some((lt, li)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(i > li, "FIFO violated within equal timestamps");
+                }
+            }
+            last = Some((at, i));
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// The keyed heap's top always carries the minimal key, before and
+    /// after arbitrary resorts.
+    #[test]
+    fn keyed_heap_top_is_min(
+        keys in proptest::collection::vec(0u32..10_000, 1..64),
+        reseed in 0u64..1000,
+    ) {
+        let mut h = KeyedMinHeap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            h.insert(i, k as f64);
+        }
+        let min = *keys.iter().min().unwrap() as f64;
+        prop_assert_eq!(h.top_key(), Some(min));
+
+        // Resort with a pseudo-random reassignment and re-check.
+        let mut rng = SimRng::new(reseed);
+        let new_keys: Vec<f64> = (0..keys.len()).map(|_| rng.gen_range(10_000) as f64).collect();
+        h.resort_with(|id| new_keys[id]);
+        let new_min = new_keys.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(h.top_key(), Some(new_min));
+    }
+
+    /// `gen_range` stays in bounds for any bound.
+    #[test]
+    fn rng_gen_range_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+
+    /// Identical seeds replay identical streams.
+    #[test]
+    fn rng_replay(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

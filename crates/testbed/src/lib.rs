@@ -1,0 +1,43 @@
+//! The simulation testbed: one machine, one device, one stack, N tenants.
+//!
+//! [`scenario::Scenario`] describes an experiment (machine preset, device
+//! config, stack under test, tenant population, durations, fault/storm
+//! injectors); [`machine::Machine`] executes it as a single deterministic
+//! discrete-event loop and returns a [`runout::RunOutput`] with everything
+//! the figure binaries report: per-class latency percentiles, IOPS and
+//! throughput, time series, stack overhead counters, and application
+//! op-latency histograms.
+//!
+//! # Example
+//!
+//! ```
+//! use testbed::scenario::{Scenario, StackSpec};
+//! use simkit::SimDuration;
+//!
+//! // 2 L-tenants vs 4 T-tenants on 2 cores under Daredevil, 50 ms measured.
+//! let scenario = Scenario::multi_tenant_fio(
+//!     StackSpec::daredevil(),
+//!     2,
+//!     4,
+//!     2,
+//!     testbed::scenario::MachinePreset::Small,
+//! )
+//! .with_durations(SimDuration::from_millis(10), SimDuration::from_millis(50));
+//! let out = testbed::run(scenario);
+//! assert!(out.summary.class("L").ios_completed > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod runout;
+pub mod scenario;
+
+pub use machine::Machine;
+pub use runout::RunOutput;
+pub use scenario::{MachinePreset, Scenario, StackSpec, TenantKind, TenantSpec};
+
+/// Runs a scenario to completion and returns its measurements.
+pub fn run(scenario: Scenario) -> RunOutput {
+    Machine::new(scenario).run()
+}

@@ -1,0 +1,917 @@
+//! The machine: a deterministic event loop over CPU, device, and stack.
+//!
+//! Event flow for one FIO I/O:
+//!
+//! ```text
+//! Submit work on tenant core ──(stack.submit)──▶ NSQ entry + doorbell
+//!   ▶ device FetchDone ▶ flash ▶ CmdDone ▶ CQE + IRQ raise
+//!   ▶ IrqDeliver on vector core ▶ Isr work ▶ stack.on_irq ▶ BioCompletion
+//!   ▶ Completed event at its delivery timestamp ▶ stats + Resubmit work
+//! ```
+//!
+//! All stack/device effects apply at work-item start; the core then stays
+//! busy for the work's returned duration (see `dd_cpu` for the dispatch
+//! protocol and DESIGN.md §4 for why the approximation is sound here).
+
+use std::collections::HashMap;
+
+use blkstack::blkmq::VanillaBlkMq;
+use blkstack::stack::{StackEnv, StackStats, StorageStack};
+use blkstack::{Bio, BioCompletion, BioId, IoPriorityClass, Pid, TaskStruct};
+use blkswitch::BlkSwitchStack;
+use daredevil::DaredevilStack;
+use dd_cpu::{CpuSystem, HostCosts, WorkClass};
+use dd_metrics::{LatencyHistogram, RunSummary, TenantSummary, TimeSeries};
+use dd_nvme::spec::bytes_to_blocks;
+use dd_nvme::{CqId, DeviceOutput, NamespaceId, NvmeDevice, NvmeEvent};
+use dd_overprov::OverprovStack;
+use dd_virtio::{VirtioBlk, VqMode};
+use dd_workload::checkpoint::CheckpointWorkload;
+use dd_workload::mailserver::MailserverWorkload;
+use dd_workload::{AppWorkload, FioJob, IoDesc, OpKind, OpStep, Placement, YcsbWorkload};
+use simkit::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::runout::{ClassSeries, PhaseBreakdown, RunOutput};
+use crate::scenario::{AppKind, Scenario, StackSpec, TenantKind};
+
+/// Events of the machine loop.
+enum Event {
+    /// Internal device event.
+    Dev(NvmeEvent),
+    /// A core has queued work and no running item: pick the next.
+    CoreDispatch(u16),
+    /// The running work item of a core finished.
+    CoreDone(u16),
+    /// An interrupt reaches a core.
+    IrqDeliver { cq: CqId, core: u16 },
+    /// A bio completion is delivered to its tenant.
+    Completed(BioCompletion),
+    /// Periodic stack housekeeping (blk-switch steering).
+    StackTick,
+    /// Fig. 14: flip every tenant's ionice.
+    IoniceStorm,
+    /// Fig. 13: move a random tenant to a random core.
+    MigrateStorm,
+    /// A rate-limited FIO slot's think time expired: reissue.
+    WakeResubmit(Pid),
+    /// Measurement window opens.
+    EndWarmup,
+    /// Run ends.
+    Stop,
+}
+
+/// Work payloads executed on cores.
+enum Work {
+    /// Tenant submission syscall carrying `nr` new I/Os.
+    Submit { pid: Pid, nr: u32 },
+    /// FIO slot refill: reap one completion and submit one I/O.
+    Resubmit { pid: Pid },
+    /// Interrupt service routine for a CQ.
+    Isr { cq: CqId },
+    /// Execute the next step of an application op.
+    AppStep { pid: Pid },
+    /// Apply a runtime ionice change.
+    IoniceUpdate { pid: Pid, class: IoPriorityClass },
+    /// Context-switch cost of landing a migrated tenant.
+    MigrationLand,
+}
+
+/// Progress of the current application op.
+struct OpState {
+    kind: OpKind,
+    steps: Vec<OpStep>,
+    idx: usize,
+    started: SimTime,
+    waiting_ios: u32,
+}
+
+enum Driver {
+    Fio(FioJob),
+    App {
+        workload: Box<dyn AppWorkload>,
+        current: Option<OpState>,
+        done: bool,
+    },
+}
+
+struct Tenant {
+    pid: Pid,
+    class_label: &'static str,
+    ionice: IoPriorityClass,
+    core: u16,
+    nsid: NamespaceId,
+    ns_blocks: u64,
+    driver: Driver,
+    summary: TenantSummary,
+    rng: SimRng,
+    seq_cursor: u64,
+}
+
+/// Concrete stack storage (keeps concrete-type introspection available).
+// One holder exists per run; the variant size spread is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum StackHolder {
+    Vanilla(VanillaBlkMq),
+    BlkSwitch(BlkSwitchStack),
+    Overprov(OverprovStack),
+    Daredevil(DaredevilStack),
+    Virtio(VirtioBlk),
+}
+
+impl StackHolder {
+    fn as_dyn(&mut self) -> &mut dyn StorageStack {
+        match self {
+            StackHolder::Vanilla(s) => s,
+            StackHolder::BlkSwitch(s) => s,
+            StackHolder::Overprov(s) => s,
+            StackHolder::Daredevil(s) => s,
+            StackHolder::Virtio(s) => s,
+        }
+    }
+
+    fn stats(&self) -> StackStats {
+        match self {
+            StackHolder::Vanilla(s) => s.stats(),
+            StackHolder::BlkSwitch(s) => s.stats(),
+            StackHolder::Overprov(s) => s.stats(),
+            StackHolder::Daredevil(s) => s.stats(),
+            StackHolder::Virtio(s) => s.stats(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            StackHolder::Vanilla(s) => s.name(),
+            StackHolder::BlkSwitch(s) => s.name(),
+            StackHolder::Overprov(s) => s.name(),
+            StackHolder::Daredevil(s) => s.name(),
+            StackHolder::Virtio(s) => s.name(),
+        }
+    }
+
+    fn troute_reassignments(&self) -> u64 {
+        match self {
+            StackHolder::Daredevil(s) => s.troute_stats().reassignments,
+            _ => 0,
+        }
+    }
+}
+
+/// The executing machine.
+pub struct Machine {
+    scenario: Scenario,
+    queue: EventQueue<Event>,
+    cpu: CpuSystem<Work>,
+    device: NvmeDevice,
+    stack: StackHolder,
+    tenants: HashMap<Pid, Tenant>,
+    tenant_order: Vec<Pid>,
+    rng: SimRng,
+    costs: HostCosts,
+    // Scratch buffers reused across calls.
+    dev_out: DeviceOutput,
+    comps: Vec<BioCompletion>,
+    migs: Vec<(Pid, u16)>,
+    next_bio_id: u64,
+    now: SimTime,
+    window_start: SimTime,
+    stop_at: SimTime,
+    cpu_baseline: Vec<SimDuration>,
+    series: HashMap<String, ClassSeries>,
+    breakdown: HashMap<String, PhaseBreakdown>,
+    op_lat: HashMap<OpKind, LatencyHistogram>,
+    active_apps: usize,
+    events_processed: u64,
+}
+
+/// Builds a bio from an I/O descriptor on behalf of a tenant.
+fn materialize(tenant: &mut Tenant, io: IoDesc, id: u64, now: SimTime) -> Bio {
+    let blocks = bytes_to_blocks(io.bytes.max(1)).max(1) as u64;
+    let max_start = tenant.ns_blocks.saturating_sub(blocks);
+    let offset = match io.placement {
+        Placement::Random => tenant.rng.gen_range(max_start + 1),
+        Placement::Sequential => {
+            let o = tenant.seq_cursor % (max_start + 1);
+            tenant.seq_cursor = o + blocks;
+            o
+        }
+        Placement::Block(b) => b % (max_start + 1),
+    };
+    tenant.summary.ios_issued += 1;
+    Bio {
+        id: BioId(id),
+        tenant: tenant.pid,
+        core: tenant.core,
+        nsid: tenant.nsid,
+        op: io.op,
+        offset_blocks: offset,
+        bytes: io.bytes,
+        flags: io.flags,
+        issued_at: now,
+    }
+}
+
+impl Machine {
+    /// Builds a machine from a validated scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails validation.
+    pub fn new(scenario: Scenario) -> Self {
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid scenario '{}': {e}", scenario.name));
+        let nr_cores = scenario.nr_cores();
+        let mut nvme_cfg = scenario.nvme.clone();
+        fn needs_wrr(spec: &StackSpec) -> bool {
+            match spec {
+                StackSpec::Overprov => true,
+                StackSpec::Virtio { inner, .. } => needs_wrr(inner),
+                _ => false,
+            }
+        }
+        if needs_wrr(&scenario.stack)
+            && matches!(nvme_cfg.arbitration, dd_nvme::Arbitration::RoundRobin)
+        {
+            // The overprovision baseline requires device WRR support; the
+            // machine configures it the way a FlashShare deployment would.
+            nvme_cfg = nvme_cfg.with_wrr(dd_nvme::WrrWeights::default());
+        }
+        let device = NvmeDevice::new(nvme_cfg, nr_cores);
+        let stack = build_stack(&scenario.stack, nr_cores, &device);
+        let mut rng = SimRng::new(scenario.seed);
+        let mut tenants = HashMap::new();
+        let mut tenant_order = Vec::new();
+        let mut active_apps = 0usize;
+        for (i, spec) in scenario.tenants.iter().enumerate() {
+            let pid = Pid(i as u64 + 1);
+            let ns_blocks = scenario.nvme.namespace_blocks[spec.nsid.index()];
+            let driver = match &spec.kind {
+                TenantKind::Fio(job) => Driver::Fio(*job),
+                TenantKind::App(app) => {
+                    active_apps += 1;
+                    let workload: Box<dyn AppWorkload> = match app.clone() {
+                        AppKind::Ycsb { mix, config, ops } => {
+                            Box::new(YcsbWorkload::new(mix, config, ops))
+                        }
+                        AppKind::Mailserver { config, ops } => {
+                            Box::new(MailserverWorkload::new(config, ops))
+                        }
+                        AppKind::Checkpoint {
+                            config,
+                            checkpoints,
+                        } => Box::new(CheckpointWorkload::new(config, checkpoints)),
+                    };
+                    Driver::App {
+                        workload,
+                        current: None,
+                        done: false,
+                    }
+                }
+            };
+            tenants.insert(
+                pid,
+                Tenant {
+                    pid,
+                    class_label: spec.class_label,
+                    ionice: spec.ionice,
+                    core: spec.core,
+                    nsid: spec.nsid,
+                    ns_blocks,
+                    driver,
+                    summary: TenantSummary::new(pid.0, spec.class_label),
+                    rng: rng.fork(),
+                    seq_cursor: rng.gen_range(ns_blocks.max(1)),
+                },
+            );
+            tenant_order.push(pid);
+        }
+        let window_start = SimTime::ZERO + scenario.warmup;
+        let stop_at = window_start + scenario.measure;
+        Machine {
+            cpu: CpuSystem::new(&scenario.topology),
+            queue: EventQueue::with_capacity(4096),
+            device,
+            stack,
+            tenants,
+            tenant_order,
+            rng,
+            costs: HostCosts::default(),
+            dev_out: DeviceOutput::new(),
+            comps: Vec::new(),
+            migs: Vec::new(),
+            next_bio_id: 0,
+            now: SimTime::ZERO,
+            window_start,
+            stop_at,
+            cpu_baseline: Vec::new(),
+            series: HashMap::new(),
+            breakdown: HashMap::new(),
+            op_lat: HashMap::new(),
+            active_apps,
+            events_processed: 0,
+            scenario,
+        }
+    }
+
+    fn enqueue_work(&mut self, core: u16, class: WorkClass, work: Work) {
+        if self.cpu.enqueue(core, class, work) {
+            self.queue.push(self.now, Event::CoreDispatch(core));
+        }
+    }
+
+    /// Moves pending device effects, completions, and migrations into the
+    /// event queue. Must run after every stack/device interaction.
+    fn drain_effects(&mut self) {
+        while let Some((at, ev)) = pop_first(&mut self.dev_out.events) {
+            self.queue.push(at, Event::Dev(ev));
+        }
+        while let Some(irq) = self.dev_out.irqs.pop() {
+            self.queue.push(
+                irq.at,
+                Event::IrqDeliver {
+                    cq: irq.cq,
+                    core: irq.core,
+                },
+            );
+        }
+        while let Some(c) = self.comps.pop() {
+            self.queue.push(c.completed_at, Event::Completed(c));
+        }
+        while let Some((pid, core)) = self.migs.pop() {
+            if let Some(t) = self.tenants.get_mut(&pid) {
+                t.core = core;
+            }
+            self.enqueue_work(core, WorkClass::Task, Work::MigrationLand);
+        }
+    }
+
+    /// Runs one stack call with a fresh environment; returns its CPU cost.
+    fn with_env<R>(&mut self, f: impl FnOnce(&mut dyn StorageStack, &mut StackEnv<'_>) -> R) -> R {
+        let mut env = StackEnv {
+            now: self.now,
+            device: &mut self.device,
+            dev_out: &mut self.dev_out,
+            completions: &mut self.comps,
+            migrations: &mut self.migs,
+            rng: &mut self.rng,
+            costs: &self.costs,
+        };
+        let r = f(self.stack.as_dyn(), &mut env);
+        // `env` borrows several fields; end its scope before draining.
+        let _ = env;
+        self.drain_effects();
+        r
+    }
+
+    /// Generates `nr` fresh FIO bios for a tenant.
+    fn gen_fio_bios(&mut self, pid: Pid, nr: u32) -> Vec<Bio> {
+        let now = self.now;
+        let mut ids = self.next_bio_id;
+        let tenant = self.tenants.get_mut(&pid).expect("known tenant");
+        let Driver::Fio(job) = &tenant.driver else {
+            panic!("fio bios for a non-fio tenant");
+        };
+        let job = *job;
+        let bios: Vec<Bio> = (0..nr)
+            .map(|_| {
+                let io = job.next_io(&mut tenant.rng);
+                let bio = materialize(tenant, io, ids, now);
+                ids += 1;
+                bio
+            })
+            .collect();
+        self.next_bio_id = ids;
+        bios
+    }
+
+    /// Executes one work payload on `core`; returns its CPU cost.
+    fn exec_work(&mut self, core: u16, work: Work) -> SimDuration {
+        match work {
+            Work::Submit { pid, nr } => {
+                let bios = self.gen_fio_bios(pid, nr);
+                self.with_env(|stack, env| stack.submit(&bios, env))
+            }
+            Work::Resubmit { pid } => {
+                let bios = self.gen_fio_bios(pid, 1);
+                let cost = self.with_env(|stack, env| stack.submit(&bios, env));
+                self.costs.reap_per_rq + cost
+            }
+            Work::Isr { cq } => self.with_env(|stack, env| stack.on_irq(cq, core, env)),
+            Work::AppStep { pid } => self.app_step(pid),
+            Work::IoniceUpdate { pid, class } => {
+                if let Some(t) = self.tenants.get_mut(&pid) {
+                    t.ionice = class;
+                }
+                self.with_env(|stack, env| stack.update_ionice(pid, class, env));
+                self.costs.syscall_base + self.costs.ionice_update
+            }
+            Work::MigrationLand => self.costs.context_switch,
+        }
+    }
+
+    /// Executes the next application step of `pid`; returns its CPU cost.
+    fn app_step(&mut self, pid: Pid) -> SimDuration {
+        let now = self.now;
+        let mut ids = self.next_bio_id;
+        // Stage 1: advance the tenant's op state, producing an action.
+        enum Action {
+            OpDone { kind: OpKind, started: SimTime },
+            Compute(SimDuration),
+            Issue(Vec<Bio>),
+        }
+        let action = {
+            let tenant = self.tenants.get_mut(&pid).expect("known tenant");
+            let core = tenant.core;
+            let _ = core;
+            let Driver::App {
+                workload,
+                current,
+                done,
+            } = &mut tenant.driver
+            else {
+                panic!("app step for a non-app tenant");
+            };
+            if *done {
+                return SimDuration::ZERO;
+            }
+            if current.is_none() {
+                // Split borrows: next_op needs the workload and the rng.
+                match workload.next_op(&mut tenant.rng) {
+                    Some(op) => {
+                        *current = Some(OpState {
+                            kind: op.kind,
+                            steps: op.steps,
+                            idx: 0,
+                            started: now,
+                            waiting_ios: 0,
+                        });
+                    }
+                    None => {
+                        *done = true;
+                        return self.app_finished(pid);
+                    }
+                }
+            }
+            let st = current.as_mut().expect("just ensured");
+            if st.idx >= st.steps.len() {
+                let kind = st.kind;
+                let started = st.started;
+                *current = None;
+                Action::OpDone { kind, started }
+            } else {
+                let step = st.steps[st.idx].clone();
+                st.idx += 1;
+                match step {
+                    OpStep::Compute(d) => Action::Compute(d),
+                    OpStep::Io(desc) => {
+                        st.waiting_ios = 1;
+                        let bio = materialize(tenant, desc, ids, now);
+                        ids += 1;
+                        Action::Issue(vec![bio])
+                    }
+                    OpStep::IoParallel(descs) => {
+                        st.waiting_ios = descs.len() as u32;
+                        let bios = descs
+                            .into_iter()
+                            .map(|d| {
+                                let bio = materialize(tenant, d, ids, now);
+                                ids += 1;
+                                bio
+                            })
+                            .collect();
+                        Action::Issue(bios)
+                    }
+                }
+            }
+        };
+        self.next_bio_id = ids;
+        // Stage 2: act.
+        match action {
+            Action::OpDone { kind, started } => {
+                if now >= self.window_start && kind != OpKind::Maintenance {
+                    self.op_lat
+                        .entry(kind)
+                        .or_default()
+                        .record(now.saturating_since(started));
+                }
+                let core = self.tenants[&pid].core;
+                self.enqueue_work(core, WorkClass::Task, Work::AppStep { pid });
+                SimDuration::from_nanos(200)
+            }
+            Action::Compute(d) => {
+                let core = self.tenants[&pid].core;
+                self.enqueue_work(core, WorkClass::Task, Work::AppStep { pid });
+                d
+            }
+            Action::Issue(bios) => self.with_env(|stack, env| stack.submit(&bios, env)),
+        }
+    }
+
+    /// A tenant's app workload ran out of ops.
+    fn app_finished(&mut self, _pid: Pid) -> SimDuration {
+        self.active_apps -= 1;
+        if self.active_apps == 0 && self.scenario.stop_when_apps_done {
+            self.queue.push(self.now, Event::Stop);
+        }
+        SimDuration::ZERO
+    }
+
+    /// Delivers one bio completion: statistics plus tenant continuation.
+    fn handle_completion(&mut self, c: BioCompletion) {
+        let Some(tenant) = self.tenants.get_mut(&c.bio.tenant) else {
+            return;
+        };
+        let in_window = c.completed_at >= self.window_start;
+        if in_window {
+            tenant.summary.record_completion(c.latency(), c.bio.bytes);
+        }
+        let class = tenant.class_label.to_string();
+        let core = tenant.core;
+        let pid = tenant.pid;
+        let continuation = match &mut tenant.driver {
+            Driver::Fio(job) => match job.think_time() {
+                // Rate-limited slot: sleep an exponential think time first.
+                Some(mean) => {
+                    let delay = tenant.rng.gen_exp(mean);
+                    self.queue
+                        .push(c.completed_at + delay, Event::WakeResubmit(pid));
+                    None
+                }
+                None => Some(Work::Resubmit { pid }),
+            },
+            Driver::App { current, .. } => match current {
+                Some(st) => {
+                    debug_assert!(st.waiting_ios > 0, "unexpected app completion");
+                    st.waiting_ios -= 1;
+                    if st.waiting_ios == 0 {
+                        Some(Work::AppStep { pid })
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            },
+        };
+        if in_window {
+            let window_start = self.window_start;
+            let width = self.scenario.sample_width;
+            let entry = self
+                .series
+                .entry(class.clone())
+                .or_insert_with(|| ClassSeries {
+                    latency: TimeSeries::new(window_start, width),
+                    bytes: TimeSeries::new(window_start, width),
+                });
+            entry.latency.record_latency(c.completed_at, c.latency());
+            entry.bytes.record(c.completed_at, c.bio.bytes);
+            let b = self.breakdown.entry(class).or_default();
+            b.count += 1;
+            b.queue_wait_ns += c.queue_wait().as_nanos() as u128;
+            b.device_service_ns += c.device_service().as_nanos() as u128;
+            b.delivery_ns += c.delivery().as_nanos() as u128;
+        }
+        if let Some(work) = continuation {
+            self.enqueue_work(core, WorkClass::Task, work);
+        }
+    }
+
+    /// Registers all tenants with the stack and schedules initial work.
+    fn bootstrap(&mut self) {
+        for pid in self.tenant_order.clone() {
+            let t = &self.tenants[&pid];
+            let task = TaskStruct::new(t.pid, t.core, t.ionice, t.nsid, t.class_label);
+            self.with_env(|stack, env| stack.register_tenant(&task, env));
+        }
+        for pid in self.tenant_order.clone() {
+            let (core, work) = {
+                let t = &self.tenants[&pid];
+                match &t.driver {
+                    Driver::Fio(job) => (
+                        t.core,
+                        Work::Submit {
+                            pid,
+                            nr: job.iodepth,
+                        },
+                    ),
+                    Driver::App { .. } => (t.core, Work::AppStep { pid }),
+                }
+            };
+            self.enqueue_work(core, WorkClass::Task, work);
+        }
+        self.queue.push(SimTime::ZERO, Event::StackTick);
+        self.queue.push(self.window_start, Event::EndWarmup);
+        self.queue.push(self.stop_at, Event::Stop);
+        if let Some(interval) = self.scenario.ionice_storm {
+            self.queue
+                .push(SimTime::ZERO + interval, Event::IoniceStorm);
+        }
+        if let Some(interval) = self.scenario.migrate_storm {
+            self.queue
+                .push(SimTime::ZERO + interval, Event::MigrateStorm);
+        }
+    }
+
+    /// Runs the scenario to completion.
+    pub fn run(mut self) -> RunOutput {
+        self.bootstrap();
+        let mut window_end = self.stop_at;
+        while let Some((at, ev)) = self.queue.pop() {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.events_processed += 1;
+            match ev {
+                Event::Stop => {
+                    window_end = self.now.min(self.stop_at);
+                    break;
+                }
+                Event::EndWarmup => {
+                    self.cpu_baseline = self.cpu.busy_snapshot(self.now);
+                }
+                Event::Dev(dev_ev) => {
+                    let now = self.now;
+                    self.device.handle_event(dev_ev, now, &mut self.dev_out);
+                    self.drain_effects();
+                }
+                Event::IrqDeliver { cq, core } => {
+                    self.enqueue_work(core, WorkClass::HardIrq, Work::Isr { cq });
+                }
+                Event::CoreDispatch(core) => {
+                    if let Some((_class, work)) = self.cpu.take_next(core) {
+                        let cost = self.exec_work(core, work);
+                        let fin = self.cpu.begin(core, self.now, cost);
+                        self.queue.push(fin, Event::CoreDone(core));
+                    }
+                }
+                Event::CoreDone(core) => {
+                    if self.cpu.finish(core, self.now) {
+                        self.queue.push(self.now, Event::CoreDispatch(core));
+                    }
+                }
+                Event::Completed(c) => self.handle_completion(c),
+                Event::WakeResubmit(pid) => {
+                    if let Some(t) = self.tenants.get(&pid) {
+                        let core = t.core;
+                        self.enqueue_work(core, WorkClass::Task, Work::Resubmit { pid });
+                    }
+                }
+                Event::StackTick => {
+                    if let Some(delay) = self.with_env(|stack, env| stack.on_tick(env)) {
+                        self.queue.push(self.now + delay, Event::StackTick);
+                    }
+                }
+                Event::IoniceStorm => {
+                    for pid in self.tenant_order.clone() {
+                        let (core, class) = {
+                            let t = &self.tenants[&pid];
+                            let flipped = match t.ionice {
+                                IoPriorityClass::RealTime => IoPriorityClass::BestEffort,
+                                _ => IoPriorityClass::RealTime,
+                            };
+                            (t.core, flipped)
+                        };
+                        self.enqueue_work(core, WorkClass::Task, Work::IoniceUpdate { pid, class });
+                    }
+                    let interval = self.scenario.ionice_storm.expect("storm active");
+                    self.queue.push(self.now + interval, Event::IoniceStorm);
+                }
+                Event::MigrateStorm => {
+                    let pid = *self.rng.choose(&self.tenant_order);
+                    let core = self.rng.gen_range(self.scenario.core_pool as u64) as u16;
+                    if let Some(t) = self.tenants.get_mut(&pid) {
+                        t.core = core;
+                    }
+                    self.with_env(|stack, env| stack.migrate_tenant(pid, core, env));
+                    self.enqueue_work(core, WorkClass::Task, Work::MigrationLand);
+                    let interval = self.scenario.migrate_storm.expect("storm active");
+                    self.queue.push(self.now + interval, Event::MigrateStorm);
+                }
+            }
+            if self.queue.is_empty() {
+                window_end = self.now.min(self.stop_at);
+                break;
+            }
+        }
+
+        let core_busy_frac = if self.cpu_baseline.is_empty() {
+            vec![0.0; self.cpu.nr_cores() as usize]
+        } else {
+            self.cpu
+                .busy_fractions(self.window_start, &self.cpu_baseline, window_end)
+        };
+        let summary = RunSummary {
+            stack: self.stack.name().to_string(),
+            window_start: self.window_start,
+            window_end,
+            tenants: self
+                .tenant_order
+                .iter()
+                .map(|pid| self.tenants[pid].summary.clone())
+                .collect(),
+            events_processed: self.events_processed,
+            core_busy_frac,
+        };
+        RunOutput {
+            summary,
+            series: self.series,
+            breakdown: self.breakdown,
+            stack_stats: self.stack.stats(),
+            op_latencies: self.op_lat,
+            flash_queue_delay: self.device.flash().avg_queue_delay(),
+            events_processed: self.events_processed,
+            troute_reassignments: self.stack.troute_reassignments(),
+        }
+    }
+}
+
+/// Builds a stack holder from a spec (recursing for the virtio wrapper).
+fn build_stack(spec: &StackSpec, nr_cores: u16, device: &NvmeDevice) -> StackHolder {
+    match spec {
+        StackSpec::Vanilla(cfg) => {
+            StackHolder::Vanilla(VanillaBlkMq::new(*cfg, nr_cores, device.nr_sqs()))
+        }
+        StackSpec::BlkSwitch(cfg) => {
+            StackHolder::BlkSwitch(BlkSwitchStack::new(*cfg, nr_cores, device.nr_sqs()))
+        }
+        StackSpec::Overprov => StackHolder::Overprov(OverprovStack::new(nr_cores, device.nr_sqs())),
+        StackSpec::Daredevil(cfg) => {
+            StackHolder::Daredevil(DaredevilStack::for_device(*cfg, nr_cores, device))
+        }
+        StackSpec::Virtio { inner, sla_aware } => {
+            let inner_holder = build_stack(inner, nr_cores, device);
+            let boxed: Box<dyn StorageStack> = match inner_holder {
+                StackHolder::Vanilla(s) => Box::new(s),
+                StackHolder::BlkSwitch(s) => Box::new(s),
+                StackHolder::Overprov(s) => Box::new(s),
+                StackHolder::Daredevil(s) => Box::new(s),
+                StackHolder::Virtio(_) => panic!("nested virtio is unsupported"),
+            };
+            let mode = if *sla_aware {
+                VqMode::SlaAware
+            } else {
+                VqMode::Naive
+            };
+            StackHolder::Virtio(VirtioBlk::new(boxed, mode))
+        }
+    }
+}
+
+/// Pops the first element of a vec (FIFO drain without an iterator borrow).
+fn pop_first<T>(v: &mut Vec<T>) -> Option<T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::MachinePreset;
+
+    fn quick(stack: StackSpec, nr_l: u16, nr_t: u16) -> RunOutput {
+        let s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, 2, MachinePreset::Small)
+            .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(40));
+        crate::run(s)
+    }
+
+    #[test]
+    fn vanilla_run_completes_ios() {
+        let out = quick(StackSpec::vanilla(), 2, 2);
+        let l = out.summary.class("L");
+        let t = out.summary.class("T");
+        assert!(l.ios_completed > 10, "L completed {}", l.ios_completed);
+        assert!(t.ios_completed > 10, "T completed {}", t.ios_completed);
+        assert!(l.latency.mean() > SimDuration::from_micros(10));
+        assert!(out.events_processed > 100);
+    }
+
+    #[test]
+    fn all_stacks_run_deterministically() {
+        for spec in [
+            StackSpec::vanilla(),
+            StackSpec::blk_switch(),
+            StackSpec::daredevil(),
+            StackSpec::dare_base(),
+            StackSpec::dare_sched(),
+        ] {
+            let a = quick(spec.clone(), 1, 2);
+            let b = quick(spec.clone(), 1, 2);
+            assert_eq!(
+                a.summary.class("L").ios_completed,
+                b.summary.class("L").ios_completed,
+                "{} not deterministic",
+                a.summary.stack
+            );
+            assert_eq!(
+                a.summary.class("L").latency.p999(),
+                b.summary.class("L").latency.p999()
+            );
+        }
+    }
+
+    #[test]
+    fn daredevil_beats_vanilla_under_pressure() {
+        let vanilla = quick(StackSpec::vanilla(), 2, 8);
+        let dare = quick(StackSpec::daredevil(), 2, 8);
+        assert!(
+            dare.l_p999_ms() < vanilla.l_p999_ms(),
+            "daredevil p99.9 {} must beat vanilla {}",
+            dare.l_p999_ms(),
+            vanilla.l_p999_ms()
+        );
+    }
+
+    #[test]
+    fn throughput_is_sane() {
+        let out = quick(StackSpec::vanilla(), 1, 4);
+        // 4 T-tenants × QD32 × 128 KiB must move real data.
+        assert!(out.t_mbps() > 50.0, "T throughput {}", out.t_mbps());
+    }
+
+    #[test]
+    fn cpu_utilisation_reported() {
+        let out = quick(StackSpec::vanilla(), 2, 6);
+        let util = out.summary.avg_cpu_util();
+        assert!(util > 0.0 && util <= 1.0, "util={util}");
+    }
+
+    #[test]
+    fn warmup_discards_early_completions() {
+        let s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 0, 1, MachinePreset::Small)
+            .with_durations(SimDuration::from_millis(20), SimDuration::from_millis(20));
+        let out = crate::run(s);
+        let l = out.summary.class("L");
+        // Issued counts everything, completed only the window.
+        let issued: u64 = out.summary.tenants.iter().map(|t| t.ios_issued).sum();
+        assert!(issued > l.ios_completed);
+    }
+
+    #[test]
+    fn series_buckets_cover_window() {
+        let s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 1, 2, MachinePreset::Small)
+            .with_durations(SimDuration::from_millis(2), SimDuration::from_millis(50))
+            .with_seed(7);
+        let mut s = s;
+        s.sample_width = SimDuration::from_millis(10);
+        let out = crate::run(s);
+        let l = out.series.get("L").expect("L series exists");
+        assert!(l.latency.buckets().len() >= 4, "expect several buckets");
+    }
+
+    #[test]
+    fn migrate_storm_moves_tenants() {
+        let mut s =
+            Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 2, 2, MachinePreset::Small)
+                .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(30));
+        s.migrate_storm = Some(SimDuration::from_millis(1));
+        let out = crate::run(s);
+        assert!(out.summary.class("L").ios_completed > 0);
+    }
+
+    #[test]
+    fn ionice_storm_triggers_reassignments() {
+        let mut s =
+            Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 2, 2, MachinePreset::Small)
+                .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(30));
+        s.ionice_storm = Some(SimDuration::from_millis(2));
+        let out = crate::run(s);
+        assert!(
+            out.troute_reassignments > 5,
+            "storm must force reassignments, got {}",
+            out.troute_reassignments
+        );
+    }
+
+    #[test]
+    fn app_tenant_runs_ycsb() {
+        use dd_workload::kvsim::KvConfig;
+        let mut s = Scenario::new("ycsb-test", MachinePreset::Small, StackSpec::daredevil());
+        s.tenants.push(crate::scenario::TenantSpec {
+            class_label: "app",
+            ionice: IoPriorityClass::RealTime,
+            core: 0,
+            nsid: NamespaceId(1),
+            kind: TenantKind::App(AppKind::Ycsb {
+                mix: dd_workload::YcsbMix::A,
+                config: KvConfig {
+                    keys: 10_000,
+                    cache_blocks: 1_000,
+                    memtable_entries: 50,
+                    ..KvConfig::default()
+                },
+                ops: 500,
+            }),
+        });
+        s.warmup = SimDuration::from_millis(1);
+        s.measure = SimDuration::from_secs(5);
+        s.stop_when_apps_done = true;
+        let out = crate::run(s);
+        let reads = out.op_latencies.get(&OpKind::Read);
+        let updates = out.op_latencies.get(&OpKind::Update);
+        assert!(reads.is_some(), "read latencies recorded");
+        assert!(updates.is_some(), "update latencies recorded");
+        assert!(reads.unwrap().count() + updates.unwrap().count() > 200);
+    }
+}

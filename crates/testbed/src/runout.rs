@@ -1,0 +1,100 @@
+//! Run results: everything a figure binary needs from one run.
+
+use std::collections::HashMap;
+
+use blkstack::stack::StackStats;
+use dd_metrics::{LatencyHistogram, RunSummary, TimeSeries};
+use dd_workload::OpKind;
+use simkit::SimDuration;
+
+/// Per-class accumulated latency phases (where time is spent end to end).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// Completions accumulated.
+    pub count: u64,
+    /// Total in-NSQ wait (issue → controller fetch) in nanoseconds.
+    pub queue_wait_ns: u128,
+    /// Total device service (fetch → flash done) in nanoseconds.
+    pub device_service_ns: u128,
+    /// Total completion delivery (flash done → signalled) in nanoseconds.
+    pub delivery_ns: u128,
+}
+
+impl PhaseBreakdown {
+    /// Mean in-NSQ wait in milliseconds.
+    pub fn avg_queue_wait_ms(&self) -> f64 {
+        self.avg_ms(self.queue_wait_ns)
+    }
+
+    /// Mean device service in milliseconds.
+    pub fn avg_device_service_ms(&self) -> f64 {
+        self.avg_ms(self.device_service_ns)
+    }
+
+    /// Mean delivery in milliseconds.
+    pub fn avg_delivery_ms(&self) -> f64 {
+        self.avg_ms(self.delivery_ns)
+    }
+
+    fn avg_ms(&self, sum_ns: u128) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            sum_ns as f64 / self.count as f64 / 1e6
+        }
+    }
+}
+
+/// Per-class time series (Fig. 8 curves).
+#[derive(Clone, Debug)]
+pub struct ClassSeries {
+    /// Latency samples per bucket (mean = avg latency over time).
+    pub latency: TimeSeries,
+    /// Completed bytes per bucket (rate = throughput over time).
+    pub bytes: TimeSeries,
+}
+
+/// The complete measurement output of one scenario run.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Aggregate per-tenant summary (latency percentiles, IOPS, bytes).
+    pub summary: RunSummary,
+    /// Per-class time series, keyed by class label.
+    pub series: HashMap<String, ClassSeries>,
+    /// Per-class latency-phase breakdown, keyed by class label.
+    pub breakdown: HashMap<String, PhaseBreakdown>,
+    /// Storage-stack counters (lock waits, remote completions, steering…).
+    pub stack_stats: StackStats,
+    /// Application op-latency histograms merged across app tenants.
+    pub op_latencies: HashMap<OpKind, LatencyHistogram>,
+    /// Mean in-flash queueing delay (device congestion indicator).
+    pub flash_queue_delay: SimDuration,
+    /// Total simulator events processed.
+    pub events_processed: u64,
+    /// troute reassignment count (Fig. 14; 0 for non-Daredevil stacks).
+    pub troute_reassignments: u64,
+}
+
+impl RunOutput {
+    /// Convenience: L-class p99.9 latency in milliseconds.
+    pub fn l_p999_ms(&self) -> f64 {
+        self.summary.class("L").latency.p999().as_millis_f64()
+    }
+
+    /// Convenience: L-class mean latency in milliseconds.
+    pub fn l_avg_ms(&self) -> f64 {
+        self.summary.class("L").latency.mean().as_millis_f64()
+    }
+
+    /// Convenience: L-class aggregate IOPS (thousands).
+    pub fn l_kiops(&self) -> f64 {
+        self.summary.class("L").iops(self.summary.window_secs()) / 1e3
+    }
+
+    /// Convenience: T-class aggregate throughput in MB/s.
+    pub fn t_mbps(&self) -> f64 {
+        self.summary
+            .class("T")
+            .throughput_mbps(self.summary.window_secs())
+    }
+}

@@ -1,0 +1,424 @@
+//! Virtio-blk guest I/O layer — the paper's §8.1 future-work sketch.
+//!
+//! Applications inside guest VMs are invisible to the host kernel: their
+//! I/O reaches the host through virtqueues (VQs), and the vhost worker
+//! submits on behalf of the *VM process*, whose single ionice value says
+//! nothing about the guest tenants' SLAs. That is why the paper's Daredevil
+//! "currently does not support VMs" — and why its §8.1 sketches the fix:
+//! give the guest virtio stack the same decoupled structure, with each VQ
+//! serving one SLA, and let the hypervisor/host keep the VQ→NQ mappings
+//! SLA-consistent.
+//!
+//! [`VirtioBlk`] implements both sides of that comparison as a layer
+//! wrapping any host [`StorageStack`]:
+//!
+//! * [`VqMode::Naive`] — one best-effort VQ per VM: every guest request is
+//!   re-attributed to the VM's vhost identity, so the host stack (even
+//!   Daredevil) sees a single T-tenant per VM and guest L-requests drown in
+//!   guest T-traffic;
+//! * [`VqMode::SlaAware`] — per-SLA VQs whose vhost identities carry
+//!   real-time/best-effort ionice, so an SLA-aware host stack routes guest
+//!   L- and T-requests to different NQs end to end.
+//!
+//! VM identity is derived from the namespace a tenant targets (one
+//! namespace = one VM disk), which lets the multi-namespace scenarios of
+//! the testbed double as multi-VM scenarios.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use blkstack::stack::{StackEnv, StackStats, StorageStack};
+use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
+use dd_nvme::{CqId, NamespaceId};
+use simkit::SimDuration;
+
+/// How guest requests map onto virtqueues.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VqMode {
+    /// One best-effort VQ per VM: guest SLAs are invisible to the host.
+    Naive,
+    /// Per-SLA VQs with SLA-consistent vhost identities (§8.1's design).
+    SlaAware,
+}
+
+/// Per-request virtio/vhost overhead (VQ kick, descriptor translation,
+/// vhost handoff).
+pub const VIRTIO_PER_RQ: SimDuration = SimDuration::from_micros(2);
+
+/// Offset for synthesized vhost proxy pids, far above tenant pids.
+const PROXY_PID_BASE: u64 = 1 << 32;
+
+#[derive(Clone, Copy, Debug)]
+struct GuestTenant {
+    ionice: IoPriorityClass,
+    vm: NamespaceId,
+}
+
+/// The virtio-blk layer over a host storage stack.
+pub struct VirtioBlk {
+    inner: Box<dyn StorageStack>,
+    mode: VqMode,
+    /// Guest tenants, as seen inside their VMs.
+    guests: HashMap<Pid, GuestTenant>,
+    /// vhost proxy identities already registered with the host stack,
+    /// keyed by (vm, is_latency_class).
+    proxies: HashMap<(u32, bool), Pid>,
+    /// Original bios of in-flight rewritten requests, keyed by bio id.
+    in_flight: HashMap<u64, Bio>,
+    /// Requests forwarded through the layer.
+    forwarded: u64,
+}
+
+impl VirtioBlk {
+    /// Wraps a host stack.
+    pub fn new(inner: Box<dyn StorageStack>, mode: VqMode) -> Self {
+        VirtioBlk {
+            inner,
+            mode,
+            guests: HashMap::new(),
+            proxies: HashMap::new(),
+            in_flight: HashMap::new(),
+            forwarded: 0,
+        }
+    }
+
+    /// The wrapping mode.
+    pub fn mode(&self) -> VqMode {
+        self.mode
+    }
+
+    /// Requests forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// The vhost proxy identity a guest tenant's requests are attributed
+    /// to, creating + registering it with the host stack on first use.
+    fn proxy_for(
+        &mut self,
+        vm: NamespaceId,
+        guest_ionice: IoPriorityClass,
+        core: u16,
+        env: &mut StackEnv<'_>,
+    ) -> Pid {
+        let latency_class = match self.mode {
+            // The VM process is best-effort; guest SLAs do not escape.
+            VqMode::Naive => false,
+            VqMode::SlaAware => guest_ionice.is_latency_sensitive(),
+        };
+        let key = (vm.0, latency_class);
+        if let Some(&pid) = self.proxies.get(&key) {
+            return pid;
+        }
+        let pid = Pid(PROXY_PID_BASE + (vm.0 as u64) * 2 + latency_class as u64);
+        let ionice = if latency_class {
+            IoPriorityClass::RealTime
+        } else {
+            IoPriorityClass::BestEffort
+        };
+        let task = TaskStruct::new(pid, core, ionice, vm, "vhost");
+        self.inner.register_tenant(&task, env);
+        self.proxies.insert(key, pid);
+        pid
+    }
+
+    /// Restores the original guest bios on completions the inner stack
+    /// appended during the last call.
+    fn restore_completions(&mut self, env: &mut StackEnv<'_>, from: usize) {
+        for c in env.completions[from..].iter_mut() {
+            if let Some(original) = self.in_flight.remove(&c.bio.id.0) {
+                // Keep the inner timestamps; restore identity and metadata.
+                c.bio = original;
+            }
+        }
+    }
+}
+
+impl StorageStack for VirtioBlk {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            VqMode::Naive => "virtio-naive",
+            VqMode::SlaAware => "virtio-sla",
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.inner.capabilities()
+    }
+
+    fn register_tenant(&mut self, task: &TaskStruct, _env: &mut StackEnv<'_>) {
+        // Guest tenants register with the *guest* stack only; the host
+        // learns about them lazily through vhost proxies.
+        self.guests.insert(
+            task.pid,
+            GuestTenant {
+                ionice: task.ionice,
+                vm: task.nsid,
+            },
+        );
+    }
+
+    fn deregister_tenant(&mut self, pid: Pid, _env: &mut StackEnv<'_>) {
+        self.guests.remove(&pid);
+    }
+
+    fn update_ionice(&mut self, pid: Pid, class: IoPriorityClass, _env: &mut StackEnv<'_>) {
+        // Guest-side change; affects which VQ future requests use (in
+        // SLA-aware mode) but never reaches the host as a syscall.
+        if let Some(g) = self.guests.get_mut(&pid) {
+            g.ionice = class;
+        }
+    }
+
+    fn migrate_tenant(&mut self, _pid: Pid, _core: u16, _env: &mut StackEnv<'_>) {
+        // Guest vCPU migration is invisible to the host layer.
+    }
+
+    fn submit(&mut self, bios: &[Bio], env: &mut StackEnv<'_>) -> SimDuration {
+        debug_assert!(!bios.is_empty());
+        let guest = *self
+            .guests
+            .get(&bios[0].tenant)
+            .expect("submission from unregistered guest tenant");
+        let core = bios[0].core;
+        let proxy = self.proxy_for(guest.vm, guest.ionice, core, env);
+        // Rewrite the batch to the vhost identity; remember the originals.
+        let mut rewritten = Vec::with_capacity(bios.len());
+        for bio in bios {
+            self.in_flight.insert(bio.id.0, *bio);
+            self.forwarded += 1;
+            let mut b = *bio;
+            b.tenant = proxy;
+            // In naive mode the guest's REQ_SYNC/REQ_META hints are also
+            // lost at the virtio boundary (virtio-blk has no priority
+            // plumbing); the SLA-aware design forwards them.
+            if self.mode == VqMode::Naive {
+                b.flags = blkstack::ReqFlags::NONE;
+            }
+            rewritten.push(b);
+        }
+        let before = env.completions.len();
+        let inner_cost = self.inner.submit(&rewritten, env);
+        self.restore_completions(env, before);
+        inner_cost + VIRTIO_PER_RQ * bios.len() as u64
+    }
+
+    fn on_irq(&mut self, cq: CqId, core: u16, env: &mut StackEnv<'_>) -> SimDuration {
+        let before = env.completions.len();
+        let cost = self.inner.on_irq(cq, core, env);
+        self.restore_completions(env, before);
+        // The completion also crosses the virtio boundary (irqfd → guest).
+        let crossed = (env.completions.len() - before) as u64;
+        cost + VIRTIO_PER_RQ * crossed
+    }
+
+    fn on_tick(&mut self, env: &mut StackEnv<'_>) -> Option<SimDuration> {
+        self.inner.on_tick(env)
+    }
+
+    fn stats(&self) -> StackStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blkstack::bio::{BioId, ReqFlags};
+    use daredevil::{DaredevilConfig, DaredevilStack};
+    use dd_nvme::{DeviceOutput, IoOpcode, NvmeConfig, NvmeDevice, SqId};
+    use simkit::SimRng;
+    use simkit::SimTime;
+
+    fn device() -> NvmeDevice {
+        let mut cfg = NvmeConfig::sv_m().with_namespaces(2);
+        cfg.nr_sqs = 8;
+        cfg.nr_cqs = 8;
+        NvmeDevice::new(cfg, 4)
+    }
+
+    struct Harness {
+        dev: NvmeDevice,
+        out: DeviceOutput,
+        comps: Vec<blkstack::BioCompletion>,
+        migs: Vec<(Pid, u16)>,
+        rng: SimRng,
+        costs: dd_cpu::HostCosts,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                dev: device(),
+                out: DeviceOutput::new(),
+                comps: Vec::new(),
+                migs: Vec::new(),
+                rng: SimRng::new(1),
+                costs: dd_cpu::HostCosts::default(),
+            }
+        }
+
+        fn env(&mut self, now: SimTime) -> StackEnv<'_> {
+            StackEnv {
+                now,
+                device: &mut self.dev,
+                dev_out: &mut self.out,
+                completions: &mut self.comps,
+                migrations: &mut self.migs,
+                rng: &mut self.rng,
+                costs: &self.costs,
+            }
+        }
+    }
+
+    fn virtio(mode: VqMode, dev: &NvmeDevice) -> VirtioBlk {
+        let inner = DaredevilStack::for_device(
+            DaredevilConfig {
+                mru: 4,
+                ..DaredevilConfig::default()
+            },
+            4,
+            dev,
+        );
+        VirtioBlk::new(Box::new(inner), mode)
+    }
+
+    fn guest_task(pid: u64, vm: u32, ionice: IoPriorityClass) -> TaskStruct {
+        TaskStruct::new(Pid(pid), 0, ionice, NamespaceId(vm), "guest")
+    }
+
+    fn bio(id: u64, tenant: u64, vm: u32, bytes: u64, flags: ReqFlags) -> Bio {
+        Bio {
+            id: BioId(id),
+            tenant: Pid(tenant),
+            core: 0,
+            nsid: NamespaceId(vm),
+            op: IoOpcode::Read,
+            offset_blocks: id * 64,
+            bytes,
+            flags,
+            issued_at: SimTime::ZERO,
+        }
+    }
+
+    fn high_group_usage(dev: &NvmeDevice) -> u64 {
+        (0..4u16)
+            .map(|i| dev.sq_stats(SqId(i)).submitted_total)
+            .sum()
+    }
+
+    #[test]
+    fn naive_mode_hides_guest_slas() {
+        let mut h = Harness::new();
+        let mut s = virtio(VqMode::Naive, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&guest_task(1, 1, IoPriorityClass::RealTime), &mut env);
+        s.register_tenant(&guest_task(2, 1, IoPriorityClass::BestEffort), &mut env);
+        // Guest L and guest T both funnel through the best-effort vhost
+        // identity: the host's high-priority group stays unused.
+        s.submit(&[bio(1, 1, 1, 4096, ReqFlags::NONE)], &mut env);
+        s.submit(&[bio(2, 2, 1, 131072, ReqFlags::NONE)], &mut env);
+        assert_eq!(
+            high_group_usage(env.device),
+            0,
+            "guest L drowned in T class"
+        );
+    }
+
+    #[test]
+    fn sla_aware_mode_separates_guest_classes() {
+        let mut h = Harness::new();
+        let mut s = virtio(VqMode::SlaAware, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&guest_task(1, 1, IoPriorityClass::RealTime), &mut env);
+        s.register_tenant(&guest_task(2, 1, IoPriorityClass::BestEffort), &mut env);
+        s.submit(&[bio(1, 1, 1, 4096, ReqFlags::NONE)], &mut env);
+        s.submit(&[bio(2, 2, 1, 131072, ReqFlags::NONE)], &mut env);
+        assert_eq!(
+            high_group_usage(env.device),
+            1,
+            "guest L must reach the host high-priority group"
+        );
+    }
+
+    #[test]
+    fn completions_restore_guest_identity() {
+        let mut h = Harness::new();
+        let mut s = virtio(VqMode::SlaAware, &h.dev);
+        {
+            let mut env = h.env(SimTime::ZERO);
+            s.register_tenant(&guest_task(1, 1, IoPriorityClass::RealTime), &mut env);
+            s.submit(&[bio(7, 1, 1, 4096, ReqFlags::NONE)], &mut env);
+        }
+        // Drive to the interrupt.
+        let mut q = simkit::EventQueue::new();
+        let irq = loop {
+            for (at, ev) in h.out.events.drain(..) {
+                q.push(at, ev);
+            }
+            if let Some(r) = h.out.irqs.pop() {
+                break r;
+            }
+            let (at, ev) = q.pop().expect("device stalled");
+            h.dev.handle_event(ev, at, &mut h.out);
+        };
+        let mut env = StackEnv {
+            now: irq.at,
+            device: &mut h.dev,
+            dev_out: &mut h.out,
+            completions: &mut h.comps,
+            migrations: &mut h.migs,
+            rng: &mut h.rng,
+            costs: &h.costs,
+        };
+        s.on_irq(irq.cq, irq.core, &mut env);
+        assert_eq!(h.comps.len(), 1);
+        assert_eq!(
+            h.comps[0].bio.tenant,
+            Pid(1),
+            "completion must carry the guest tenant, not the vhost proxy"
+        );
+        assert_eq!(s.forwarded(), 1);
+    }
+
+    #[test]
+    fn vms_get_distinct_proxies() {
+        let mut h = Harness::new();
+        let mut s = virtio(VqMode::SlaAware, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&guest_task(1, 1, IoPriorityClass::RealTime), &mut env);
+        s.register_tenant(&guest_task(2, 2, IoPriorityClass::RealTime), &mut env);
+        s.submit(&[bio(1, 1, 1, 4096, ReqFlags::NONE)], &mut env);
+        s.submit(&[bio(2, 2, 2, 4096, ReqFlags::NONE)], &mut env);
+        assert_eq!(s.proxies.len(), 2, "one L proxy per VM");
+    }
+
+    #[test]
+    fn naive_mode_strips_outlier_flags() {
+        let mut h = Harness::new();
+        let mut s = virtio(VqMode::Naive, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&guest_task(2, 1, IoPriorityClass::BestEffort), &mut env);
+        // A guest fsync: in naive mode it cannot escape to the high group.
+        s.submit(&[bio(1, 2, 1, 4096, ReqFlags::SYNC)], &mut env);
+        assert_eq!(high_group_usage(env.device), 0);
+        // In SLA-aware mode the same request escapes.
+        let mut h2 = Harness::new();
+        let mut s2 = virtio(VqMode::SlaAware, &h2.dev);
+        let mut env2 = h2.env(SimTime::ZERO);
+        s2.register_tenant(&guest_task(2, 1, IoPriorityClass::BestEffort), &mut env2);
+        s2.submit(&[bio(1, 2, 1, 4096, ReqFlags::SYNC)], &mut env2);
+        assert_eq!(high_group_usage(env2.device), 1);
+    }
+
+    #[test]
+    fn virtio_overhead_charged() {
+        let mut h = Harness::new();
+        let mut s = virtio(VqMode::SlaAware, &h.dev);
+        let mut env = h.env(SimTime::ZERO);
+        s.register_tenant(&guest_task(1, 1, IoPriorityClass::RealTime), &mut env);
+        let cost = s.submit(&[bio(1, 1, 1, 4096, ReqFlags::NONE)], &mut env);
+        assert!(cost >= VIRTIO_PER_RQ, "virtio handoff must cost CPU");
+    }
+}

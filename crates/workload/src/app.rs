@@ -1,0 +1,161 @@
+//! Application workload interface: ops as scripts of I/O and compute steps.
+
+use blkstack::ReqFlags;
+use dd_nvme::IoOpcode;
+use simkit::{SimDuration, SimRng};
+
+/// Where an I/O lands within the tenant's namespace region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// Uniformly random block (the testbed rolls it).
+    Random,
+    /// Next block after the tenant's previous sequential I/O.
+    Sequential,
+    /// A specific block (e.g. a cache-missed KV block).
+    Block(u64),
+}
+
+/// One I/O to issue.
+#[derive(Clone, Copy, Debug)]
+pub struct IoDesc {
+    /// Read/write/flush.
+    pub op: IoOpcode,
+    /// Transfer size in bytes (0 for flush).
+    pub bytes: u64,
+    /// Target placement.
+    pub placement: Placement,
+    /// SLA-relevant flags (sync/meta).
+    pub flags: ReqFlags,
+}
+
+impl IoDesc {
+    /// A random 4 KiB read (the canonical L-request).
+    pub fn rand_read_4k() -> Self {
+        IoDesc {
+            op: IoOpcode::Read,
+            bytes: 4096,
+            placement: Placement::Random,
+            flags: ReqFlags::NONE,
+        }
+    }
+}
+
+/// One step of an application op.
+#[derive(Clone, Debug)]
+pub enum OpStep {
+    /// Issue one I/O and wait for its completion.
+    Io(IoDesc),
+    /// Issue several I/Os concurrently and wait for all of them.
+    IoParallel(Vec<IoDesc>),
+    /// Burn CPU on the tenant's core.
+    Compute(SimDuration),
+}
+
+/// The application-level operation type, for per-op latency reporting
+/// (Fig. 12 reports YCSB reads/updates/inserts/scans/RMWs and Mailserver
+/// fsync/delete).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// Point read.
+    Read,
+    /// Update of an existing key.
+    Update,
+    /// Insert of a new key.
+    Insert,
+    /// Range scan.
+    Scan,
+    /// Read-modify-write.
+    ReadModifyWrite,
+    /// File read (mailserver).
+    FileRead,
+    /// File append (mailserver).
+    Append,
+    /// fsync.
+    Fsync,
+    /// File delete.
+    Delete,
+    /// A periodic model checkpoint (bulk write + fsync).
+    Checkpoint,
+    /// Background maintenance (flush/compaction) — excluded from op stats.
+    Maintenance,
+}
+
+impl OpKind {
+    /// Stable label for tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Update => "update",
+            OpKind::Insert => "insert",
+            OpKind::Scan => "scan",
+            OpKind::ReadModifyWrite => "rmw",
+            OpKind::FileRead => "fileread",
+            OpKind::Append => "append",
+            OpKind::Fsync => "fsync",
+            OpKind::Delete => "delete",
+            OpKind::Checkpoint => "checkpoint",
+            OpKind::Maintenance => "maintenance",
+        }
+    }
+}
+
+/// One application operation: a kind plus the steps realising it.
+#[derive(Clone, Debug)]
+pub struct AppOp {
+    /// Operation type.
+    pub kind: OpKind,
+    /// Steps executed sequentially on the tenant's core.
+    pub steps: Vec<OpStep>,
+}
+
+impl AppOp {
+    /// An op with a single step.
+    pub fn single(kind: OpKind, step: OpStep) -> Self {
+        AppOp {
+            kind,
+            steps: vec![step],
+        }
+    }
+}
+
+/// A closed-loop application workload: the testbed asks for the next op as
+/// soon as the previous one finishes.
+pub trait AppWorkload {
+    /// Produces the next operation, or `None` when the workload is done.
+    fn next_op(&mut self, rng: &mut SimRng) -> Option<AppOp>;
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kind_labels_unique() {
+        let kinds = [
+            OpKind::Read,
+            OpKind::Update,
+            OpKind::Insert,
+            OpKind::Scan,
+            OpKind::ReadModifyWrite,
+            OpKind::FileRead,
+            OpKind::Append,
+            OpKind::Fsync,
+            OpKind::Delete,
+            OpKind::Checkpoint,
+            OpKind::Maintenance,
+        ];
+        let labels: std::collections::HashSet<&str> = kinds.iter().map(|k| k.as_str()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn canonical_l_request() {
+        let io = IoDesc::rand_read_4k();
+        assert_eq!(io.bytes, 4096);
+        assert_eq!(io.op, IoOpcode::Read);
+        assert_eq!(io.placement, Placement::Random);
+    }
+}

@@ -1,0 +1,181 @@
+//! Checkpointing trainer: the paper's introduction motivates T-tenants with
+//! "deep learning training workloads that periodically checkpoint model
+//! states". This workload alternates compute-heavy training steps with a
+//! checkpoint: a burst of bulky sequential writes followed by an fsync.
+//! The process is throughput-oriented (its SLA is checkpoint *bandwidth*),
+//! but the fsync at the end of every checkpoint is a sync outlier — the
+//! exact pattern troute's outlier profiling targets.
+
+use blkstack::ReqFlags;
+use dd_nvme::IoOpcode;
+use simkit::{SimDuration, SimRng};
+
+use crate::app::{AppOp, AppWorkload, IoDesc, OpKind, OpStep, Placement};
+
+/// Checkpoint workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointConfig {
+    /// CPU time of one training step.
+    pub step_compute: SimDuration,
+    /// Training steps between checkpoints.
+    pub steps_per_checkpoint: u32,
+    /// Checkpoint size as a count of 128 KiB writes.
+    pub checkpoint_writes: u32,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            step_compute: SimDuration::from_micros(500),
+            steps_per_checkpoint: 8,
+            checkpoint_writes: 32, // 4 MiB per checkpoint (scaled).
+        }
+    }
+}
+
+/// The trainer.
+pub struct CheckpointWorkload {
+    config: CheckpointConfig,
+    steps_remaining_in_epoch: u32,
+    checkpoints_remaining: u64,
+    checkpoints_done: u64,
+}
+
+impl CheckpointWorkload {
+    /// Creates a trainer that runs until `checkpoints` checkpoints complete.
+    pub fn new(config: CheckpointConfig, checkpoints: u64) -> Self {
+        assert!(config.steps_per_checkpoint > 0);
+        assert!(config.checkpoint_writes > 0);
+        CheckpointWorkload {
+            steps_remaining_in_epoch: config.steps_per_checkpoint,
+            config,
+            checkpoints_remaining: checkpoints,
+            checkpoints_done: 0,
+        }
+    }
+
+    /// Checkpoints completed so far.
+    pub fn checkpoints_done(&self) -> u64 {
+        self.checkpoints_done
+    }
+}
+
+impl AppWorkload for CheckpointWorkload {
+    fn next_op(&mut self, _rng: &mut SimRng) -> Option<AppOp> {
+        if self.checkpoints_remaining == 0 {
+            return None;
+        }
+        if self.steps_remaining_in_epoch > 0 {
+            self.steps_remaining_in_epoch -= 1;
+            // A training step: pure compute, excluded from I/O op stats.
+            return Some(AppOp {
+                kind: OpKind::Maintenance,
+                steps: vec![OpStep::Compute(self.config.step_compute)],
+            });
+        }
+        // Checkpoint: bulk sequential writes, then a sync barrier.
+        self.steps_remaining_in_epoch = self.config.steps_per_checkpoint;
+        self.checkpoints_remaining -= 1;
+        self.checkpoints_done += 1;
+        let writes: Vec<IoDesc> = (0..self.config.checkpoint_writes)
+            .map(|_| IoDesc {
+                op: IoOpcode::Write,
+                bytes: 128 * 1024,
+                placement: Placement::Sequential,
+                flags: ReqFlags::NONE,
+            })
+            .collect();
+        Some(AppOp {
+            kind: OpKind::Checkpoint,
+            steps: vec![
+                OpStep::IoParallel(writes),
+                OpStep::Io(IoDesc {
+                    op: IoOpcode::Flush,
+                    bytes: 0,
+                    placement: Placement::Sequential,
+                    flags: ReqFlags::SYNC,
+                }),
+            ],
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "checkpoint"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates_steps_and_checkpoints() {
+        let cfg = CheckpointConfig {
+            steps_per_checkpoint: 3,
+            ..CheckpointConfig::default()
+        };
+        let mut w = CheckpointWorkload::new(cfg, 2);
+        let mut rng = SimRng::new(1);
+        let mut kinds = Vec::new();
+        while let Some(op) = w.next_op(&mut rng) {
+            kinds.push(op.kind);
+        }
+        use OpKind::{Checkpoint, Maintenance};
+        assert_eq!(
+            kinds,
+            vec![
+                Maintenance,
+                Maintenance,
+                Maintenance,
+                Checkpoint,
+                Maintenance,
+                Maintenance,
+                Maintenance,
+                Checkpoint
+            ]
+        );
+        assert_eq!(w.checkpoints_done(), 2);
+    }
+
+    #[test]
+    fn checkpoint_ends_with_sync_flush() {
+        let mut w = CheckpointWorkload::new(
+            CheckpointConfig {
+                steps_per_checkpoint: 1,
+                checkpoint_writes: 4,
+                ..CheckpointConfig::default()
+            },
+            1,
+        );
+        let mut rng = SimRng::new(2);
+        let _step = w.next_op(&mut rng).unwrap();
+        let ckpt = w.next_op(&mut rng).unwrap();
+        assert_eq!(ckpt.kind, OpKind::Checkpoint);
+        match &ckpt.steps[0] {
+            OpStep::IoParallel(ios) => {
+                assert_eq!(ios.len(), 4);
+                assert!(ios.iter().all(|io| io.op == IoOpcode::Write));
+            }
+            other => panic!("expected write burst, got {other:?}"),
+        }
+        match &ckpt.steps[1] {
+            OpStep::Io(io) => {
+                assert_eq!(io.op, IoOpcode::Flush);
+                assert!(io.flags.sync, "the barrier is a sync outlier");
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn terminates() {
+        let mut w = CheckpointWorkload::new(CheckpointConfig::default(), 3);
+        let mut rng = SimRng::new(3);
+        let mut n = 0;
+        while w.next_op(&mut rng).is_some() {
+            n += 1;
+            assert!(n < 1000, "must terminate");
+        }
+        assert_eq!(w.checkpoints_done(), 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload generators for the evaluation.
+//!
+//! Three generator families cover every experiment in the paper:
+//!
+//! * [`fio`] — FIO-style closed-loop jobs (block size, iodepth, pattern);
+//!   the L-/T-tenant parameterisations of §7.1 live in [`tenants`];
+//! * [`ycsb`] — the four YCSB workload mixes (A, B, E, F) running over
+//!   [`kvsim`], an LSM-lite KV model with a block cache, WAL writes,
+//!   memtable flushes and compactions (the RocksDB stand-in of §7.4);
+//! * [`mailserver`] — a filebench-Mailserver-style op mix over a mail
+//!   directory, with the fsync/delete operations the paper reports;
+//! * [`checkpoint`] — the paper's *intro* motivation: a training loop that
+//!   periodically checkpoints model state as bulk synchronous writes.
+//!
+//! Application workloads express themselves as sequences of [`app::AppOp`]s
+//! — each op is a short script of I/O and compute steps the testbed executes
+//! on the tenant's core, measuring op latency end to end.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod checkpoint;
+pub mod fio;
+pub mod kvsim;
+pub mod mailserver;
+pub mod tenants;
+pub mod ycsb;
+
+pub use app::{AppOp, AppWorkload, IoDesc, OpKind, OpStep, Placement};
+pub use checkpoint::CheckpointWorkload;
+pub use fio::{FioJob, RwPattern};
+pub use mailserver::MailserverWorkload;
+pub use ycsb::{YcsbMix, YcsbWorkload};

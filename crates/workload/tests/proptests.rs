@@ -1,0 +1,63 @@
+//! Property-based tests of the workload generators.
+
+use dd_workload::kvsim::LruCache;
+use dd_workload::{AppWorkload, OpKind, OpStep, YcsbMix, YcsbWorkload};
+use proptest::prelude::*;
+use simkit::SimRng;
+
+proptest! {
+    /// The LRU cache never exceeds its capacity and an immediate re-access
+    /// always hits.
+    #[test]
+    fn lru_capacity_invariant(
+        cap in 1usize..64,
+        accesses in proptest::collection::vec(0u64..200, 1..300),
+    ) {
+        let mut c = LruCache::new(cap);
+        for &b in &accesses {
+            c.access(b);
+            prop_assert!(c.len() <= cap);
+        }
+        if let Some(&last) = accesses.last() {
+            prop_assert!(c.access(last));
+        }
+    }
+
+    /// Every YCSB mix terminates after exactly the requested primary ops
+    /// (RMWs split into two halves; maintenance excluded), and every
+    /// produced op is well-formed.
+    #[test]
+    fn ycsb_ops_well_formed(seed in any::<u64>(), ops in 1u64..200) {
+        for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::E, YcsbMix::F] {
+            let mut w = YcsbWorkload::new(
+                mix,
+                dd_workload::kvsim::KvConfig {
+                    keys: 1_000,
+                    cache_blocks: 100,
+                    memtable_entries: 16,
+                    ..Default::default()
+                },
+                ops,
+            );
+            let mut rng = SimRng::new(seed);
+            let mut primary_units = 0u64;
+            let mut guard = 0u64;
+            while let Some(op) = w.next_op(&mut rng) {
+                guard += 1;
+                prop_assert!(guard < ops * 8 + 16, "runaway op stream");
+                prop_assert!(!op.steps.is_empty());
+                for s in &op.steps {
+                    if let OpStep::IoParallel(v) = s {
+                        prop_assert!(!v.is_empty(), "empty parallel burst");
+                    }
+                }
+                match op.kind {
+                    OpKind::Maintenance => {}
+                    OpKind::ReadModifyWrite => primary_units += 1,
+                    _ => primary_units += 2,
+                }
+            }
+            prop_assert_eq!(primary_units, ops * 2, "mix {:?}", mix);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Guest VMs over virtio-blk: why Daredevil's paper defers VM support to
+//! future work (§8.1), and what its sketched fix buys.
+//!
+//! Two VMs (one namespace each) host guest L- and T-tenants. With naive
+//! virtqueues, guest SLAs never cross the virtio boundary — even a
+//! Daredevil host sees one best-effort vhost identity per VM. The sketched
+//! design gives each SLA its own virtqueue and keeps VQ→NQ mappings
+//! SLA-consistent.
+//!
+//! ```sh
+//! cargo run --release --example virtio_guests
+//! ```
+
+use daredevil_repro::metrics::table::fmt_ms;
+use daredevil_repro::metrics::Table;
+use daredevil_repro::prelude::*;
+
+fn vm_scenario(stack: StackSpec) -> Scenario {
+    let mut s = Scenario::new("vms", MachinePreset::SvM, stack);
+    s.core_pool = 4;
+    s.nvme = s.nvme.with_namespaces(2);
+    for vm in 1..=2u32 {
+        for i in 0..2u16 {
+            s.tenants.push(TenantSpec {
+                class_label: "L",
+                ionice: IoPriorityClass::RealTime,
+                core: i % 4,
+                nsid: NamespaceId(vm),
+                kind: TenantKind::Fio(daredevil_repro::workload::tenants::l_tenant_job()),
+            });
+        }
+        for i in 0..6u16 {
+            s.tenants.push(TenantSpec {
+                class_label: "T",
+                ionice: IoPriorityClass::BestEffort,
+                core: (2 + i) % 4,
+                nsid: NamespaceId(vm),
+                kind: TenantKind::Fio(daredevil_repro::workload::tenants::t_tenant_job()),
+            });
+        }
+    }
+    s.with_durations(SimDuration::from_millis(20), SimDuration::from_millis(200))
+}
+
+fn main() {
+    let mut table = Table::new(
+        "2 VMs, 2 guest L + 6 guest T each, over virtio-blk",
+        &[
+            "virtqueues / host stack",
+            "guest-L p99.9 (ms)",
+            "guest-L avg (ms)",
+        ],
+    );
+    for (label, stack) in [
+        (
+            "naive / vanilla",
+            StackSpec::virtio(StackSpec::vanilla(), false),
+        ),
+        (
+            "naive / daredevil",
+            StackSpec::virtio(StackSpec::daredevil(), false),
+        ),
+        (
+            "per-SLA / daredevil",
+            StackSpec::virtio(StackSpec::daredevil(), true),
+        ),
+    ] {
+        let out = daredevil_repro::testbed::run(vm_scenario(stack));
+        let l = out.summary.class("L");
+        table.row(&[
+            label.to_string(),
+            fmt_ms(l.latency.p999()),
+            fmt_ms(l.latency.mean()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nNaive virtqueues erase guest SLAs before the host can act on");
+    println!("them; per-SLA virtqueues let the host's NQ-level separation");
+    println!("reach into the VMs.");
+}

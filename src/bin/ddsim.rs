@@ -1,0 +1,192 @@
+//! `ddsim` — run custom multi-tenant scenarios from the command line.
+//!
+//! ```sh
+//! cargo run --release --bin ddsim -- --stack daredevil --l 4 --t 16 --cores 4
+//! cargo run --release --bin ddsim -- --stack vanilla --machine ws-m --measure-ms 500
+//! cargo run --release --bin ddsim -- --stack blk-switch --namespaces 8
+//! cargo run --release --bin ddsim -- --list-stacks
+//! ```
+
+use daredevil_repro::blkstack::iosched::SchedKind;
+use daredevil_repro::metrics::table::fmt_ms;
+use daredevil_repro::prelude::*;
+
+const STACKS: &[&str] = &[
+    "vanilla",
+    "vanilla-partitioned",
+    "mq-deadline",
+    "kyber",
+    "blk-switch",
+    "overprov",
+    "dare-base",
+    "dare-sched",
+    "daredevil",
+    "virtio-naive",
+    "virtio-sla",
+];
+
+fn stack_by_name(name: &str) -> Option<StackSpec> {
+    Some(match name {
+        "vanilla" => StackSpec::vanilla(),
+        "vanilla-partitioned" => StackSpec::vanilla_partitioned(4),
+        "mq-deadline" => StackSpec::vanilla_sched(SchedKind::MqDeadline),
+        "kyber" => StackSpec::vanilla_sched(SchedKind::Kyber),
+        "blk-switch" => StackSpec::blk_switch(),
+        "overprov" => StackSpec::overprov(),
+        "dare-base" => StackSpec::dare_base(),
+        "dare-sched" => StackSpec::dare_sched(),
+        "daredevil" => StackSpec::daredevil(),
+        "virtio-naive" => StackSpec::virtio(StackSpec::daredevil(), false),
+        "virtio-sla" => StackSpec::virtio(StackSpec::daredevil(), true),
+        _ => return None,
+    })
+}
+
+struct Args {
+    stack: String,
+    machine: MachinePreset,
+    nr_l: u16,
+    nr_t: u16,
+    cores: u16,
+    namespaces: Option<u32>,
+    warmup_ms: u64,
+    measure_ms: u64,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            stack: "daredevil".into(),
+            machine: MachinePreset::SvM,
+            nr_l: 4,
+            nr_t: 8,
+            cores: 4,
+            namespaces: None,
+            warmup_ms: 50,
+            measure_ms: 800,
+            seed: 42,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ddsim [--stack NAME] [--machine sv-m|ws-m|small] [--l N] [--t N]\n\
+         \x20            [--cores N] [--namespaces N] [--warmup-ms N] [--measure-ms N]\n\
+         \x20            [--seed N] [--list-stacks]\n\
+         stacks: {}",
+        STACKS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--stack" => args.stack = value(&mut i),
+            "--machine" => {
+                args.machine = match value(&mut i).as_str() {
+                    "sv-m" => MachinePreset::SvM,
+                    "ws-m" => MachinePreset::WsM,
+                    "small" => MachinePreset::Small,
+                    other => {
+                        eprintln!("unknown machine {other}");
+                        usage()
+                    }
+                }
+            }
+            "--l" => args.nr_l = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--t" => args.nr_t = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--cores" => args.cores = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--namespaces" => {
+                args.namespaces = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--warmup-ms" => args.warmup_ms = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--measure-ms" => args.measure_ms = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--list-stacks" => {
+                for s in STACKS {
+                    println!("{s}");
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(stack) = stack_by_name(&args.stack) else {
+        eprintln!("unknown stack '{}'", args.stack);
+        usage();
+    };
+    let mut scenario = match args.namespaces {
+        Some(ns) => Scenario::multi_namespace(stack, ns, args.cores, args.machine),
+        None => Scenario::multi_tenant_fio(stack, args.nr_l, args.nr_t, args.cores, args.machine),
+    }
+    .with_seed(args.seed)
+    .with_durations(
+        SimDuration::from_millis(args.warmup_ms),
+        SimDuration::from_millis(args.measure_ms),
+    );
+    if let Err(e) = scenario.validate() {
+        eprintln!("invalid scenario: {e}");
+        std::process::exit(2);
+    }
+    scenario.name = format!("ddsim-{}", args.stack);
+
+    let out = daredevil_repro::testbed::run(scenario);
+    println!("{}", out.summary.headline());
+    println!();
+    for class in out.summary.classes() {
+        let c = out.summary.class(&class);
+        println!(
+            "{:>4}: n={:<8} p50={:>10}  p99={:>10}  p99.9={:>10}  {:.0} IOPS  {:.1} MB/s",
+            class,
+            c.ios_completed,
+            fmt_ms(c.latency.p50()),
+            fmt_ms(c.latency.p99()),
+            fmt_ms(c.latency.p999()),
+            c.iops(out.summary.window_secs()),
+            c.throughput_mbps(out.summary.window_secs()),
+        );
+    }
+    println!("\nlatency phases (avg ms: in-NSQ wait / device service / delivery):");
+    for class in out.summary.classes() {
+        if let Some(b) = out.breakdown.get(&class) {
+            println!(
+                "{:>4}: {:.3} / {:.3} / {:.3}",
+                class,
+                b.avg_queue_wait_ms(),
+                b.avg_device_service_ms(),
+                b.avg_delivery_ms()
+            );
+        }
+    }
+    let st = &out.stack_stats;
+    println!(
+        "\nstack: {} submitted, {} completed ({} remote), {} requeues, {} steering actions",
+        st.submitted_rqs, st.completed_rqs, st.remote_completions, st.requeues, st.steering_actions
+    );
+    println!(
+        "device: flash queue delay {}, events {}, T fairness (Jain) {:.3}",
+        out.flash_queue_delay,
+        out.events_processed,
+        out.summary.jain_fairness("T"),
+    );
+}

@@ -1,0 +1,66 @@
+//! Daredevil reproduction — facade crate.
+//!
+//! This crate re-exports the whole workspace under one roof so examples,
+//! integration tests, and downstream users can depend on a single package:
+//!
+//! * [`daredevil`] — the paper's contribution: the decoupled block layer
+//!   (blex/nproxy), the tenant-NQ router (troute), and the NQ regulator
+//!   (nqreg);
+//! * [`blkstack`] — the shared block layer and vanilla blk-mq;
+//! * [`blkswitch`] — the blk-switch (OSDI '21) baseline;
+//! * [`overprov`] — the FlashShare/D2FQ-style static-overprovision baseline
+//!   (device WRR);
+//! * [`virtio`] — the §8.1 virtio-blk guest layer (naive vs SLA-aware VQs);
+//! * [`nvme`] — the simulated multi-queue NVMe SSD;
+//! * [`cpu`] — the host CPU model;
+//! * [`workload`] — FIO-style, YCSB/kvsim and mailserver workloads;
+//! * [`testbed`] — scenarios and the deterministic event loop;
+//! * [`metrics`] — histograms, series, summaries, tables;
+//! * [`simkit`] — the discrete-event substrate.
+//!
+//! # Quick start
+//!
+//! ```
+//! use daredevil_repro::prelude::*;
+//!
+//! // Compare vanilla blk-mq and Daredevil under T-pressure.
+//! let scenario = Scenario::multi_tenant_fio(
+//!     StackSpec::daredevil(),
+//!     2, // L-tenants
+//!     4, // T-tenants
+//!     2, // cores
+//!     MachinePreset::Small,
+//! )
+//! .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(30));
+//! let out = daredevil_repro::testbed::run(scenario);
+//! println!("{}", out.summary.headline());
+//! assert!(out.summary.class("L").ios_completed > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use blkstack;
+pub use blkswitch;
+pub use daredevil;
+pub use dd_cpu as cpu;
+pub use dd_metrics as metrics;
+pub use dd_nvme as nvme;
+pub use dd_overprov as overprov;
+pub use dd_virtio as virtio;
+pub use dd_workload as workload;
+pub use simkit;
+pub use testbed;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use blkstack::{IoPriorityClass, StorageStack};
+    pub use daredevil::{DaredevilConfig, DaredevilStack, Variant};
+    pub use dd_metrics::{LatencyHistogram, RunSummary};
+    pub use dd_nvme::{NamespaceId, NvmeConfig, NvmeDevice};
+    pub use dd_workload::{FioJob, RwPattern, YcsbMix};
+    pub use simkit::{SimDuration, SimTime};
+    pub use testbed::scenario::{
+        AppKind, MachinePreset, Scenario, StackSpec, TenantKind, TenantSpec,
+    };
+    pub use testbed::RunOutput;
+}

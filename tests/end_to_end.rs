@@ -1,0 +1,152 @@
+//! Cross-crate sanity: conservation laws and liveness for every stack on
+//! every scenario family.
+
+use daredevil_repro::prelude::*;
+
+fn all_stacks() -> Vec<StackSpec> {
+    vec![
+        StackSpec::vanilla(),
+        StackSpec::vanilla_partitioned(4),
+        StackSpec::vanilla_sched(daredevil_repro::blkstack::iosched::SchedKind::MqDeadline),
+        StackSpec::vanilla_sched(daredevil_repro::blkstack::iosched::SchedKind::Kyber),
+        StackSpec::blk_switch(),
+        StackSpec::overprov(),
+        StackSpec::dare_base(),
+        StackSpec::dare_sched(),
+        StackSpec::daredevil(),
+        StackSpec::virtio(StackSpec::daredevil(), true),
+        StackSpec::virtio(StackSpec::vanilla(), false),
+    ]
+}
+
+/// Every stack completes I/O for every tenant class and never loses or
+/// double-counts requests.
+#[test]
+fn conservation_and_liveness() {
+    for stack in all_stacks() {
+        let s = Scenario::multi_tenant_fio(stack, 2, 4, 2, MachinePreset::Small)
+            .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(60));
+        let out = daredevil_repro::testbed::run(s);
+        let name = out.summary.stack.clone();
+        for t in &out.summary.tenants {
+            assert!(
+                t.ios_completed > 0,
+                "{name}: tenant {} starved",
+                t.tenant_id
+            );
+            assert!(
+                t.ios_issued >= t.ios_completed,
+                "{name}: completed more than issued"
+            );
+            assert_eq!(
+                t.latency.count(),
+                t.ios_completed,
+                "{name}: histogram count mismatch"
+            );
+        }
+        let st = &out.stack_stats;
+        assert!(
+            st.submitted_rqs >= st.completed_rqs,
+            "{name}: completed more requests than submitted"
+        );
+        assert_eq!(
+            st.completed_rqs,
+            st.local_completions + st.remote_completions,
+            "{name}: completion locality accounting broken"
+        );
+    }
+}
+
+/// Latency invariants: mean ≤ p99 ≤ p99.9 ≤ max, all positive.
+#[test]
+fn latency_ordering() {
+    for stack in all_stacks() {
+        let s = Scenario::multi_tenant_fio(stack, 2, 8, 2, MachinePreset::Small)
+            .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(60));
+        let out = daredevil_repro::testbed::run(s);
+        let l = out.summary.class("L").latency;
+        assert!(l.min() > SimDuration::ZERO);
+        assert!(l.p50() <= l.p99());
+        assert!(l.p99() <= l.p999());
+        assert!(l.p999() <= l.max());
+    }
+}
+
+/// Multi-namespace scenarios work on every stack and keep namespaces
+/// functional (all tenants make progress on their own namespace).
+#[test]
+fn multi_namespace_liveness() {
+    for stack in all_stacks() {
+        let s = Scenario::multi_namespace(stack, 4, 4, MachinePreset::SvM)
+            .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(60));
+        let out = daredevil_repro::testbed::run(s);
+        for t in &out.summary.tenants {
+            assert!(t.ios_completed > 0, "tenant {} starved", t.tenant_id);
+        }
+    }
+}
+
+/// The WS-M preset (NSQ ≫ NCQ fan-out) works on every stack — this is the
+/// configuration where nqreg's two-step scheduling is non-degenerate.
+#[test]
+fn ws_m_fanout_runs() {
+    for stack in all_stacks() {
+        let s = Scenario::multi_tenant_fio(stack, 2, 4, 4, MachinePreset::WsM)
+            .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(60));
+        let out = daredevil_repro::testbed::run(s);
+        assert!(out.summary.class("L").ios_completed > 0);
+        assert!(out.summary.class("T").bytes_completed > 0);
+    }
+}
+
+/// Mailserver app completes its ops, produces fsync/delete latencies, and
+/// its cache keeps most reads off the device.
+#[test]
+fn mailserver_end_to_end() {
+    use daredevil_repro::workload::mailserver::MailConfig;
+    use daredevil_repro::workload::OpKind;
+    let mut s = Scenario::new("mail", MachinePreset::Small, StackSpec::daredevil());
+    s.tenants.push(TenantSpec {
+        class_label: "app",
+        ionice: IoPriorityClass::RealTime,
+        core: 0,
+        nsid: NamespaceId(1),
+        kind: TenantKind::App(AppKind::Mailserver {
+            config: MailConfig {
+                files: 2_000,
+                ..MailConfig::default()
+            },
+            ops: 1_500,
+        }),
+    });
+    s.stop_when_apps_done = true;
+    s.measure = SimDuration::from_secs(30);
+    let out = daredevil_repro::testbed::run(s);
+    let fsync = out.op_latencies.get(&OpKind::Fsync).expect("fsyncs ran");
+    let delete = out.op_latencies.get(&OpKind::Delete).expect("deletes ran");
+    assert!(fsync.count() > 50);
+    assert!(delete.count() > 20);
+    assert!(
+        fsync.mean() > SimDuration::from_micros(50),
+        "fsync hits the device"
+    );
+    let reads = out.op_latencies.get(&OpKind::FileRead).expect("reads ran");
+    // Cached reads are much faster than fsyncs on average.
+    assert!(reads.mean() < fsync.mean());
+}
+
+/// An idle-ish scenario (single L-tenant, no interference) delivers
+/// microsecond-class latency — the device's native speed shows through the
+/// whole stack.
+#[test]
+fn uncontended_latency_is_microseconds() {
+    let s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 0, 1, MachinePreset::SvM)
+        .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(50));
+    let out = daredevil_repro::testbed::run(s);
+    let l = out.summary.class("L").latency;
+    assert!(
+        l.mean() < SimDuration::from_micros(200),
+        "uncontended read should be ~100us-class, got {}",
+        l.mean()
+    );
+}
