@@ -1,15 +1,37 @@
 //! `cargo bench` entry point that regenerates every table and figure of the
-//! paper at reduced scale (custom harness, not criterion: the output *is*
-//! the artifact). For full-scale runs use the binaries, e.g.
+//! paper at reduced scale (custom harness, not a statistics runner: the
+//! output *is* the artifact). For full-scale runs use the binaries, e.g.
 //! `cargo run --release -p bench --bin fig6`.
+//!
+//! Arguments (cargo passes everything after `--` through):
+//!
+//! * `--smoke` — regenerate only a representative subset (the CI gate run
+//!   by `scripts/verify.sh`);
+//! * `--bench` — injected by cargo, ignored;
+//! * `--csv` — also emit CSV after each table.
 
 fn main() {
-    // Respect `cargo bench -- --quick`-style extra args but default to the
-    // reduced scale either way: this harness is the smoke-level sweep.
-    let opts = bench::Opts {
-        quick: true,
-        csv: false,
-    };
+    let mut smoke = false;
+    let mut csv = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--csv" => csv = true,
+            "--bench" | "--quick" => {} // Quick scale is this harness's default.
+            other => eprintln!("figures: ignoring unknown argument {other}"),
+        }
+    }
+    // Reduced scale either way: this harness is the smoke-level sweep.
+    let opts = bench::Opts { quick: true, csv };
+    if smoke {
+        println!("Regenerating the smoke subset of paper artifacts (--smoke).\n");
+        bench::figures::table1::run_figure(&opts);
+        bench::figures::fig2::run_figure(&opts);
+        bench::figures::fig6::run_figure(&opts);
+        bench::figures::ext_breakdown::run_figure(&opts);
+        println!("Done (smoke subset). Full quick sweep: cargo bench -p bench --bench figures");
+        return;
+    }
     println!("Regenerating all paper artifacts at reduced (--quick) scale.\n");
     bench::figures::table1::run_figure(&opts);
     bench::figures::fig2::run_figure(&opts);

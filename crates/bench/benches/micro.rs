@@ -1,17 +1,21 @@
-//! Criterion micro-benchmarks of the hot-path data structures.
+//! Micro-benchmarks of the hot-path data structures (dd-check runner).
 //!
 //! These measure the *wall-clock* cost of the mechanisms the paper argues
 //! must be lightweight: the merit-heap scheduling of nqreg (MRU-gated vs.
 //! per-query resorts), troute's routing decision, and the simulation
 //! substrate itself (event queue, latency histogram, flash dispatch).
+//!
+//! Runs under `cargo bench -p bench --bench micro`; accepts `--smoke`
+//! (reduced samples) and a positional substring filter — see
+//! `dd_check::bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use blkstack::bio::{Bio, BioId, ReqFlags};
 use blkstack::nsqlock::NsqLockTable;
 use blkstack::{IoPriorityClass, Pid, TaskStruct};
 use daredevil::{DaredevilConfig, NqReg, Priority, ProxyTable, Troute};
+use dd_check::bench::BenchSet;
 use dd_metrics::LatencyHistogram;
 use dd_nvme::{IoOpcode, NamespaceId, NvmeConfig, NvmeDevice, SqId};
 use simkit::{EventQueue, SimDuration, SimRng, SimTime};
@@ -32,34 +36,31 @@ fn proxies(dev: &NvmeDevice) -> ProxyTable {
     )
 }
 
-fn bench_nq_scheduling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nqreg");
+fn bench_nq_scheduling(set: &mut BenchSet) {
     // The WS-M shape: 128 NSQs over 24 NCQs, both scheduling steps active.
     let dev = device(128, 24);
     let locks = NsqLockTable::new(128);
     let prox = proxies(&dev);
 
-    g.bench_function("schedule_mru_hit", |b| {
-        let mut reg = NqReg::new(0.8, 1024, true, 128, 24, |i| i % 24);
-        b.iter(|| black_box(reg.schedule(Priority::High, 1, &dev, &locks, &prox)));
+    let mut reg = NqReg::new(0.8, 1024, true, 128, 24, |i| i % 24);
+    set.bench("nqreg/schedule_mru_hit", || {
+        black_box(reg.schedule(Priority::High, 1, &dev, &locks, &prox))
     });
-    g.bench_function("schedule_with_resort", |b| {
-        let mut reg = NqReg::new(0.8, 1, true, 128, 24, |i| i % 24);
-        b.iter(|| black_box(reg.schedule(Priority::High, 1, &dev, &locks, &prox)));
+    let mut reg = NqReg::new(0.8, 1, true, 128, 24, |i| i % 24);
+    set.bench("nqreg/schedule_with_resort", || {
+        black_box(reg.schedule(Priority::High, 1, &dev, &locks, &prox))
     });
-    g.bench_function("schedule_round_robin", |b| {
-        let mut reg = NqReg::new(0.8, 1024, false, 128, 24, |i| i % 24);
-        b.iter(|| black_box(reg.schedule(Priority::Low, 1, &dev, &locks, &prox)));
+    let mut reg = NqReg::new(0.8, 1024, false, 128, 24, |i| i % 24);
+    set.bench("nqreg/schedule_round_robin", || {
+        black_box(reg.schedule(Priority::Low, 1, &dev, &locks, &prox))
     });
-    g.finish();
 }
 
-fn bench_troute(c: &mut Criterion) {
-    let mut g = c.benchmark_group("troute");
+fn bench_troute(set: &mut BenchSet) {
     let dev = device(64, 64);
     let locks = NsqLockTable::new(64);
 
-    g.bench_function("route_default", |b| {
+    {
         let mut prox = proxies(&dev);
         let mut reg = NqReg::new(0.8, 1024, true, 64, 64, |i| i);
         let mut tr = Troute::new(1024, 64);
@@ -81,9 +82,11 @@ fn bench_troute(c: &mut Criterion) {
             flags: ReqFlags::NONE,
             issued_at: SimTime::ZERO,
         };
-        b.iter(|| black_box(tr.route(&bio, &mut reg, &dev, &locks, &mut prox)));
-    });
-    g.bench_function("route_outlier_per_request", |b| {
+        set.bench("troute/route_default", || {
+            black_box(tr.route(&bio, &mut reg, &dev, &locks, &mut prox))
+        });
+    }
+    {
         let mut prox = proxies(&dev);
         let mut reg = NqReg::new(0.8, 1024, true, 64, 64, |i| i);
         let mut tr = Troute::new(1024, u64::MAX);
@@ -105,16 +108,17 @@ fn bench_troute(c: &mut Criterion) {
             flags: ReqFlags::SYNC,
             issued_at: SimTime::ZERO,
         };
-        b.iter(|| black_box(tr.route(&bio, &mut reg, &dev, &locks, &mut prox)));
-    });
-    g.finish();
+        set.bench("troute/route_outlier_per_request", || {
+            black_box(tr.route(&bio, &mut reg, &dev, &locks, &mut prox))
+        });
+    }
 }
 
-fn bench_substrate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate");
-    g.bench_function("event_queue_push_pop", |b| {
+fn bench_substrate(set: &mut BenchSet) {
+    {
         let mut rng = SimRng::new(1);
-        b.iter_batched(
+        set.bench_batched(
+            "substrate/event_queue_push_pop",
             || {
                 let mut q = EventQueue::with_capacity(1024);
                 for _ in 0..512 {
@@ -127,58 +131,52 @@ fn bench_substrate(c: &mut Criterion) {
                     black_box(e);
                 }
             },
-            BatchSize::SmallInput,
         );
-    });
-    g.bench_function("histogram_record", |b| {
+    }
+    {
         let mut h = LatencyHistogram::new();
         let mut rng = SimRng::new(2);
-        b.iter(|| {
+        set.bench("substrate/histogram_record", || {
             h.record(SimDuration::from_nanos(rng.gen_range(100_000_000) + 1));
         });
         black_box(h.count());
-    });
-    g.bench_function("flash_dispatch_4k", |b| {
+    }
+    {
         let mut dev = dd_nvme::flash::FlashBackend::new(dd_nvme::flash::FlashConfig::enterprise());
         let mut now = SimTime::ZERO;
         let mut lba = 0u64;
-        b.iter(|| {
+        set.bench("substrate/flash_dispatch_4k", || {
             now += SimDuration::from_nanos(500);
             lba = lba.wrapping_add(97);
-            black_box(dev.dispatch_page(now, lba, IoOpcode::Read));
+            black_box(dev.dispatch_page(now, lba, IoOpcode::Read))
         });
-    });
-    g.bench_function("nsq_lock_acquire", |b| {
+    }
+    {
         let mut locks = NsqLockTable::new(16);
         let mut now = SimTime::ZERO;
-        b.iter(|| {
+        set.bench("substrate/nsq_lock_acquire", || {
             now += SimDuration::from_nanos(100);
-            black_box(locks.acquire(SqId(3), now, SimDuration::from_nanos(150)));
+            black_box(locks.acquire(SqId(3), now, SimDuration::from_nanos(150)))
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_daredevil_config(c: &mut Criterion) {
-    let mut g = c.benchmark_group("construction");
-    g.bench_function("daredevil_stack_for_device", |b| {
-        let dev = device(128, 24);
-        b.iter(|| {
-            black_box(daredevil::DaredevilStack::for_device(
-                DaredevilConfig::default(),
-                8,
-                &dev,
-            ))
-        });
+fn bench_daredevil_config(set: &mut BenchSet) {
+    let dev = device(128, 24);
+    set.bench("construction/daredevil_stack_for_device", || {
+        black_box(daredevil::DaredevilStack::for_device(
+            DaredevilConfig::default(),
+            8,
+            &dev,
+        ))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_nq_scheduling,
-    bench_troute,
-    bench_substrate,
-    bench_daredevil_config
-);
-criterion_main!(benches);
+fn main() {
+    let mut set = BenchSet::from_args("micro");
+    bench_nq_scheduling(&mut set);
+    bench_troute(&mut set);
+    bench_substrate(&mut set);
+    bench_daredevil_config(&mut set);
+    set.finish();
+}

@@ -1,6 +1,6 @@
-//! Property-based tests of the block-layer machinery.
+//! Property-based tests of the block-layer machinery (dd-check harness).
 
-use proptest::prelude::*;
+use dd_check::{check, prop_assert, prop_assert_eq};
 
 use blkstack::nsqlock::NsqLockTable;
 use blkstack::split::{split_extents, SplitConfig};
@@ -8,16 +8,17 @@ use dd_nvme::spec::bytes_to_blocks;
 use dd_nvme::SqId;
 use simkit::{SimDuration, SimTime};
 
-proptest! {
-    /// Splitting conserves blocks, produces contiguous extents, and never
-    /// exceeds the per-command cap.
-    #[test]
-    fn split_conserves_and_caps(
-        offset in 0u64..1_000_000,
-        bytes in 1u64..4_000_000,
-        max_kib in 4u64..512,
-    ) {
-        let cfg = SplitConfig { max_bytes: max_kib * 1024 };
+/// Splitting conserves blocks, produces contiguous extents, and never
+/// exceeds the per-command cap.
+#[test]
+fn split_conserves_and_caps() {
+    check("split_conserves_and_caps", |c| {
+        let offset = c.u64_in(0, 1_000_000);
+        let bytes = c.u64_in(1, 4_000_000);
+        let max_kib = c.u64_in(4, 512);
+        let cfg = SplitConfig {
+            max_bytes: max_kib * 1024,
+        };
         let extents = split_extents(&cfg, offset, bytes);
         let max_blocks = (cfg.max_bytes / 4096).max(1) as u32;
         let total: u64 = extents.iter().map(|e| e.nlb as u64).sum();
@@ -32,15 +33,19 @@ proptest! {
         for e in &extents[..extents.len() - 1] {
             prop_assert_eq!(e.nlb, max_blocks);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The NSQ lock serializes: release times per queue are strictly
-    /// increasing, waits are exactly the overlap, and the contention
-    /// statistics add up.
-    #[test]
-    fn nsq_lock_serializes(
-        accesses in proptest::collection::vec((0u16..4, 0u64..1_000, 1u64..500), 1..100),
-    ) {
+/// The NSQ lock serializes: release times per queue are strictly
+/// increasing, waits are exactly the overlap, and the contention
+/// statistics add up.
+#[test]
+fn nsq_lock_serializes() {
+    check("nsq_lock_serializes", |c| {
+        let accesses = c.vec_of(1, 100, |c| {
+            (c.u16_in(0, 4), c.u64_in(0, 1_000), c.u64_in(1, 500))
+        });
         let mut locks = NsqLockTable::new(4);
         let mut last_release = [SimTime::ZERO; 4];
         let mut sorted = accesses.clone();
@@ -68,5 +73,6 @@ proptest! {
             .iter()
             .fold(SimDuration::ZERO, |a, &b| a + b);
         prop_assert_eq!(locks.in_lock_grand_total(), grand);
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,325 @@
+//! Wall-clock micro-bench runner (the in-repo `criterion` replacement).
+//!
+//! Designed for `harness = false` bench targets driven by
+//! `cargo bench -p bench [-- --smoke] [-- <filter>]`:
+//!
+//! * **calibration** — the measured routine is batched until one sample
+//!   spans a target wall-clock window, so timer resolution never dominates;
+//! * **warmup** — batches run untimed for a warmup period (caches, branch
+//!   predictors);
+//! * **sampling** — N timed samples of K iterations each; the report shows
+//!   the **median**, **p95** and **min** ns-per-iteration over samples
+//!   (median/p95 are robust to scheduler noise; min approximates the
+//!   no-interference cost).
+//!
+//! `--smoke` shrinks warmup and sample counts for CI smoke runs;
+//! `--bench` (injected by cargo) is accepted and ignored; any positional
+//! argument is a substring filter over benchmark names.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Options of a bench run, usually parsed from the process arguments.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Reduced scale for CI smoke runs.
+    pub smoke: bool,
+    /// Substring filter over benchmark names.
+    pub filter: Option<String>,
+    /// Timed samples per benchmark.
+    pub samples: usize,
+    /// Untimed warmup per benchmark.
+    pub warmup: Duration,
+    /// Target wall-clock span of one timed sample.
+    pub sample_window: Duration,
+}
+
+impl BenchOpts {
+    /// Full-scale defaults.
+    pub fn full() -> Self {
+        BenchOpts {
+            smoke: false,
+            filter: None,
+            samples: 50,
+            warmup: Duration::from_millis(100),
+            sample_window: Duration::from_micros(200),
+        }
+    }
+
+    /// Smoke-scale defaults.
+    pub fn smoke() -> Self {
+        BenchOpts {
+            smoke: true,
+            filter: None,
+            samples: 12,
+            warmup: Duration::from_millis(5),
+            sample_window: Duration::from_micros(50),
+        }
+    }
+
+    /// Parses the process arguments (`--smoke`/`--quick`, ignored
+    /// `--bench`, positional filter).
+    pub fn from_args() -> Self {
+        let mut opts = BenchOpts::full();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--smoke" | "--quick" => {
+                    let filter = opts.filter.take();
+                    opts = BenchOpts::smoke();
+                    opts.filter = filter;
+                }
+                "--bench" | "--csv" => {} // Injected by cargo / accepted for symmetry.
+                other if other.starts_with("--") => {
+                    eprintln!("dd-check bench: ignoring unknown flag {other}");
+                }
+                positional => opts.filter = Some(positional.to_string()),
+            }
+        }
+        opts
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// One benchmark's statistics, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name (`group/name` by convention).
+    pub name: String,
+    /// Median over samples.
+    pub median_ns: f64,
+    /// 95th percentile over samples.
+    pub p95_ns: f64,
+    /// Minimum over samples.
+    pub min_ns: f64,
+    /// Timed samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// A set of benchmarks sharing options and a report.
+pub struct BenchSet {
+    title: String,
+    opts: BenchOpts,
+    results: Vec<BenchResult>,
+}
+
+impl BenchSet {
+    /// Creates a set with options parsed from the process arguments.
+    pub fn from_args(title: &str) -> Self {
+        Self::with_opts(title, BenchOpts::from_args())
+    }
+
+    /// Creates a set with explicit options.
+    pub fn with_opts(title: &str, opts: BenchOpts) -> Self {
+        println!(
+            "== {title} ({} scale) ==",
+            if opts.smoke { "smoke" } else { "full" }
+        );
+        BenchSet {
+            title: title.to_string(),
+            opts,
+            results: Vec::new(),
+        }
+    }
+
+    /// The active options.
+    pub fn opts(&self) -> &BenchOpts {
+        &self.opts
+    }
+
+    /// Benchmarks a routine that can run back-to-back (the `Criterion::iter`
+    /// equivalent). The return value is passed through [`black_box`].
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.opts.matches(name) {
+            return;
+        }
+        // Calibrate the batch size so one sample spans the target window:
+        // double the probe batch until it fills the window, then derive the
+        // per-iteration estimate from the (warm) final probe.
+        let window_ns = self.opts.sample_window.as_nanos() as u64;
+        let mut probe_iters = 1u64;
+        let once_ns = loop {
+            let t = Instant::now();
+            for _ in 0..probe_iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as u64;
+            if elapsed >= window_ns || probe_iters >= 10_000_000 {
+                break (elapsed / probe_iters).max(1);
+            }
+            probe_iters *= 2;
+        };
+        let iters = (window_ns / once_ns).clamp(1, 10_000_000);
+
+        // Warmup.
+        let warm_until = Instant::now() + self.opts.warmup;
+        while Instant::now() < warm_until {
+            for _ in 0..iters {
+                black_box(f());
+            }
+        }
+
+        // Timed samples.
+        let mut per_iter_ns = Vec::with_capacity(self.opts.samples);
+        for _ in 0..self.opts.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.push(name, per_iter_ns, iters);
+    }
+
+    /// Benchmarks a routine that consumes per-iteration state built by an
+    /// untimed `setup` (the `Criterion::iter_batched` equivalent).
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        if !self.opts.matches(name) {
+            return;
+        }
+        // Calibrate on one run, then size the untimed setup batch so a
+        // sample spans the target window (capped to bound memory).
+        let state = setup();
+        let probe = Instant::now();
+        black_box(routine(state));
+        let once_ns = probe.elapsed().as_nanos().max(1) as u64;
+        let batch = (self.opts.sample_window.as_nanos() as u64 / once_ns).clamp(1, 256) as usize;
+
+        // Warmup.
+        let warm_until = Instant::now() + self.opts.warmup;
+        while Instant::now() < warm_until {
+            let states: Vec<S> = (0..batch).map(|_| setup()).collect();
+            for s in states {
+                black_box(routine(s));
+            }
+        }
+
+        // Timed samples (setup excluded from the clock).
+        let mut per_iter_ns = Vec::with_capacity(self.opts.samples);
+        for _ in 0..self.opts.samples {
+            let states: Vec<S> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for s in states {
+                black_box(routine(s));
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.push(name, per_iter_ns, batch as u64);
+    }
+
+    fn push(&mut self, name: &str, mut per_iter_ns: Vec<f64>, iters: u64) {
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let pick = |q: f64| -> f64 {
+            let idx = ((per_iter_ns.len() - 1) as f64 * q).round() as usize;
+            per_iter_ns[idx]
+        };
+        let r = BenchResult {
+            name: name.to_string(),
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            min_ns: per_iter_ns[0],
+            samples: per_iter_ns.len(),
+            iters_per_sample: iters,
+        };
+        println!(
+            "{:<44} median {:>10}  p95 {:>10}  min {:>10}   ({}x{})",
+            r.name,
+            fmt_ns(r.median_ns),
+            fmt_ns(r.p95_ns),
+            fmt_ns(r.min_ns),
+            r.samples,
+            r.iters_per_sample,
+        );
+        self.results.push(r);
+    }
+
+    /// Prints the trailer and returns the collected results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        println!(
+            "== {}: {} benchmark(s) done ==\n",
+            self.title,
+            self.results.len()
+        );
+        self.results
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_stats() {
+        let mut set = BenchSet::with_opts(
+            "selftest",
+            BenchOpts {
+                smoke: true,
+                filter: None,
+                samples: 5,
+                warmup: Duration::from_millis(1),
+                sample_window: Duration::from_micros(20),
+            },
+        );
+        let mut acc = 0u64;
+        set.bench("spin", || {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        let results = set.finish();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns);
+        assert_eq!(r.samples, 5);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut opts = BenchOpts::smoke();
+        opts.filter = Some("only_this".into());
+        opts.samples = 2;
+        opts.warmup = Duration::from_micros(100);
+        let mut set = BenchSet::with_opts("selftest", opts);
+        set.bench("something_else", || 1u32);
+        set.bench("only_this_one", || 1u32);
+        let results = set.finish();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "only_this_one");
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut opts = BenchOpts::smoke();
+        opts.samples = 4;
+        opts.warmup = Duration::from_micros(200);
+        let mut set = BenchSet::with_opts("selftest", opts);
+        set.bench_batched(
+            "drain",
+            || (0..64).collect::<Vec<u32>>(),
+            |v| v.into_iter().sum::<u32>(),
+        );
+        let results = set.finish();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].min_ns > 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! One test case: a seeded RNG plus a size that scales collection lengths.
+
+use simkit::SimRng;
+
+/// Maximum case size; sizes ramp from 1 to this over a property's cases.
+pub const MAX_SIZE: u32 = 100;
+
+/// A single generated test case.
+///
+/// Wraps a [`SimRng`] seeded from the case seed plus the case *size*
+/// (`1..=100`). Scalar draws are size-independent; collection lengths are
+/// size-scaled so that shrinking over the size axis monotonically bounds
+/// input complexity (see the crate docs).
+pub struct Case {
+    rng: SimRng,
+    seed: u64,
+    size: u32,
+}
+
+impl Case {
+    /// Builds the case for a `(seed, size)` pair. Deterministic: the same
+    /// pair always yields the same draw sequence.
+    pub fn new(seed: u64, size: u32) -> Self {
+        let size = size.clamp(1, MAX_SIZE);
+        Case {
+            rng: SimRng::new(seed),
+            seed,
+            size,
+        }
+    }
+
+    /// The case seed (reported in failure messages).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The case size in `[1, 100]`.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Direct access to the case RNG, e.g. to seed code under test.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// An arbitrary `u64` (uniform over the full domain).
+    pub fn any_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. Panics if the range is empty.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.rng.gen_range(hi - lo)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `u16` in `[lo, hi)`.
+    pub fn u16_in(&mut self, lo: u16, hi: u16) -> u16 {
+        self.u64_in(lo as u64, hi as u64) as u16
+    }
+
+    /// Uniform `u8` in `[lo, hi)`.
+    pub fn u8_in(&mut self, lo: u8, hi: u8) -> u8 {
+        self.u64_in(lo as u64, hi as u64) as u8
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.rng.gen_f64()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A size-scaled collection length in `[lo, hi)`: at size 1 the
+    /// effective upper bound collapses toward `lo`; at size 100 it is the
+    /// full `hi`. The draw is uniform within the effective range.
+    pub fn len_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty length range {lo}..{hi}");
+        let span = (hi - lo - 1) as u64; // Largest admissible extra length.
+        let scaled = span * self.size as u64 / MAX_SIZE as u64;
+        lo + self.rng.gen_range(scaled + 1) as usize
+    }
+
+    /// A vector with size-scaled length in `[lo, hi)`, elements drawn by
+    /// `f`. The direct port of `proptest::collection::vec(elem, lo..hi)`.
+    pub fn vec_of<T>(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        mut f: impl FnMut(&mut Case) -> T,
+    ) -> Vec<T> {
+        let n = self.len_in(lo, hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_pair_same_draws() {
+        let mut a = Case::new(42, 50);
+        let mut b = Case::new(42, 50);
+        for _ in 0..64 {
+            assert_eq!(a.any_u64(), b.any_u64());
+        }
+    }
+
+    #[test]
+    fn scalar_ranges_respected() {
+        let mut c = Case::new(7, 100);
+        for _ in 0..1000 {
+            let v = c.u64_in(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn len_scales_with_size() {
+        // At minimal size the length stays near the minimum...
+        let mut small = Case::new(3, 1);
+        for _ in 0..100 {
+            assert!(small.len_in(1, 200) <= 2);
+        }
+        // ...and at full size the whole range is reachable.
+        let mut big = Case::new(3, 100);
+        let max = (0..1000).map(|_| big.len_in(1, 200)).max().unwrap();
+        assert!(max > 150, "full-size lengths should span the range, max={max}");
+    }
+
+    #[test]
+    fn vec_of_len_in_bounds() {
+        let mut c = Case::new(9, 60);
+        for _ in 0..100 {
+            let v = c.vec_of(2, 40, |c| c.u64_in(0, 10));
+            assert!((2..40).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

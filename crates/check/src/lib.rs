@@ -1,0 +1,166 @@
+//! `dd-check`: the repo's hermetic verification harness — seeded property
+//! testing plus a wall-clock micro-bench runner — with **zero external
+//! dependencies**.
+//!
+//! DESIGN.md commits to an in-repo substrate (PRNG, heaps, histograms) so
+//! simulation replays are bit-stable across toolchain and dependency
+//! upgrades. This crate finishes the job for *verification*: it replaces
+//! `proptest` (property tests) and `criterion` (micro-benches), the last two
+//! external crates in the workspace, so that `cargo build && cargo test`
+//! completes with `CARGO_NET_OFFLINE=true` and an empty registry cache.
+//!
+//! # Property testing ([`check`], [`Case`], [`Config`])
+//!
+//! A *property* is a closure `Fn(&mut Case) -> CheckResult`. Each [`Case`]
+//! wraps a seeded [`simkit::SimRng`] (xoshiro256\*\*) plus a *size* in
+//! `[1, 100]` that scales generated collection lengths. The runner
+//! ([`check`]) derives one `(seed, size)` pair per case from a master seed
+//! and the property name, ramping sizes from small to large, so a fixed
+//! master seed replays the exact same case sequence bit-for-bit.
+//!
+//! ## Generator semantics
+//!
+//! * Scalar draws ([`Case::u64_in`] etc.) are uniform over half-open ranges
+//!   and do **not** depend on the case size — value distributions match the
+//!   property's stated ranges at every size.
+//! * Collection lengths ([`Case::len_in`], [`Case::vec_of`]) are scaled:
+//!   at size `s` the effective upper bound is interpolated between the
+//!   range's minimum and maximum, so early cases (and shrunken replays)
+//!   exercise short inputs.
+//!
+//! ## Shrinking semantics
+//!
+//! On failure the runner minimises the counterexample deterministically:
+//!
+//! 1. **binary search over the size axis** — find the smallest size in
+//!    `[1, failing_size]` that still fails with the same case seed (the
+//!    size monotonically bounds collection lengths, so this converges to a
+//!    local minimum in `log2(size)` probes);
+//! 2. **binary descent over the seed value** — try numerically smaller
+//!    seeds (`seed >> 1`, `seed >> 2`, …, `0`) at the minimal size and keep
+//!    the smallest that still fails (simpler seeds make failures easier to
+//!    eyeball and diff).
+//!
+//! The minimal `(seed, size)` pair is persisted to
+//! `check-regressions/<property>.txt` in the crate under test (like
+//! proptest's `proptest-regressions/`); subsequent runs replay persisted
+//! cases *before* the random sweep, turning every past failure into a
+//! permanent regression test. Commit these files.
+//!
+//! ## Environment knobs
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `DD_CHECK_CASES` | random cases per property | `64` |
+//! | `DD_CHECK_SEED` | master seed (decimal or `0x…` hex) | `0xddc` |
+//! | `DD_CHECK_REGRESSIONS` | regression-file directory | `$CARGO_MANIFEST_DIR/check-regressions` |
+//! | `DD_CHECK_PERSIST` | set to `0` to disable writing regression files | `1` |
+//!
+//! Identical `DD_CHECK_SEED` ⇒ identical case sequence (per property);
+//! changing it explores a fresh region of the input space.
+//!
+//! # Micro-benches ([`bench::BenchSet`])
+//!
+//! A calibrated wall-clock runner compatible with `cargo bench -p bench`
+//! (`harness = false` targets): warmup, then N timed samples of K
+//! iterations each, reporting median / p95 / min ns-per-iteration. Accepts
+//! `--smoke` (reduced sample counts for CI), `--bench` (ignored, passed by
+//! cargo), and a positional substring filter. See [`bench`].
+//!
+//! # Porting note (from proptest)
+//!
+//! The [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assert_ne!`] macros
+//! mirror proptest's of the same name but return `Err(Failure)` instead of
+//! unwinding, and properties end with `Ok(())`. Panics inside a property
+//! (e.g. an index out of bounds in the code under test) are caught and
+//! shrunk exactly like assertion failures.
+
+pub mod bench;
+mod gen;
+mod runner;
+
+pub use gen::Case;
+pub use runner::{check, run, Config, Failure, Outcome};
+
+/// Result type of a property body.
+pub type CheckResult = Result<(), Failure>;
+
+/// Asserts a condition inside a property; on failure returns a located
+/// [`Failure`] (with an optional formatted message) from the enclosing
+/// function.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::Failure::new(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::Failure::new(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format_args!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::Failure::new(format!(
+                "assertion failed: `{} == {}` at {}:{}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::Failure::new(format!(
+                "assertion failed: `{} == {}` at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                format_args!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::Failure::new(format!(
+                "assertion failed: `{} != {}` at {}:{}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l
+            )));
+        }
+    }};
+}

@@ -1,0 +1,364 @@
+//! The property runner: case derivation, shrinking, regression persistence.
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use simkit::SimRng;
+
+use crate::gen::{Case, MAX_SIZE};
+use crate::CheckResult;
+
+/// A property failure (assertion message or caught panic).
+#[derive(Clone, Debug)]
+pub struct Failure {
+    message: String,
+}
+
+impl Failure {
+    /// Creates a failure with a message. Usually produced by the
+    /// [`prop_assert!`](crate::prop_assert) family rather than by hand.
+    pub fn new(message: impl Into<String>) -> Self {
+        Failure {
+            message: message.into(),
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration. [`Config::from_env`] reads the `DD_CHECK_*`
+/// environment knobs documented at the crate root.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases per property.
+    pub cases: u64,
+    /// Master seed; together with the property name it determines the whole
+    /// case sequence.
+    pub seed: u64,
+    /// Directory for regression files (`None` disables replay/persist).
+    pub regressions: Option<PathBuf>,
+    /// Whether failures are persisted into the regression directory.
+    pub persist: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            seed: 0xddc,
+            regressions: None,
+            persist: false,
+        }
+    }
+}
+
+impl Config {
+    /// Reads `DD_CHECK_CASES`, `DD_CHECK_SEED`, `DD_CHECK_REGRESSIONS` and
+    /// `DD_CHECK_PERSIST`, with the defaults documented at the crate root.
+    pub fn from_env() -> Self {
+        let cases = std::env::var("DD_CHECK_CASES")
+            .ok()
+            .and_then(|v| parse_u64(&v))
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        let seed = std::env::var("DD_CHECK_SEED")
+            .ok()
+            .and_then(|v| parse_u64(&v))
+            .unwrap_or(0xddc);
+        let regressions = std::env::var("DD_CHECK_REGRESSIONS")
+            .ok()
+            .map(PathBuf::from)
+            .or_else(|| {
+                std::env::var("CARGO_MANIFEST_DIR")
+                    .ok()
+                    .map(|d| Path::new(&d).join("check-regressions"))
+            });
+        let persist = std::env::var("DD_CHECK_PERSIST").map_or(true, |v| v != "0");
+        Config {
+            cases,
+            seed,
+            regressions,
+            persist,
+        }
+    }
+}
+
+/// Parses a decimal or `0x…` hexadecimal unsigned integer.
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The result of running one property.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Every case passed.
+    Pass {
+        /// Regression cases replayed before the random sweep.
+        replayed: u64,
+        /// Random cases executed.
+        cases: u64,
+    },
+    /// A counterexample was found (already shrunk and, if configured,
+    /// persisted).
+    Fail {
+        /// Case seed of the minimal counterexample.
+        seed: u64,
+        /// Case size of the minimal counterexample.
+        size: u32,
+        /// Assertion/panic message at the minimal counterexample.
+        message: String,
+        /// Where the case was persisted, if persistence is on.
+        persisted_to: Option<PathBuf>,
+    },
+}
+
+impl Outcome {
+    /// True when the property passed.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Outcome::Pass { .. })
+    }
+}
+
+thread_local! {
+    /// When set, this thread's panics are expected (the runner is probing a
+    /// case) and the hook stays silent.
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once) a panic hook that silences expected probe panics on the
+/// runner's thread while leaving every other thread's behaviour untouched.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `prop` on one `(seed, size)` case, converting panics into failures.
+fn run_case(prop: &dyn Fn(&mut Case) -> CheckResult, seed: u64, size: u32) -> CheckResult {
+    let mut case = Case::new(seed, size);
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(&mut case)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match result {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "property panicked".to_string());
+            Err(Failure::new(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// FNV-1a hash of the property name, mixed into the master seed so distinct
+/// properties explore distinct case streams under one `DD_CHECK_SEED`.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Sanitizes a property name into a file stem.
+fn file_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect()
+}
+
+/// Loads persisted `(seed, size)` cases for a property, oldest first.
+fn load_regressions(dir: &Path, name: &str) -> Vec<(u64, u32)> {
+    let path = dir.join(format!("{}.txt", file_stem(name)));
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut cases = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if let (Some(seed), Some(size)) = (
+            it.next().and_then(parse_u64),
+            it.next().and_then(parse_u64),
+        ) {
+            cases.push((seed, (size as u32).clamp(1, MAX_SIZE)));
+        }
+    }
+    cases
+}
+
+/// Appends a counterexample to the property's regression file (creating the
+/// directory/file as needed), skipping exact duplicates.
+fn persist_regression(dir: &Path, name: &str, seed: u64, size: u32) -> Option<PathBuf> {
+    if load_regressions(dir, name).contains(&(seed, size)) {
+        return Some(dir.join(format!("{}.txt", file_stem(name))));
+    }
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("{}.txt", file_stem(name)));
+    let mut text = if path.exists() {
+        std::fs::read_to_string(&path).unwrap_or_default()
+    } else {
+        format!(
+            "# dd-check regression file for property `{name}`.\n\
+             # Each line is `<seed> <size>`; these cases replay before the\n\
+             # random sweep on every run. Commit this file.\n"
+        )
+    };
+    text.push_str(&format!("0x{seed:016x} {size}\n"));
+    std::fs::write(&path, text).ok()?;
+    Some(path)
+}
+
+/// Shrinks a failing `(seed, size)` case (see the crate docs): binary
+/// search over the size axis, then binary descent over the seed value.
+fn shrink(
+    prop: &dyn Fn(&mut Case) -> CheckResult,
+    seed: u64,
+    size: u32,
+) -> (u64, u32, String) {
+    // Phase 1: smallest failing size for this seed. The invariant is that
+    // `hi` always fails; the search converges to a local minimum even when
+    // failure is not strictly monotone in size.
+    let (mut lo, mut hi) = (1u32, size);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if run_case(prop, seed, mid).is_err() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let min_size = hi;
+    // Phase 2: numerically smaller seeds at the minimal size.
+    let mut best_seed = seed;
+    for shift in 1..64u32 {
+        let candidate = seed.wrapping_shr(shift);
+        if run_case(prop, candidate, min_size).is_err() {
+            best_seed = candidate;
+        }
+        if candidate == 0 {
+            break;
+        }
+    }
+    if best_seed != 0 && run_case(prop, 0, min_size).is_err() {
+        best_seed = 0;
+    }
+    let message = match run_case(prop, best_seed, min_size) {
+        Err(f) => f.message,
+        // The shrink invariant guarantees failure; guard anyway.
+        Ok(()) => "shrunken case no longer fails (flaky property?)".to_string(),
+    };
+    (best_seed, min_size, message)
+}
+
+/// Runs a property under an explicit [`Config`], returning the outcome
+/// instead of panicking. [`check`] is the assertion-style wrapper used by
+/// test suites; this entry point exists so `dd-check` can test itself.
+pub fn run(name: &str, cfg: &Config, prop: impl Fn(&mut Case) -> CheckResult) -> Outcome {
+    install_quiet_hook();
+    let fail = |seed: u64, size: u32| -> Outcome {
+        let (seed, size, message) = shrink(&prop, seed, size);
+        let persisted_to = match (&cfg.regressions, cfg.persist) {
+            (Some(dir), true) => persist_regression(dir, name, seed, size),
+            _ => None,
+        };
+        Outcome::Fail {
+            seed,
+            size,
+            message,
+            persisted_to,
+        }
+    };
+
+    // Replay persisted counterexamples first.
+    let mut replayed = 0u64;
+    if let Some(dir) = &cfg.regressions {
+        for (seed, size) in load_regressions(dir, name) {
+            replayed += 1;
+            if run_case(&prop, seed, size).is_err() {
+                return fail(seed, size);
+            }
+        }
+    }
+
+    // Random sweep: sizes ramp 1 → MAX_SIZE across the configured cases.
+    let mut master = SimRng::new(cfg.seed ^ fnv1a(name));
+    for i in 0..cfg.cases {
+        let seed = master.next_u64();
+        let size = if cfg.cases <= 1 {
+            MAX_SIZE
+        } else {
+            1 + ((i * (MAX_SIZE as u64 - 1)) / (cfg.cases - 1)) as u32
+        };
+        if run_case(&prop, seed, size).is_err() {
+            return fail(seed, size);
+        }
+    }
+    Outcome::Pass {
+        replayed,
+        cases: cfg.cases,
+    }
+}
+
+/// Runs a property under the environment configuration and panics with a
+/// reproduction recipe if a (shrunk) counterexample is found. This is the
+/// `proptest!`-equivalent entry point:
+///
+/// ```
+/// use dd_check::{check, prop_assert};
+///
+/// // In a test suite this body sits inside a `#[test]` fn.
+/// check("addition_commutes", |c| {
+///     let (a, b) = (c.u64_in(0, 1000), c.u64_in(0, 1000));
+///     prop_assert!(a + b == b + a);
+///     Ok(())
+/// });
+/// ```
+pub fn check(name: &str, prop: impl Fn(&mut Case) -> CheckResult) {
+    match run(name, &Config::from_env(), prop) {
+        Outcome::Pass { .. } => {}
+        Outcome::Fail {
+            seed,
+            size,
+            message,
+            persisted_to,
+        } => {
+            let persisted = persisted_to
+                .map(|p| format!("\n  persisted to {} (replays on every future run)", p.display()))
+                .unwrap_or_default();
+            panic!(
+                "property `{name}` failed\n  minimal case: seed=0x{seed:016x} size={size}\n  \
+                 {message}{persisted}\n  replay sweep: DD_CHECK_SEED / DD_CHECK_CASES env knobs \
+                 (see dd-check docs)"
+            );
+        }
+    }
+}

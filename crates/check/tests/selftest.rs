@@ -1,0 +1,203 @@
+//! dd-check testing itself: shrinking convergence, regression-file replay,
+//! and seed-determinism of the case sequence.
+
+use std::cell::RefCell;
+use std::path::PathBuf;
+
+use dd_check::{prop_assert, run, Case, Config, Outcome};
+
+/// A throwaway per-test directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dd-check-selftest-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn no_persist(cases: u64, seed: u64) -> Config {
+    Config {
+        cases,
+        seed,
+        regressions: None,
+        persist: false,
+    }
+}
+
+/// The seeded known-failing property used across these tests: it rejects
+/// any generated vector of length ≥ 10, so the minimal counterexample is a
+/// 10-element vector and the minimal failing *size* is the smallest one
+/// whose scaled length bound reaches 10.
+fn fails_at_len_10(c: &mut Case) -> dd_check::CheckResult {
+    let v = c.vec_of(1, 200, |c| c.u64_in(0, 1000));
+    prop_assert!(v.len() < 10, "len {} >= 10", v.len());
+    Ok(())
+}
+
+#[test]
+fn shrinking_converges_to_minimal_counterexample() {
+    let outcome = run("selftest_len10", &no_persist(64, 0xddc), fails_at_len_10);
+    let Outcome::Fail { seed, size, message, persisted_to } = outcome else {
+        panic!("property must fail");
+    };
+    assert!(persisted_to.is_none(), "persistence disabled");
+    assert!(message.contains(">= 10"), "original assertion surfaced: {message}");
+    // The size axis was binary-searched down: at `size` the length bound
+    // (1 + 199*size/100 exclusive) has only just reached 10, so the shrunk
+    // size sits near the minimum admitting a counterexample (5) and far
+    // below the full ramp (100).
+    assert!(size <= 30, "size {size} not shrunk");
+    // The persisted pair must still be a true, near-minimal counterexample.
+    let mut case = Case::new(seed, size);
+    let v = case.vec_of(1, 200, |c| c.u64_in(0, 1000));
+    assert!(v.len() >= 10, "shrunk case must still fail (len {})", v.len());
+    assert!(v.len() <= 60, "shrunk case far from minimal (len {})", v.len());
+}
+
+#[test]
+fn shrinking_reduces_seed_magnitude_when_possible() {
+    // A property failing for any case whose first draw is even fails for
+    // seed candidates produced by the seed-descent phase too, so the
+    // reported seed must be numerically small.
+    let outcome = run("selftest_even", &no_persist(32, 0xddc), |c| {
+        prop_assert!(c.any_u64() % 2 == 1);
+        Ok(())
+    });
+    let Outcome::Fail { seed, .. } = outcome else {
+        panic!("property must fail");
+    };
+    assert!(seed <= u64::MAX >> 32, "seed 0x{seed:x} not descended");
+}
+
+#[test]
+fn regression_replay_runs_persisted_cases_first() {
+    let dir = scratch_dir("replay");
+    // Persist one case by hand, exactly as the runner writes it.
+    std::fs::write(dir.join("selftest_order.txt"), "# header\n0x00000000000000ff 7\n")
+        .expect("write regression file");
+    let seen: RefCell<Vec<(u64, u32)>> = RefCell::new(Vec::new());
+    let cfg = Config {
+        cases: 3,
+        seed: 1,
+        regressions: Some(dir.clone()),
+        persist: false,
+    };
+    let outcome = run("selftest_order", &cfg, |c| {
+        seen.borrow_mut().push((c.seed(), c.size()));
+        Ok(())
+    });
+    let Outcome::Pass { replayed, cases } = outcome else {
+        panic!("property must pass");
+    };
+    assert_eq!(replayed, 1);
+    assert_eq!(cases, 3);
+    let seen = seen.borrow();
+    assert_eq!(seen.len(), 4, "1 replayed + 3 random");
+    assert_eq!(seen[0], (0xff, 7), "persisted case must run first");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failure_is_persisted_and_replayed_next_run() {
+    let dir = scratch_dir("persist");
+    let cfg = Config {
+        cases: 32,
+        seed: 0xddc,
+        regressions: Some(dir.clone()),
+        persist: true,
+    };
+    let Outcome::Fail { seed, size, persisted_to, .. } =
+        run("selftest_persist", &cfg, fails_at_len_10)
+    else {
+        panic!("property must fail");
+    };
+    let path = persisted_to.expect("failure must be persisted");
+    let text = std::fs::read_to_string(&path).expect("regression file exists");
+    assert!(
+        text.contains(&format!("0x{seed:016x} {size}")),
+        "file records the minimal case: {text}"
+    );
+    // Second run: the persisted case replays before the sweep, so even a
+    // 0-case config refinds the same counterexample.
+    let cfg2 = Config { cases: 0, ..cfg };
+    let Outcome::Fail { seed: s2, size: z2, .. } =
+        run("selftest_persist", &cfg2, fails_at_len_10)
+    else {
+        panic!("replay must refind the counterexample");
+    };
+    assert_eq!((s2, z2), (seed, size));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_master_seed_identical_case_sequence() {
+    let record = |seed: u64| {
+        let seen: RefCell<Vec<(u64, u32, u64)>> = RefCell::new(Vec::new());
+        let outcome = run("selftest_replay", &no_persist(40, seed), |c| {
+            let first_draw = c.any_u64();
+            seen.borrow_mut().push((c.seed(), c.size(), first_draw));
+            Ok(())
+        });
+        assert!(outcome.is_pass());
+        seen.into_inner()
+    };
+    let a = record(0x5eed);
+    let b = record(0x5eed);
+    assert_eq!(a, b, "identical DD_CHECK_SEED must replay identical cases");
+    let c = record(0x5eee);
+    assert_ne!(a, c, "different master seeds must explore different cases");
+}
+
+#[test]
+fn distinct_properties_use_distinct_streams() {
+    let first_seed = |name: &str| {
+        let seen: RefCell<Option<u64>> = RefCell::new(None);
+        let _ = run(name, &no_persist(1, 0xddc), |c| {
+            *seen.borrow_mut() = Some(c.seed());
+            Ok(())
+        });
+        seen.into_inner().unwrap()
+    };
+    assert_ne!(first_seed("prop_a"), first_seed("prop_b"));
+}
+
+#[test]
+fn env_knobs_override_defaults() {
+    // Sole test touching the process environment (no other test in this
+    // binary reads it), so the set/remove pair cannot race.
+    #[allow(unused_unsafe)]
+    unsafe {
+        std::env::set_var("DD_CHECK_CASES", "17");
+        std::env::set_var("DD_CHECK_SEED", "0xAbC");
+        std::env::set_var("DD_CHECK_PERSIST", "0");
+        std::env::set_var("DD_CHECK_REGRESSIONS", "/tmp/dd-check-env-knob");
+    }
+    let cfg = Config::from_env();
+    #[allow(unused_unsafe)]
+    unsafe {
+        std::env::remove_var("DD_CHECK_CASES");
+        std::env::remove_var("DD_CHECK_SEED");
+        std::env::remove_var("DD_CHECK_PERSIST");
+        std::env::remove_var("DD_CHECK_REGRESSIONS");
+    }
+    assert_eq!(cfg.cases, 17);
+    assert_eq!(cfg.seed, 0xabc);
+    assert!(!cfg.persist);
+    assert_eq!(cfg.regressions.as_deref(), Some(std::path::Path::new("/tmp/dd-check-env-knob")));
+}
+
+#[test]
+fn panics_are_caught_and_shrunk_like_assertions() {
+    let outcome = run("selftest_panic", &no_persist(32, 0xddc), |c| {
+        let v = c.vec_of(1, 100, |c| c.u64_in(0, 50));
+        // An out-of-bounds style defect in "code under test".
+        if v.len() >= 8 {
+            panic!("boom at len {}", v.len());
+        }
+        Ok(())
+    });
+    let Outcome::Fail { message, size, .. } = outcome else {
+        panic!("panicking property must fail");
+    };
+    assert!(message.contains("panic: boom"), "panic surfaced: {message}");
+    assert!(size <= 40, "panic case shrunk too ({size})");
+}

@@ -8,6 +8,17 @@
 //! troute maintains for NQ scheduling, §5.2). Proxies are device-level and
 //! therefore uniform across namespaces — the root of Daredevil's
 //! multi-namespace support.
+//!
+//! # Paper mapping (§4 "blex", §5.1)
+//!
+//! | This module | Paper concept |
+//! |---|---|
+//! | [`Nproxy`] | the per-NSQ proxy blex interposes between block layer and driver (§4, Fig. 4) |
+//! | [`Nproxy::cq`] | the implicitly observable NSQ→NCQ pairing (§5.1) |
+//! | [`Nproxy::prio`] | the SLA designation nqreg assigns at init (§5.3, Alg. 2 input) |
+//! | [`Nproxy::claim`]/[`Nproxy::nr_claimed_cores`] | `nq.nr_claimed_cores`, the contention hint of Algorithm 2 line 6 |
+//! | [`Priority`] | the two SLA classes: L (latency-sensitive) / T (throughput-oriented), §2 |
+//! | [`ProxyTable`] | the device-level proxy array giving every core a path to every NSQ (§4) — uniform across namespaces, hence multi-namespace support (§6, Fig. 10) |
 
 use dd_nvme::{CqId, SqId};
 

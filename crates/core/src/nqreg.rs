@@ -17,6 +17,22 @@
 //! RCU; the simulation is single-threaded, so what is modelled is the
 //! *update frequency* the MRU policy produces — the performance-relevant
 //! part.
+//!
+//! # Paper mapping (§4 "nqreg", §5.3, Algorithm 2)
+//!
+//! | This module | Paper concept |
+//! |---|---|
+//! | [`divide_priorities`] | init-time equal division of NCQs into high/low NQGroups, §5.3 |
+//! | [`ncq_merit_k`] | `MeritCalc` NCQ step — IRQ balancing criterion, Algorithm 2 line 4 |
+//! | [`nsq_merit_k`] | `MeritCalc` NSQ step — contention-avoidance criterion, Algorithm 2 line 6 |
+//! | [`NqReg::schedule`] | the two-step heap query serving troute, Algorithm 2 lines 1–8 |
+//! | the `α` smoothing parameter | exponential merit smoothing with `α ∈ (0.5, 1)`, §5.3 |
+//! | the MRU budget | bounded heap re-sorts on the critical path (`m` decrements, resort at 0), §5.3 |
+//! | SLA-aware dispatch flags | immediate vs batched doorbells / per-request vs batched completions, §5.3 |
+//!
+//! The "merit heap always returns the min" workspace invariant lives in
+//! `simkit` (`keyed_heap_top_is_min`); the wall-clock cost the MRU budget
+//! amortises is measured by `bench/benches/micro.rs` (`nqreg/*`).
 
 use dd_nvme::{CqId, NvmeDevice, SqId};
 use simkit::{Ewma, KeyedMinHeap, SimDuration};

@@ -10,6 +10,23 @@
 //!
 //! troute also maintains each NSQ's claimed-core bitmap (via the proxies),
 //! the contention hint nqreg's NSQ merit consumes.
+//!
+//! # Paper mapping (§4 "troute", §5.2, Algorithm 1)
+//!
+//! | This module | Paper concept |
+//! |---|---|
+//! | [`Troute::base_priority`] | SLA assessment from `ionice` (real-time ⇒ L), §5.2 |
+//! | [`Troute::register`] | tenant registration: default-NSQ assignment via a tenant-based nqreg query (`m = MRU`) |
+//! | [`Troute::route`] | Algorithm 1 — lines 1–2 (L default), line 3 (T normal), lines 4–9 (T outlier) |
+//! | [`TenantRoute::outlier_tag`]/`outlier_sq` | the outlier-tendency tag and dedicated outlier NSQ, §5.2 |
+//! | [`QueryContext`] | tenant-based (`m = MRU`) vs request-specific (`m = 1`) query contexts, §5.2 |
+//! | [`Troute::update_ionice`] | runtime ionice updates re-scheduling the default NSQ (Fig. 14's storm path) |
+//! | [`Troute::migrate`] | claimed-core bitmap maintenance across core migrations (Fig. 13's cross-core setting) |
+//! | [`RouteStats`] | per-path counters surfaced by `ddsim` and the figure harness |
+//!
+//! The invariant behind all of it — *no L-request and no outlier request is
+//! ever routed to a low-priority NSQ* — is property-tested in
+//! `tests/proptests.rs` (`troute_l_requests_never_low_priority`).
 
 use std::collections::HashMap;
 

@@ -1,0 +1,191 @@
+//! Property-based tests of Daredevil's routing layer (dd-check harness).
+//!
+//! DESIGN §6 names the "troute never routes an L-request to a low-priority
+//! NSQ" invariant: Algorithm 1's whole point is that latency-sensitive
+//! requests — and T-tenants' outlier requests — always land in the
+//! high-priority NQGroup, whatever the tenant mix and request history.
+
+use dd_check::{check, prop_assert, prop_assert_eq};
+
+use blkstack::bio::{Bio, BioId, ReqFlags};
+use blkstack::nsqlock::NsqLockTable;
+use blkstack::{IoPriorityClass, Pid, TaskStruct};
+use daredevil::nqreg::divide_priorities;
+use daredevil::{NqReg, Priority, ProxyTable, Troute};
+use dd_nvme::{IoOpcode, NamespaceId, NvmeConfig, NvmeDevice, SqId};
+use simkit::SimTime;
+
+struct Fixture {
+    device: NvmeDevice,
+    locks: NsqLockTable,
+    proxies: ProxyTable,
+    nqreg: NqReg,
+    troute: Troute,
+}
+
+fn fixture(nr_queues: u16) -> Fixture {
+    let mut cfg = NvmeConfig::sv_m();
+    cfg.nr_sqs = nr_queues;
+    cfg.nr_cqs = nr_queues;
+    let device = NvmeDevice::new(cfg, 4);
+    let locks = NsqLockTable::new(nr_queues);
+    let prios = divide_priorities(nr_queues);
+    let proxies = ProxyTable::new(
+        nr_queues,
+        |i| device.cq_of_sq(SqId(i)),
+        |i| prios[device.cq_of_sq(SqId(i)).index()],
+    );
+    let nqreg = NqReg::new(0.8, 4, true, nr_queues, nr_queues, |i| i);
+    Fixture {
+        device,
+        locks,
+        proxies,
+        nqreg,
+        troute: Troute::new(4, 8),
+    }
+}
+
+fn bio(tenant: u64, flags: ReqFlags) -> Bio {
+    Bio {
+        id: BioId(0),
+        tenant: Pid(tenant),
+        core: 0,
+        nsid: NamespaceId(1),
+        op: IoOpcode::Read,
+        offset_blocks: 0,
+        bytes: 4096,
+        flags,
+        issued_at: SimTime::ZERO,
+    }
+}
+
+/// The L-routing invariant: under any sequence of registrations and
+/// requests, every bio from an RT-ionice (L) tenant and every outlier
+/// (sync/metadata) bio from a T-tenant is routed to a high-priority NSQ;
+/// normal T-bios go to the tenant's low-priority default NSQ.
+#[test]
+fn troute_l_requests_never_low_priority() {
+    check("troute_l_requests_never_low_priority", |c| {
+        // 4..16 queues (even counts so both NQGroups are non-empty).
+        let nr_queues = 2 * c.u16_in(2, 9);
+        let mut f = fixture(nr_queues);
+        // Register 1..12 tenants with random SLAs on random cores.
+        let tenants = c.vec_of(1, 12, |c| {
+            let ionice = if c.bool_with(0.5) {
+                IoPriorityClass::RealTime
+            } else {
+                IoPriorityClass::BestEffort
+            };
+            (ionice, c.u16_in(0, 4))
+        });
+        for (i, &(ionice, core)) in tenants.iter().enumerate() {
+            let task = TaskStruct::new(Pid(i as u64), core, ionice, NamespaceId(1), "p");
+            f.troute
+                .register(&task, &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
+        }
+        // Drive a random request stream and check every routing decision.
+        let requests = c.vec_of(1, 200, |c| {
+            let flags = match c.u8_in(0, 4) {
+                0 => ReqFlags::SYNC,
+                1 => ReqFlags::META,
+                _ => ReqFlags::NONE,
+            };
+            (c.usize_in(0, 12), flags)
+        });
+        for (pick, flags) in requests {
+            let pid = pick % tenants.len();
+            let (ionice, _) = tenants[pid];
+            let sq = f.troute.route(
+                &bio(pid as u64, flags),
+                &mut f.nqreg,
+                &f.device,
+                &f.locks,
+                &mut f.proxies,
+            );
+            let target_prio = f.proxies.get(sq).prio;
+            if ionice.is_latency_sensitive() {
+                // Line 1-2 of Algorithm 1: L-tenants stay on their
+                // high-priority default NSQ.
+                prop_assert_eq!(
+                    target_prio,
+                    Priority::High,
+                    "L-request routed to low-priority {:?}",
+                    sq
+                );
+                prop_assert_eq!(sq, f.troute.route_of(Pid(pid as u64)).unwrap().default_sq);
+            } else if flags.is_outlier() {
+                // Line 4-9: outliers always land in the high group,
+                // whether via the outlier NSQ or a per-request query.
+                prop_assert_eq!(
+                    target_prio,
+                    Priority::High,
+                    "outlier routed to low-priority {:?}",
+                    sq
+                );
+            } else {
+                // Line 3: normal T-requests use the (low) default NSQ.
+                prop_assert_eq!(sq, f.troute.route_of(Pid(pid as u64)).unwrap().default_sq);
+                prop_assert_eq!(target_prio, Priority::Low);
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Claim accounting balances: after deregistering everybody, every proxy
+/// has zero assignments and an empty claimed-core bitmap.
+#[test]
+fn troute_claims_balance_on_deregister() {
+    check("troute_claims_balance_on_deregister", |c| {
+        let mut f = fixture(8);
+        let n = c.usize_in(1, 16);
+        for i in 0..n {
+            let ionice = if c.bool_with(0.5) {
+                IoPriorityClass::RealTime
+            } else {
+                IoPriorityClass::BestEffort
+            };
+            let task = TaskStruct::new(Pid(i as u64), c.u16_in(0, 4), ionice, NamespaceId(1), "p");
+            f.troute
+                .register(&task, &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
+        }
+        // Random request traffic (may create outlier NSQ claims)...
+        for _ in 0..c.usize_in(0, 100) {
+            let pid = c.usize_in(0, n) as u64;
+            let flags = if c.bool_with(0.3) { ReqFlags::SYNC } else { ReqFlags::NONE };
+            f.troute
+                .route(&bio(pid, flags), &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
+        }
+        // ...then everyone leaves.
+        for i in 0..n {
+            f.troute.deregister(Pid(i as u64), &mut f.proxies);
+        }
+        prop_assert!(f.troute.is_empty());
+        for p in f.proxies.iter() {
+            prop_assert_eq!(p.assignments(), 0, "proxy {:?} leaked assignments", p.sq);
+            prop_assert_eq!(p.nr_claimed_cores(), 0, "proxy {:?} leaked core bits", p.sq);
+        }
+        Ok(())
+    });
+}
+
+/// `divide_priorities` always yields a balanced, high-first partition.
+#[test]
+fn divide_priorities_partitions() {
+    check("divide_priorities_partitions", |c| {
+        let nr_cqs = c.u16_in(0, 256);
+        let prios = divide_priorities(nr_cqs);
+        prop_assert_eq!(prios.len(), nr_cqs as usize);
+        if nr_cqs >= 2 {
+            let high = prios.iter().filter(|p| **p == Priority::High).count();
+            prop_assert_eq!(high, (nr_cqs / 2) as usize);
+            // High-priority prefix, low-priority suffix.
+            let split = prios.iter().position(|p| *p == Priority::Low).unwrap();
+            prop_assert!(prios[..split].iter().all(|p| *p == Priority::High));
+            prop_assert!(prios[split..].iter().all(|p| *p == Priority::Low));
+        } else {
+            prop_assert!(prios.iter().all(|p| *p == Priority::High));
+        }
+        Ok(())
+    });
+}

@@ -1,7 +1,7 @@
-//! Property-based tests of the CPU model.
+//! Property-based tests of the CPU model (dd-check harness).
 
+use dd_check::{check, prop_assert, prop_assert_eq};
 use dd_cpu::{CpuSystem, CpuTopology, WorkClass};
-use proptest::prelude::*;
 use simkit::{SimDuration, SimTime};
 
 /// Random op stream: (class, duration_us) pairs, executed through the full
@@ -37,14 +37,13 @@ fn drive(ops: &[(u8, u64)]) -> (Vec<(WorkClass, usize)>, SimDuration, SimTime) {
     (executed, sys.core(0).busy_until(now), now)
 }
 
-proptest! {
-    /// Every enqueued item executes exactly once; total busy time equals
-    /// the sum of durations; execution respects class priority with FIFO
-    /// within class.
-    #[test]
-    fn cpu_executes_all_exactly_once(
-        ops in proptest::collection::vec((0u8..3, 1u64..100), 1..60),
-    ) {
+/// Every enqueued item executes exactly once; total busy time equals the
+/// sum of durations; execution respects class priority with FIFO within
+/// class.
+#[test]
+fn cpu_executes_all_exactly_once() {
+    check("cpu_executes_all_exactly_once", |c| {
+        let ops = c.vec_of(1, 60, |c| (c.u8_in(0, 3), c.u64_in(1, 100)));
         let (executed, busy, end) = drive(&ops);
         prop_assert_eq!(executed.len(), ops.len());
         // Exactly once.
@@ -68,15 +67,17 @@ proptest! {
             }
             last_payload_per_class[idx] = Some(payload);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Busy fractions are within [0, 1] for any window whose baseline was
-    /// snapshot at the window start (the testbed's protocol).
-    #[test]
-    fn busy_fractions_bounded(
-        ops in proptest::collection::vec((0u8..3, 1u64..100), 1..40),
-        window_start_us in 0u64..1000,
-    ) {
+/// Busy fractions are within [0, 1] for any window whose baseline was
+/// snapshot at the window start (the testbed's protocol).
+#[test]
+fn busy_fractions_bounded() {
+    check("busy_fractions_bounded", |c| {
+        let ops = c.vec_of(1, 40, |c| (c.u8_in(0, 3), c.u64_in(1, 100)));
+        let window_start_us = c.u64_in(0, 1000);
         let mut sys: CpuSystem<usize> = CpuSystem::new(&CpuTopology::uniform(2));
         let mut now = SimTime::ZERO;
         for (i, &(class, us)) in ops.iter().enumerate() {
@@ -99,5 +100,6 @@ proptest! {
         for f in sys.busy_fractions(start, &baseline, end) {
             prop_assert!((0.0..=1.0 + 1e-9).contains(&f), "fraction {f} out of range");
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,74 @@
+//! Property-based tests of the measurement layer (dd-check harness).
+//!
+//! DESIGN §6 names "histogram percentile monotonicity" as a workspace
+//! invariant: tail-latency claims (p99/p99.9 tables in every figure) are
+//! only trustworthy if the percentile estimator is ordered and bounded.
+
+use dd_check::{check, prop_assert, prop_assert_eq};
+use dd_metrics::LatencyHistogram;
+use simkit::SimDuration;
+
+/// Percentiles are monotone in `p` and bounded by min/max; count, mean and
+/// extremes are consistent with the recorded samples.
+#[test]
+fn histogram_percentiles_monotone_and_bounded() {
+    check("histogram_percentiles_monotone_and_bounded", |c| {
+        let samples = c.vec_of(1, 300, |c| c.u64_in(1, 100_000_000));
+        let mut h = LatencyHistogram::new();
+        for &ns in &samples {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        // Monotone sweep across the percentile axis.
+        let mut last = SimDuration::ZERO;
+        for p in [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last, "percentile({p}) regressed");
+            last = v;
+        }
+        // Named percentiles agree with the sweep and with each other.
+        prop_assert!(h.p50() <= h.p99());
+        prop_assert!(h.p99() <= h.p999());
+        // Min/max bracket every percentile up to quantization error (the
+        // histogram is log-bucketed with ≤ 0.8 % relative error).
+        let tol = |v: u64| v + v / 64 + 1;
+        prop_assert!(h.min().as_nanos() <= tol(lo) && lo <= tol(h.min().as_nanos()));
+        prop_assert!(h.max().as_nanos() <= tol(hi) && hi <= tol(h.max().as_nanos()));
+        prop_assert!(h.percentile(100.0) <= SimDuration::from_nanos(tol(hi)));
+        prop_assert!(SimDuration::from_nanos(lo) <= SimDuration::from_nanos(tol(h.percentile(0.0).as_nanos())));
+        // Mean sits within [min, max].
+        prop_assert!(h.mean() >= h.min() && h.mean() <= SimDuration::from_nanos(tol(h.max().as_nanos())));
+        Ok(())
+    });
+}
+
+/// Merging histograms adds counts and keeps percentiles within the merged
+/// envelope.
+#[test]
+fn histogram_merge_conserves() {
+    check("histogram_merge_conserves", |c| {
+        let xs = c.vec_of(1, 200, |c| c.u64_in(1, 10_000_000));
+        let ys = c.vec_of(1, 200, |c| c.u64_in(1, 10_000_000));
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for &ns in &xs {
+            a.record(SimDuration::from_nanos(ns));
+        }
+        for &ns in &ys {
+            b.record(SimDuration::from_nanos(ns));
+        }
+        let (amin, amax) = (a.min(), a.max());
+        let (bmin, bmax) = (b.min(), b.max());
+        a.merge(&b);
+        prop_assert_eq!(a.count(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(a.min(), amin.min(bmin));
+        prop_assert_eq!(a.max(), amax.max(bmax));
+        for p in [50.0, 99.0, 99.9] {
+            let v = a.percentile(p);
+            prop_assert!(v >= a.min() && v <= a.max());
+        }
+        Ok(())
+    });
+}

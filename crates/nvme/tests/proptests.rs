@@ -1,6 +1,6 @@
-//! Property-based tests of the NVMe device model.
+//! Property-based tests of the NVMe device model (dd-check harness).
 
-use proptest::prelude::*;
+use dd_check::{check, prop_assert, prop_assert_eq};
 
 use dd_nvme::command::{HostTag, IoOpcode};
 use dd_nvme::flash::{FlashBackend, FlashConfig};
@@ -24,11 +24,12 @@ fn cmd(cid: u64, nlb: u32, slba: u64) -> NvmeCommand {
     }
 }
 
-proptest! {
-    /// A submission queue never loses, duplicates, or reorders commands
-    /// under arbitrary interleavings of push / doorbell / fetch.
-    #[test]
-    fn sq_is_fifo_exactly_once(ops in proptest::collection::vec(0u8..3, 1..200)) {
+/// A submission queue never loses, duplicates, or reorders commands under
+/// arbitrary interleavings of push / doorbell / fetch.
+#[test]
+fn sq_is_fifo_exactly_once() {
+    check("sq_is_fifo_exactly_once", |c| {
+        let ops = c.vec_of(1, 200, |c| c.u8_in(0, 3));
         let mut sq = SubmissionQueue::new(SqId(0), CqId(0), 64);
         let mut next_push = 0u64;
         let mut expect_fetch = 0u64;
@@ -43,8 +44,8 @@ proptest! {
                     sq.ring_doorbell();
                 }
                 _ => {
-                    if let Some(c) = sq.fetch() {
-                        prop_assert_eq!(c.cid, CommandId(expect_fetch));
+                    if let Some(cmd) = sq.fetch() {
+                        prop_assert_eq!(cmd.cid, CommandId(expect_fetch));
                         expect_fetch += 1;
                     }
                 }
@@ -52,17 +53,19 @@ proptest! {
             prop_assert!(expect_fetch <= next_push);
             prop_assert!(sq.visible_len() + sq.unpublished_len() <= 64);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Namespace translation maps every valid access into the namespace's
-    /// own disjoint device range and rejects everything else.
-    #[test]
-    fn namespace_translation_stays_in_bounds(
-        sizes in proptest::collection::vec(1u64..10_000, 1..8),
-        ns_pick in 0usize..8,
-        slba in 0u64..20_000,
-        nlb in 1u32..64,
-    ) {
+/// Namespace translation maps every valid access into the namespace's own
+/// disjoint device range and rejects everything else.
+#[test]
+fn namespace_translation_stays_in_bounds() {
+    check("namespace_translation_stays_in_bounds", |c| {
+        let sizes = c.vec_of(1, 8, |c| c.u64_in(1, 10_000));
+        let ns_pick = c.usize_in(0, 8);
+        let slba = c.u64_in(0, 20_000);
+        let nlb = c.u32_in(1, 64);
         let table = NamespaceTable::new(&sizes);
         let idx = ns_pick % sizes.len();
         let nsid = NamespaceId(idx as u32 + 1);
@@ -77,14 +80,16 @@ proptest! {
                 prop_assert!(slba + nlb as u64 > sizes[idx]);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Flash dispatch completion times are never earlier than dispatch and
-    /// respect per-die FIFO monotonicity.
-    #[test]
-    fn flash_completions_causal(
-        lbas in proptest::collection::vec(0u64..10_000, 1..100),
-    ) {
+/// Flash dispatch completion times are never earlier than dispatch and
+/// respect per-die FIFO monotonicity.
+#[test]
+fn flash_completions_causal() {
+    check("flash_completions_causal", |c| {
+        let lbas = c.vec_of(1, 100, |c| c.u64_in(0, 10_000));
         let mut f = FlashBackend::new(FlashConfig::consumer());
         let mut last_done_per_lba_class = std::collections::HashMap::new();
         for (i, &lba) in lbas.iter().enumerate() {
@@ -98,14 +103,18 @@ proptest! {
             }
         }
         prop_assert_eq!(f.pages_serviced(), lbas.len() as u64);
-    }
+        Ok(())
+    });
+}
 
-    /// End-to-end: any batch of valid commands pushed over any queues
-    /// completes exactly once, regardless of sizes and placement.
-    #[test]
-    fn device_completes_everything_exactly_once(
-        specs in proptest::collection::vec((0u16..4, 1u32..40, 0u64..100_000), 1..40),
-    ) {
+/// End-to-end: any batch of valid commands pushed over any queues
+/// completes exactly once, regardless of sizes and placement.
+#[test]
+fn device_completes_everything_exactly_once() {
+    check("device_completes_everything_exactly_once", |c| {
+        let specs = c.vec_of(1, 40, |c| {
+            (c.u16_in(0, 4), c.u32_in(1, 40), c.u64_in(0, 100_000))
+        });
         let mut cfg = NvmeConfig::sv_m();
         cfg.nr_sqs = 4;
         cfg.nr_cqs = 2;
@@ -133,9 +142,10 @@ proptest! {
         }
         prop_assert_eq!(dev.stats().completed, pushed);
         // Every CQE is retrievable exactly once.
-        let total: usize = (0..2).map(|c| dev.isr_pop(CqId(c), usize::MAX).len()).sum();
+        let total: usize = (0..2).map(|cq| dev.isr_pop(CqId(cq), usize::MAX).len()).sum();
         prop_assert_eq!(total as u64, pushed);
-        let again: usize = (0..2).map(|c| dev.isr_pop(CqId(c), usize::MAX).len()).sum();
+        let again: usize = (0..2).map(|cq| dev.isr_pop(CqId(cq), usize::MAX).len()).sum();
         prop_assert_eq!(again, 0);
-    }
+        Ok(())
+    });
 }

@@ -23,5 +23,5 @@ pub mod trace;
 pub use event::EventQueue;
 pub use ewma::Ewma;
 pub use keyed_heap::KeyedMinHeap;
-pub use rng::SimRng;
+pub use rng::{SimRng, Zipfian};
 pub use time::{SimDuration, SimTime};

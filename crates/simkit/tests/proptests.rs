@@ -1,13 +1,14 @@
-//! Property-based tests for the simulation kit.
+//! Property-based tests for the simulation kit (dd-check harness).
 
-use proptest::prelude::*;
-use simkit::{EventQueue, KeyedMinHeap, SimRng, SimTime};
+use dd_check::{check, prop_assert, prop_assert_eq};
+use simkit::{EventQueue, KeyedMinHeap, SimRng, SimTime, Zipfian};
 
-proptest! {
-    /// Popping the event queue always yields non-decreasing times, and
-    /// events pushed with equal times come out in push order.
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+/// Popping the event queue always yields non-decreasing times, and events
+/// pushed with equal times come out in push order.
+#[test]
+fn event_queue_total_order() {
+    check("event_queue_total_order", |c| {
+        let times = c.vec_of(1, 200, |c| c.u64_in(0, 1000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), (t, i));
@@ -26,15 +27,17 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
-    }
+        Ok(())
+    });
+}
 
-    /// The keyed heap's top always carries the minimal key, before and
-    /// after arbitrary resorts.
-    #[test]
-    fn keyed_heap_top_is_min(
-        keys in proptest::collection::vec(0u32..10_000, 1..64),
-        reseed in 0u64..1000,
-    ) {
+/// The keyed heap's top always carries the minimal key, before and after
+/// arbitrary resorts.
+#[test]
+fn keyed_heap_top_is_min() {
+    check("keyed_heap_top_is_min", |c| {
+        let keys = c.vec_of(1, 64, |c| c.u32_in(0, 10_000));
+        let reseed = c.u64_in(0, 1000);
         let mut h = KeyedMinHeap::new();
         for (i, &k) in keys.iter().enumerate() {
             h.insert(i, k as f64);
@@ -48,24 +51,51 @@ proptest! {
         h.resort_with(|id| new_keys[id]);
         let new_min = new_keys.iter().cloned().fold(f64::INFINITY, f64::min);
         prop_assert_eq!(h.top_key(), Some(new_min));
-    }
+        Ok(())
+    });
+}
 
-    /// `gen_range` stays in bounds for any bound.
-    #[test]
-    fn rng_gen_range_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// `gen_range` stays in bounds for any bound.
+#[test]
+fn rng_gen_range_bounds() {
+    check("rng_gen_range_bounds", |c| {
+        let seed = c.any_u64();
+        let bound = c.u64_in(1, 1_000_000);
         let mut rng = SimRng::new(seed);
         for _ in 0..100 {
             prop_assert!(rng.gen_range(bound) < bound);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Identical seeds replay identical streams.
-    #[test]
-    fn rng_replay(seed in any::<u64>()) {
+/// Identical seeds replay identical streams.
+#[test]
+fn rng_replay() {
+    check("rng_replay", |c| {
+        let seed = c.any_u64();
         let mut a = SimRng::new(seed);
         let mut b = SimRng::new(seed);
         for _ in 0..32 {
             prop_assert_eq!(a.next_u64(), b.next_u64());
         }
-    }
+        Ok(())
+    });
+}
+
+/// Zipfian samples stay within `[0, n)` for any domain and skew.
+#[test]
+fn zipfian_within_range() {
+    check("zipfian_within_range", |c| {
+        let n = c.u64_in(1, 100_000);
+        let theta = c.f64_unit() * 0.98 + 0.01; // theta ∈ (0, 1)
+        let seed = c.any_u64();
+        let z = Zipfian::new(n, theta);
+        prop_assert_eq!(z.domain(), n);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        Ok(())
+    });
 }

@@ -1,33 +1,37 @@
-//! Property-based tests of the workload generators.
+//! Property-based tests of the workload generators (dd-check harness).
 
+use dd_check::{check, prop_assert, prop_assert_eq};
 use dd_workload::kvsim::LruCache;
 use dd_workload::{AppWorkload, OpKind, OpStep, YcsbMix, YcsbWorkload};
-use proptest::prelude::*;
 use simkit::SimRng;
 
-proptest! {
-    /// The LRU cache never exceeds its capacity and an immediate re-access
-    /// always hits.
-    #[test]
-    fn lru_capacity_invariant(
-        cap in 1usize..64,
-        accesses in proptest::collection::vec(0u64..200, 1..300),
-    ) {
-        let mut c = LruCache::new(cap);
+/// The LRU cache never exceeds its capacity and an immediate re-access
+/// always hits.
+#[test]
+fn lru_capacity_invariant() {
+    check("lru_capacity_invariant", |c| {
+        let cap = c.usize_in(1, 64);
+        let accesses = c.vec_of(1, 300, |c| c.u64_in(0, 200));
+        let mut cache = LruCache::new(cap);
         for &b in &accesses {
-            c.access(b);
-            prop_assert!(c.len() <= cap);
+            cache.access(b);
+            prop_assert!(cache.len() <= cap);
         }
         if let Some(&last) = accesses.last() {
-            prop_assert!(c.access(last));
+            prop_assert!(cache.access(last));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every YCSB mix terminates after exactly the requested primary ops
-    /// (RMWs split into two halves; maintenance excluded), and every
-    /// produced op is well-formed.
-    #[test]
-    fn ycsb_ops_well_formed(seed in any::<u64>(), ops in 1u64..200) {
+/// Every YCSB mix terminates after exactly the requested primary ops
+/// (RMWs split into two halves; maintenance excluded), and every produced
+/// op is well-formed.
+#[test]
+fn ycsb_ops_well_formed() {
+    check("ycsb_ops_well_formed", |c| {
+        let seed = c.any_u64();
+        let ops = c.u64_in(1, 200);
         for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::E, YcsbMix::F] {
             let mut w = YcsbWorkload::new(
                 mix,
@@ -59,5 +63,6 @@ proptest! {
             }
             prop_assert_eq!(primary_units, ops * 2, "mix {:?}", mix);
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Hermetic verification gate for the Daredevil reproduction.
+#
+# Runs tier-1 (release build + full test suite) plus the smoke-scale bench
+# sweep, all with network access forbidden: the workspace has zero external
+# dependencies (see dd-check, DESIGN.md §5), so an empty cargo registry
+# cache must suffice. Any attempt to hit the network is a regression and
+# fails the run.
+#
+# Usage: scripts/verify.sh [--full]
+#   --full   also run the full quick-scale figure sweep and micro benches
+#            at full sample counts (slower; default is the smoke subset).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+FULL=0
+for a in "$@"; do
+    case "$a" in
+        --full) FULL=1 ;;
+        *) echo "usage: scripts/verify.sh [--full]" >&2; exit 2 ;;
+    esac
+done
+
+echo "== verify: tier-1 (offline release build + tests) =="
+cargo build --release
+cargo test -q
+
+echo "== verify: workspace test suite (all crates, incl. dd-check self-tests) =="
+cargo test -q --workspace
+
+if [ "$FULL" = "1" ]; then
+    echo "== verify: full quick-scale bench sweep =="
+    cargo bench -p bench
+else
+    echo "== verify: smoke-scale bench sweep =="
+    cargo bench -p bench -- --smoke
+fi
+
+echo "== verify: no external crates in any manifest =="
+if grep -rn --include=Cargo.toml -E '^(proptest|criterion|rand|serde|tokio)' . | grep -v target; then
+    echo "verify: FAILED — external dependency found above" >&2
+    exit 1
+fi
+
+echo "verify: OK"
