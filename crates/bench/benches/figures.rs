@@ -8,21 +8,32 @@
 //! * `--smoke` — regenerate only a representative subset (the CI gate run
 //!   by `scripts/verify.sh`);
 //! * `--bench` — injected by cargo, ignored;
-//! * `--csv` — also emit CSV after each table.
+//! * `--csv` — also emit CSV after each table;
+//! * `--jobs N` — sweep worker threads (default: `DD_JOBS` or all cores).
 
 fn main() {
     let mut smoke = false;
     let mut csv = false;
-    for a in std::env::args().skip(1) {
+    let mut jobs = bench::Opts::default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--csv" => csv = true,
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => eprintln!("figures: --jobs expects a positive integer; ignoring"),
+            },
             "--bench" | "--quick" => {} // Quick scale is this harness's default.
             other => eprintln!("figures: ignoring unknown argument {other}"),
         }
     }
     // Reduced scale either way: this harness is the smoke-level sweep.
-    let opts = bench::Opts { quick: true, csv };
+    let opts = bench::Opts {
+        quick: true,
+        csv,
+        jobs,
+    };
     if smoke {
         println!("Regenerating the smoke subset of paper artifacts (--smoke).\n");
         bench::figures::table1::run_figure(&opts);

@@ -1,19 +1,131 @@
-//! Regenerates every table and figure of the paper in sequence.
+//! Regenerates every table and figure of the paper in sequence, then
+//! writes `BENCH_sweep.json` — the harness's own performance artifact:
+//! wall-clock, runs, and simulation events/s per figure, plus the sweep
+//! worker count.
+//!
+//! Environment:
+//!
+//! * `DD_BENCH_SWEEP` — output path for the JSON artifact (default
+//!   `BENCH_sweep.json` in the working directory; set to the empty string
+//!   to skip writing);
+//! * `DD_BASELINE_WALL_S` — a serial (`--jobs 1`) wall-clock measurement
+//!   in seconds; when present the artifact records `speedup_vs_serial`
+//!   (used by `scripts/verify.sh`).
+//!
+//! Tables go to stdout only; timing chatter goes to stderr so stdout
+//! stays byte-identical across `--jobs` values.
+
+use std::time::Instant;
+
+struct FigStat {
+    name: &'static str,
+    wall_s: f64,
+    runs: u64,
+    events: u64,
+}
+
+impl FigStat {
+    fn events_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
 
 fn main() {
     let opts = bench::Opts::from_args();
-    bench::figures::table1::run_figure(&opts);
-    bench::figures::fig2::run_figure(&opts);
-    bench::figures::fig6::run_figure(&opts);
-    bench::figures::fig7::run_figure(&opts);
-    bench::figures::fig8::run_figure(&opts);
-    bench::figures::fig9::run_figure(&opts);
-    bench::figures::fig10::run_figure(&opts);
-    bench::figures::fig11::run_figure(&opts);
-    bench::figures::fig12::run_figure(&opts);
-    bench::figures::fig13::run_figure(&opts);
-    bench::figures::fig14::run_figure(&opts);
-    bench::figures::ext_baselines::run_figure(&opts);
-    bench::figures::ext_virtio::run_figure(&opts);
-    bench::figures::ext_breakdown::run_figure(&opts);
+    type Fig = (&'static str, fn(&bench::Opts));
+    let figures: [Fig; 14] = [
+        ("table1", bench::figures::table1::run_figure),
+        ("fig2", bench::figures::fig2::run_figure),
+        ("fig6", bench::figures::fig6::run_figure),
+        ("fig7", bench::figures::fig7::run_figure),
+        ("fig8", bench::figures::fig8::run_figure),
+        ("fig9", bench::figures::fig9::run_figure),
+        ("fig10", bench::figures::fig10::run_figure),
+        ("fig11", bench::figures::fig11::run_figure),
+        ("fig12", bench::figures::fig12::run_figure),
+        ("fig13", bench::figures::fig13::run_figure),
+        ("fig14", bench::figures::fig14::run_figure),
+        ("ext_baselines", bench::figures::ext_baselines::run_figure),
+        ("ext_virtio", bench::figures::ext_virtio::run_figure),
+        ("ext_breakdown", bench::figures::ext_breakdown::run_figure),
+    ];
+
+    let started = Instant::now();
+    let mut stats = Vec::with_capacity(figures.len());
+    for (name, run_figure) in figures {
+        let (runs0, events0) = bench::sweep::counters();
+        let t0 = Instant::now();
+        run_figure(&opts);
+        let (runs1, events1) = bench::sweep::counters();
+        stats.push(FigStat {
+            name,
+            wall_s: t0.elapsed().as_secs_f64(),
+            runs: runs1 - runs0,
+            events: events1 - events0,
+        });
+    }
+    write_artifact(&opts, started.elapsed().as_secs_f64(), &stats);
+}
+
+/// Writes the JSON artifact by hand (the repo is dependency-free; the
+/// schema is flat enough that a serializer would be overkill).
+fn write_artifact(opts: &bench::Opts, total_wall_s: f64, stats: &[FigStat]) {
+    let path =
+        std::env::var("DD_BENCH_SWEEP").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    if path.is_empty() {
+        return;
+    }
+    let baseline: Option<f64> = std::env::var("DD_BASELINE_WALL_S")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|s: &f64| *s > 0.0);
+    let total_runs: u64 = stats.iter().map(|f| f.runs).sum();
+    let total_events: u64 = stats.iter().map(|f| f.events).sum();
+    let events_per_s = if total_wall_s > 0.0 {
+        total_events as f64 / total_wall_s
+    } else {
+        0.0
+    };
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
+    s.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    s.push_str(&format!("  \"total_wall_s\": {total_wall_s:.6},\n"));
+    s.push_str(&format!("  \"total_runs\": {total_runs},\n"));
+    s.push_str(&format!("  \"total_events\": {total_events},\n"));
+    s.push_str(&format!("  \"events_per_s\": {events_per_s:.1},\n"));
+    if let Some(base) = baseline {
+        s.push_str(&format!("  \"baseline_wall_s\": {base:.6},\n"));
+        s.push_str(&format!(
+            "  \"speedup_vs_serial\": {:.3},\n",
+            base / total_wall_s.max(1e-9)
+        ));
+    }
+    s.push_str("  \"figures\": [\n");
+    for (i, f) in stats.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"runs\": {}, \"events\": {}, \"events_per_s\": {:.1}}}{}\n",
+            f.name,
+            f.wall_s,
+            f.runs,
+            f.events,
+            f.events_per_s(),
+            if i + 1 < stats.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+
+    match std::fs::write(&path, &s) {
+        Ok(()) => eprintln!(
+            "all_figures: {total_runs} runs, {total_events} events in {total_wall_s:.2}s \
+             (jobs={}) -> {path}",
+            opts.jobs
+        ),
+        Err(e) => eprintln!("all_figures: cannot write {path}: {e}"),
+    }
 }

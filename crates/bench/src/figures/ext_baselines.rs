@@ -18,30 +18,34 @@ use dd_metrics::Table;
 use dd_nvme::NamespaceId;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec, TenantKind, TenantSpec};
 
-use crate::{latency_row, run, Opts, LATENCY_HEADER};
+use crate::{latency_row, Opts, Sweep, LATENCY_HEADER};
+
+fn sched_stacks() -> [StackSpec; 4] {
+    [
+        StackSpec::vanilla(),
+        StackSpec::vanilla_sched(SchedKind::MqDeadline),
+        StackSpec::vanilla_sched(SchedKind::Kyber),
+        StackSpec::daredevil(),
+    ]
+}
+
+fn sched_label(stack: &StackSpec) -> &str {
+    match stack {
+        StackSpec::Vanilla(c) if c.scheduler == SchedKind::MqDeadline => "mq-deadline",
+        StackSpec::Vanilla(c) if c.scheduler == SchedKind::Kyber => "kyber",
+        other => other.name(),
+    }
+}
 
 /// Runs both extension comparisons.
 pub fn run_figure(opts: &Opts) {
     // (1) Elevators under write-heavy T-pressure.
-    let mut table = Table::new(
-        "Ext A: I/O schedulers vs NQ-level separation (4 L readers, T = 128KiB writers, 4 cores)",
-        &LATENCY_HEADER,
-    );
     let t_stages: Vec<u16> = if opts.quick { vec![8] } else { vec![8, 32] };
-    for nr_t in t_stages {
-        for stack in [
-            StackSpec::vanilla(),
-            StackSpec::vanilla_sched(SchedKind::MqDeadline),
-            StackSpec::vanilla_sched(SchedKind::Kyber),
-            StackSpec::daredevil(),
-        ] {
-            let label = match &stack {
-                StackSpec::Vanilla(c) if c.scheduler == SchedKind::MqDeadline => "mq-deadline",
-                StackSpec::Vanilla(c) if c.scheduler == SchedKind::Kyber => "kyber",
-                other => other.name(),
-            };
+    let mut sweep = Sweep::new();
+    for nr_t in &t_stages {
+        for stack in sched_stacks() {
             let mut s = Scenario::multi_tenant_fio(stack, 4, 0, 4, MachinePreset::SvM);
-            for i in 0..nr_t {
+            for i in 0..*nr_t {
                 s.tenants.push(TenantSpec {
                     class_label: "T",
                     ionice: IoPriorityClass::BestEffort,
@@ -50,9 +54,20 @@ pub fn run_figure(opts: &Opts) {
                     kind: TenantKind::Fio(dd_workload::tenants::t_tenant_write_job()),
                 });
             }
-            let out = run(opts, s);
+            sweep.add(format!("T={nr_t}"), s);
+        }
+    }
+    let mut results = sweep.run(opts);
+
+    let mut table = Table::new(
+        "Ext A: I/O schedulers vs NQ-level separation (4 L readers, T = 128KiB writers, 4 cores)",
+        &LATENCY_HEADER,
+    );
+    for nr_t in &t_stages {
+        for stack in sched_stacks() {
+            let out = results.next_output();
             let mut row = latency_row(format!("T={nr_t}"), &out);
-            row[1] = label.to_string();
+            row[1] = sched_label(&stack).to_string();
             table.row(&row);
         }
     }
@@ -63,18 +78,8 @@ pub fn run_figure(opts: &Opts) {
     // the T population skews onto one core, its single T-queue overflows
     // (requests park on BLK_STS_RESOURCE) while the three other T-queues
     // sit empty. Daredevil spreads the same load over the whole low group.
-    let mut table = Table::new(
-        "Ext B: static overprovision (WRR pairs) vs Daredevil under skewed placement",
-        &[
-            "placement",
-            "stack",
-            "L p99.9 (ms)",
-            "T p99.9 (ms)",
-            "T MB/s",
-            "queue-full parks",
-        ],
-    );
     let nr_t: u16 = if opts.quick { 24 } else { 48 };
+    let mut sweep = Sweep::new();
     for (label, skewed) in [("even", false), ("skewed", true)] {
         for stack in [StackSpec::overprov(), StackSpec::daredevil()] {
             let mut s = Scenario::multi_tenant_fio(stack, 4, 0, 4, MachinePreset::SvM);
@@ -88,7 +93,25 @@ pub fn run_figure(opts: &Opts) {
                     kind: TenantKind::Fio(dd_workload::tenants::t_tenant_job()),
                 });
             }
-            let out = run(opts, s);
+            sweep.add(label, s);
+        }
+    }
+    let mut results = sweep.run(opts);
+
+    let mut table = Table::new(
+        "Ext B: static overprovision (WRR pairs) vs Daredevil under skewed placement",
+        &[
+            "placement",
+            "stack",
+            "L p99.9 (ms)",
+            "T p99.9 (ms)",
+            "T MB/s",
+            "queue-full parks",
+        ],
+    );
+    for (label, _skewed) in [("even", false), ("skewed", true)] {
+        for _ in [StackSpec::overprov(), StackSpec::daredevil()] {
+            let out = results.next_output();
             table.row(&[
                 label.to_string(),
                 out.summary.stack.clone(),

@@ -12,10 +12,30 @@ use dd_metrics::table::fmt_f;
 use dd_metrics::Table;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec};
 
-use crate::{run, Opts};
+use crate::{Opts, Sweep};
+
+fn stacks() -> [StackSpec; 3] {
+    [
+        StackSpec::vanilla(),
+        StackSpec::blk_switch(),
+        StackSpec::daredevil(),
+    ]
+}
 
 /// Regenerates the phase-breakdown extension table.
 pub fn run_figure(opts: &Opts) {
+    let stages: Vec<u16> = if opts.quick { vec![8] } else { vec![2, 8, 32] };
+    let mut sweep = Sweep::new();
+    for nr_t in &stages {
+        for stack in stacks() {
+            sweep.add(
+                format!("T={nr_t}"),
+                Scenario::multi_tenant_fio(stack, 4, *nr_t, 4, MachinePreset::SvM),
+            );
+        }
+    }
+    let mut results = sweep.run(opts);
+
     let mut table = Table::new(
         "Ext D: L-tenant latency phase breakdown (avg ms), 4 L + T pressure, 4 cores",
         &[
@@ -27,15 +47,9 @@ pub fn run_figure(opts: &Opts) {
             "end-to-end",
         ],
     );
-    let stages: Vec<u16> = if opts.quick { vec![8] } else { vec![2, 8, 32] };
-    for nr_t in stages {
-        for stack in [
-            StackSpec::vanilla(),
-            StackSpec::blk_switch(),
-            StackSpec::daredevil(),
-        ] {
-            let s = Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM);
-            let out = run(opts, s);
+    for nr_t in &stages {
+        for _ in stacks() {
+            let out = results.next_output();
             let b = out.breakdown.get("L").copied().unwrap_or_default();
             table.row(&[
                 format!("T={nr_t}"),

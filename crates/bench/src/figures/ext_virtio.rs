@@ -11,7 +11,7 @@ use dd_metrics::Table;
 use dd_nvme::NamespaceId;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec, TenantKind, TenantSpec};
 
-use crate::{latency_row, run, Opts, LATENCY_HEADER};
+use crate::{latency_row, Opts, Sweep, LATENCY_HEADER};
 
 fn vm_scenario(stack: StackSpec, nr_t_per_vm: u16) -> Scenario {
     let mut s = Scenario::new(format!("{}-vms", stack.name()), MachinePreset::SvM, stack);
@@ -40,31 +40,44 @@ fn vm_scenario(stack: StackSpec, nr_t_per_vm: u16) -> Scenario {
     s
 }
 
+fn virtio_stacks() -> [StackSpec; 3] {
+    [
+        StackSpec::virtio(StackSpec::vanilla(), false),
+        StackSpec::virtio(StackSpec::daredevil(), false),
+        StackSpec::virtio(StackSpec::daredevil(), true),
+    ]
+}
+
+fn virtio_label(stack: &StackSpec) -> String {
+    match stack {
+        StackSpec::Virtio { inner, sla_aware } => {
+            format!(
+                "{} / {}",
+                if *sla_aware { "sla-vqs" } else { "naive-vqs" },
+                inner.name()
+            )
+        }
+        _ => unreachable!(),
+    }
+}
+
 /// Regenerates the virtio extension comparison.
 pub fn run_figure(opts: &Opts) {
     let nr_t = if opts.quick { 4 } else { 8 };
+    let mut sweep = Sweep::new();
+    for stack in virtio_stacks() {
+        sweep.add(virtio_label(&stack), vm_scenario(stack, nr_t));
+    }
+    let mut results = sweep.run(opts);
+
     let mut table = Table::new(
         format!("Ext C: guest VMs over virtio-blk (2 VMs, 2 guest L + {nr_t} guest T each, daredevil host)"),
         &LATENCY_HEADER,
     );
-    for stack in [
-        StackSpec::virtio(StackSpec::vanilla(), false),
-        StackSpec::virtio(StackSpec::daredevil(), false),
-        StackSpec::virtio(StackSpec::daredevil(), true),
-    ] {
-        let label = match &stack {
-            StackSpec::Virtio { inner, sla_aware } => {
-                format!(
-                    "{} / {}",
-                    if *sla_aware { "sla-vqs" } else { "naive-vqs" },
-                    inner.name()
-                )
-            }
-            _ => unreachable!(),
-        };
-        let out = run(opts, vm_scenario(stack, nr_t));
+    for stack in virtio_stacks() {
+        let out = results.next_output();
         let mut row = latency_row("2 VMs", &out);
-        row[1] = label;
+        row[1] = virtio_label(&stack);
         table.row(&row);
     }
     opts.emit(&table);

@@ -17,7 +17,7 @@ use dd_metrics::table::fmt_ms;
 use dd_metrics::Table;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec};
 
-use crate::{run, Opts};
+use crate::{Opts, Sweep};
 
 fn ablation_stacks() -> [StackSpec; 3] {
     [
@@ -27,16 +27,69 @@ fn ablation_stacks() -> [StackSpec; 3] {
     ]
 }
 
+/// Builds the contended sub-table (e) scenario for one ablation variant.
+fn contended_scenario(stack: StackSpec) -> Scenario {
+    let mut s = Scenario::new("fig11e", MachinePreset::SvM, stack);
+    s.core_pool = 4;
+    s.nvme = s.nvme.with_queues(16, 4);
+    // TL-tenants register first so the scheduling variants can see
+    // their claims when placing the L-tenants.
+    for i in 0..12u16 {
+        s.tenants.push(testbed::scenario::TenantSpec {
+            class_label: "TL",
+            ionice: blkstack::IoPriorityClass::RealTime,
+            core: i % 4,
+            nsid: dd_nvme::NamespaceId(1),
+            kind: testbed::scenario::TenantKind::Fio(dd_workload::tenants::t_tenant_job()),
+        });
+    }
+    for i in 0..8u16 {
+        s.tenants.push(testbed::scenario::TenantSpec {
+            class_label: "L",
+            ionice: blkstack::IoPriorityClass::RealTime,
+            core: i % 4,
+            nsid: dd_nvme::NamespaceId(1),
+            kind: testbed::scenario::TenantKind::Fio(dd_workload::tenants::l_tenant_job()),
+        });
+    }
+    s
+}
+
 /// Regenerates Fig. 11.
 pub fn run_figure(opts: &Opts) {
+    let ns_counts: Vec<u32> = if opts.quick { vec![4] } else { vec![4, 8, 12] };
+
+    // One sweep covers all three sub-tables; the format passes below
+    // consume the outputs in exactly the order the cells were added.
+    let mut sweep = Sweep::new();
+    for nr_t in opts.t_stages() {
+        for stack in ablation_stacks() {
+            sweep.add(
+                format!("T={nr_t}"),
+                Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM),
+            );
+        }
+    }
+    for namespaces in &ns_counts {
+        for stack in ablation_stacks() {
+            sweep.add(
+                format!("{namespaces} ns"),
+                Scenario::multi_namespace(stack, *namespaces, 4, MachinePreset::SvM),
+            );
+        }
+    }
+    for stack in ablation_stacks() {
+        sweep.add("TL contention", contended_scenario(stack));
+    }
+    let mut results = sweep.run(opts);
+
     let mut table = Table::new(
         "Fig 11 (a,b): ablation under T-pressure (4 L, 4 cores, SV-M)",
         &["T-tenants", "variant", "L p99.9 (ms)", "L avg (ms)"],
     );
     for nr_t in opts.t_stages() {
-        for stack in ablation_stacks() {
-            let s = Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM);
-            let out = run(opts, s);
+        for _ in ablation_stacks() {
+            let out = results.next_output();
             let l = out.summary.class("L");
             table.row(&[
                 format!("T={nr_t}"),
@@ -48,15 +101,13 @@ pub fn run_figure(opts: &Opts) {
     }
     opts.emit(&table);
 
-    let ns_counts: Vec<u32> = if opts.quick { vec![4] } else { vec![4, 8, 12] };
     let mut table = Table::new(
         "Fig 11 (c,d): ablation under multi-namespace (1:3 L:T ns ratio)",
         &["namespaces", "variant", "L p99.9 (ms)", "L avg (ms)"],
     );
-    for namespaces in ns_counts {
-        for stack in ablation_stacks() {
-            let s = Scenario::multi_namespace(stack, namespaces, 4, MachinePreset::SvM);
-            let out = run(opts, s);
+    for namespaces in &ns_counts {
+        for _ in ablation_stacks() {
+            let out = results.next_output();
             let l = out.summary.class("L");
             table.row(&[
                 format!("{namespaces}"),
@@ -77,31 +128,8 @@ pub fn run_figure(opts: &Opts) {
         "Fig 11 (e, extension): ablation under TL contention (8 L + 12 TL, 4 cores, 16 NSQ / 4 NCQ)",
         &["variant", "L p99.9 (ms)", "L avg (ms)"],
     );
-    for stack in ablation_stacks() {
-        let mut s = Scenario::new("fig11e", MachinePreset::SvM, stack);
-        s.core_pool = 4;
-        s.nvme = s.nvme.with_queues(16, 4);
-        // TL-tenants register first so the scheduling variants can see
-        // their claims when placing the L-tenants.
-        for i in 0..12u16 {
-            s.tenants.push(testbed::scenario::TenantSpec {
-                class_label: "TL",
-                ionice: blkstack::IoPriorityClass::RealTime,
-                core: i % 4,
-                nsid: dd_nvme::NamespaceId(1),
-                kind: testbed::scenario::TenantKind::Fio(dd_workload::tenants::t_tenant_job()),
-            });
-        }
-        for i in 0..8u16 {
-            s.tenants.push(testbed::scenario::TenantSpec {
-                class_label: "L",
-                ionice: blkstack::IoPriorityClass::RealTime,
-                core: i % 4,
-                nsid: dd_nvme::NamespaceId(1),
-                kind: testbed::scenario::TenantKind::Fio(dd_workload::tenants::l_tenant_job()),
-            });
-        }
-        let out = run(opts, s);
+    for _ in ablation_stacks() {
+        let out = results.next_output();
         let l = out.summary.class("L");
         table.row(&[
             out.summary.stack.clone(),

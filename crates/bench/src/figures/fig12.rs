@@ -16,7 +16,7 @@ use dd_workload::{OpKind, YcsbMix};
 use simkit::SimDuration;
 use testbed::scenario::{AppKind, MachinePreset, Scenario, StackSpec, TenantKind, TenantSpec};
 
-use crate::{run, Opts};
+use crate::{Opts, Sweep};
 
 fn app_scenario(stack: StackSpec, app: AppKind, label: &'static str) -> Scenario {
     let mut s = Scenario::new(
@@ -52,6 +52,8 @@ fn stacks() -> [StackSpec; 3] {
     ]
 }
 
+const MIXES: [YcsbMix; 4] = [YcsbMix::A, YcsbMix::B, YcsbMix::E, YcsbMix::F];
+
 /// Regenerates Fig. 12.
 pub fn run_figure(opts: &Opts) {
     let ycsb_ops: u64 = if opts.quick { 1_500 } else { 20_000 };
@@ -63,18 +65,10 @@ pub fn run_figure(opts: &Opts) {
         ..KvConfig::default()
     };
 
-    // (a)-(d): YCSB per-op p99.9.
-    let mut table = Table::new(
-        "Fig 12 (a-d): YCSB on kvsim, p99.9 per op (ms), 8 streaming T-tenants",
-        &["workload", "op", "vanilla", "blk-switch", "daredevil"],
-    );
-    for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::E, YcsbMix::F] {
-        let kinds: &[OpKind] = match mix {
-            YcsbMix::A | YcsbMix::B => &[OpKind::Read, OpKind::Update],
-            YcsbMix::E => &[OpKind::Scan, OpKind::Insert],
-            YcsbMix::F => &[OpKind::Read, OpKind::ReadModifyWrite],
-        };
-        let mut per_stack = Vec::new();
+    // One sweep covers the four YCSB mixes and the Mailserver runs; the
+    // format passes below consume outputs in the same cell order.
+    let mut sweep = Sweep::new();
+    for mix in MIXES {
         for stack in stacks() {
             let mut s = app_scenario(
                 stack,
@@ -88,8 +82,36 @@ pub fn run_figure(opts: &Opts) {
             // Long ceiling; the run stops when the app finishes.
             s.warmup = opts.warmup();
             s.measure = SimDuration::from_secs(120);
-            per_stack.push(run(opts, s));
+            sweep.add(mix.as_str(), s);
         }
+    }
+    for stack in stacks() {
+        let mut s = app_scenario(
+            stack,
+            AppKind::Mailserver {
+                config: MailConfig::default(),
+                ops: mail_ops,
+            },
+            "mailserver",
+        );
+        s.warmup = opts.warmup();
+        s.measure = SimDuration::from_secs(120);
+        sweep.add("mailserver", s);
+    }
+    let mut results = sweep.run(opts);
+
+    // (a)-(d): YCSB per-op p99.9.
+    let mut table = Table::new(
+        "Fig 12 (a-d): YCSB on kvsim, p99.9 per op (ms), 8 streaming T-tenants",
+        &["workload", "op", "vanilla", "blk-switch", "daredevil"],
+    );
+    for mix in MIXES {
+        let kinds: &[OpKind] = match mix {
+            YcsbMix::A | YcsbMix::B => &[OpKind::Read, OpKind::Update],
+            YcsbMix::E => &[OpKind::Scan, OpKind::Insert],
+            YcsbMix::F => &[OpKind::Read, OpKind::ReadModifyWrite],
+        };
+        let per_stack = results.take(stacks().len());
         for kind in kinds {
             let mut row = vec![mix.as_str().to_string(), kind.as_str().to_string()];
             for out in &per_stack {
@@ -110,20 +132,7 @@ pub fn run_figure(opts: &Opts) {
         "Fig 12 (e): Mailserver avg latency (ms), 8 streaming T-tenants",
         &["op", "vanilla", "blk-switch", "daredevil", "cache-hit note"],
     );
-    let mut per_stack = Vec::new();
-    for stack in stacks() {
-        let mut s = app_scenario(
-            stack,
-            AppKind::Mailserver {
-                config: MailConfig::default(),
-                ops: mail_ops,
-            },
-            "mailserver",
-        );
-        s.warmup = opts.warmup();
-        s.measure = SimDuration::from_secs(120);
-        per_stack.push(run(opts, s));
-    }
+    let per_stack = results.take(stacks().len());
     for kind in [OpKind::Fsync, OpKind::Delete, OpKind::FileRead] {
         let mut row = vec![kind.as_str().to_string()];
         for out in &per_stack {

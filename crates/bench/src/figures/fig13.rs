@@ -17,7 +17,7 @@ use dd_nvme::NamespaceId;
 use simkit::SimDuration;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec, TenantKind, TenantSpec};
 
-use crate::{run, Opts};
+use crate::{Opts, Sweep};
 
 fn overhead_scenario(stack: StackSpec, nr_l: u16, nr_tl: u16) -> Scenario {
     let mut s = Scenario::new(
@@ -94,13 +94,26 @@ pub fn run_figure(opts: &Opts) {
         vec![2, 4, 8, 12, 16]
     };
 
+    let mut sweep = Sweep::new();
+    for nr_l in &counts {
+        for stack in stacks.clone() {
+            sweep.add(format!("L={nr_l}"), overhead_scenario(stack, *nr_l, 12));
+        }
+    }
+    for nr_tl in &counts {
+        for stack in stacks.clone() {
+            sweep.add(format!("TL={nr_tl}"), overhead_scenario(stack, 12, *nr_tl));
+        }
+    }
+    let mut results = sweep.run(opts);
+
     let mut table = Table::new(
         "Fig 13 (a,c): fixed 12 TL-tenants, varying L-tenants (4 cores, 16 NQs)",
         &HEADER,
     );
     for nr_l in &counts {
-        for stack in stacks.clone() {
-            let out = run(opts, overhead_scenario(stack, *nr_l, 12));
+        for _ in stacks.clone() {
+            let out = results.next_output();
             table.row(&row(format!("L={nr_l}"), &out));
         }
     }
@@ -111,8 +124,8 @@ pub fn run_figure(opts: &Opts) {
         &HEADER,
     );
     for nr_tl in &counts {
-        for stack in stacks.clone() {
-            let out = run(opts, overhead_scenario(stack, 12, *nr_tl));
+        for _ in stacks.clone() {
+            let out = results.next_output();
             table.row(&row(format!("TL={nr_tl}"), &out));
         }
     }

@@ -10,7 +10,7 @@ use dd_metrics::Table;
 use simkit::SimDuration;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec};
 
-use crate::{run, Opts};
+use crate::{Opts, Sweep};
 
 /// Regenerates Fig. 14.
 pub fn run_figure(opts: &Opts) {
@@ -41,11 +41,17 @@ pub fn run_figure(opts: &Opts) {
             "reassignments",
         ],
     );
-    let mut baseline: Option<(f64, f64, f64)> = None;
-    for (label, interval) in intervals {
+    let mut sweep = Sweep::new();
+    for (label, interval) in &intervals {
         let mut s = Scenario::multi_tenant_fio(StackSpec::daredevil(), 4, 8, 4, MachinePreset::SvM);
-        s.ionice_storm = interval;
-        let out = run(opts, s);
+        s.ionice_storm = *interval;
+        sweep.add(*label, s);
+    }
+    let mut results = sweep.run(opts);
+
+    let mut baseline: Option<(f64, f64, f64)> = None;
+    for (label, _interval) in intervals {
+        let out = results.next_output();
         let l_iops = out.l_kiops();
         let t_tput = out.t_mbps();
         let cpu = out.summary.avg_cpu_util();

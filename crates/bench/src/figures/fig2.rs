@@ -9,10 +9,28 @@ use dd_metrics::table::fmt_ms;
 use dd_metrics::Table;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec};
 
-use crate::{run, Opts};
+use crate::{Opts, Sweep};
+
+fn variants() -> [(&'static str, StackSpec); 2] {
+    [
+        ("w/ interfere", StackSpec::vanilla_queues(4)),
+        ("w/o interfere", StackSpec::vanilla_partitioned(4)),
+    ]
+}
 
 /// Regenerates Fig. 2.
 pub fn run_figure(opts: &Opts) {
+    let mut sweep = Sweep::new();
+    for nr_t in opts.t_stages() {
+        for (label, stack) in variants() {
+            sweep.add(
+                format!("T={nr_t} {label}"),
+                Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM),
+            );
+        }
+    }
+    let mut results = sweep.run(opts);
+
     let mut table = Table::new(
         "Fig 2: L-tenant latency w/ vs w/o NQ interference (4 L, 4 cores, 4 NQs)",
         &[
@@ -25,12 +43,8 @@ pub fn run_figure(opts: &Opts) {
     );
     for nr_t in opts.t_stages() {
         let mut tails = Vec::new();
-        for (label, stack) in [
-            ("w/ interfere", StackSpec::vanilla_queues(4)),
-            ("w/o interfere", StackSpec::vanilla_partitioned(4)),
-        ] {
-            let s = Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM);
-            let out = run(opts, s);
+        for (label, _) in variants() {
+            let out = results.next_output();
             let l = out.summary.class("L");
             tails.push(l.latency.p999().as_millis_f64());
             table.row(&[

@@ -8,22 +8,36 @@
 use dd_metrics::Table;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec};
 
-use crate::{latency_row, run, Opts, LATENCY_HEADER};
+use crate::{latency_row, Opts, Sweep, LATENCY_HEADER};
+
+fn stacks() -> [StackSpec; 3] {
+    [
+        StackSpec::vanilla(),
+        StackSpec::blk_switch(),
+        StackSpec::daredevil(),
+    ]
+}
 
 /// Regenerates Fig. 6.
 pub fn run_figure(opts: &Opts) {
+    let mut sweep = Sweep::new();
+    for nr_t in opts.t_stages() {
+        for stack in stacks() {
+            sweep.add(
+                format!("T={nr_t}"),
+                Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM),
+            );
+        }
+    }
+    let mut results = sweep.run(opts);
+
     let mut table = Table::new(
         "Fig 6: SV-M, increasing T-pressure (4 L-tenants, 4 cores)",
         &LATENCY_HEADER,
     );
     for nr_t in opts.t_stages() {
-        for stack in [
-            StackSpec::vanilla(),
-            StackSpec::blk_switch(),
-            StackSpec::daredevil(),
-        ] {
-            let s = Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM);
-            let out = run(opts, s);
+        for _ in stacks() {
+            let out = results.next_output();
             table.row(&latency_row(format!("T={nr_t}"), &out));
         }
     }

@@ -9,21 +9,12 @@ use dd_metrics::Table;
 use simkit::SimDuration;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec};
 
-use crate::{run, Opts};
+use crate::{Opts, Sweep};
 
 /// Regenerates Fig. 8 (time series; one row per bucket per stack).
 pub fn run_figure(opts: &Opts) {
     let nr_t = 16;
-    let mut table = Table::new(
-        format!("Fig 8: WS-M over time (T={nr_t}); fluctuation = stddev/mean of bucket series"),
-        &[
-            "stack",
-            "bucket avg-latency series (ms)",
-            "lat fluct",
-            "bucket throughput series (MB/s)",
-            "tput fluct",
-        ],
-    );
+    let mut sweep = Sweep::new();
     for stack in [
         StackSpec::vanilla(),
         StackSpec::blk_switch(),
@@ -35,7 +26,22 @@ pub fn run_figure(opts: &Opts) {
         } else {
             SimDuration::from_millis(50)
         };
-        let out = run(opts, s);
+        sweep.add(s.name.clone(), s);
+    }
+    let mut results = sweep.run(opts);
+
+    let mut table = Table::new(
+        format!("Fig 8: WS-M over time (T={nr_t}); fluctuation = stddev/mean of bucket series"),
+        &[
+            "stack",
+            "bucket avg-latency series (ms)",
+            "lat fluct",
+            "bucket throughput series (MB/s)",
+            "tput fluct",
+        ],
+    );
+    while results.remaining() > 0 {
+        let out = results.next_output();
         // The figure plots L-tenant average latency and total throughput.
         let (lat_series, tput_series) = merged_series(&out);
         table.row(&[
@@ -58,7 +64,11 @@ fn merged_series(out: &testbed::RunOutput) -> (Vec<f64>, Vec<f64>) {
         .map(|cs| cs.latency.means())
         .unwrap_or_default();
     let mut bytes: Vec<f64> = Vec::new();
-    for cs in out.series.values() {
+    // Sort classes so the float summation order (and hence the rendered
+    // bytes) is identical across processes — HashMap order is not.
+    let mut classes: Vec<&String> = out.series.keys().collect();
+    classes.sort();
+    for cs in classes.into_iter().map(|k| &out.series[k]) {
         let width_secs = cs.bytes.width().as_secs_f64();
         for (i, b) in cs.bytes.buckets().iter().enumerate() {
             if bytes.len() <= i {

@@ -9,7 +9,15 @@ use dd_metrics::table::fmt_ms;
 use dd_metrics::Table;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec};
 
-use crate::{run, Opts};
+use crate::{Opts, Sweep};
+
+fn stacks() -> [StackSpec; 3] {
+    [
+        StackSpec::vanilla(),
+        StackSpec::blk_switch(),
+        StackSpec::daredevil(),
+    ]
+}
 
 /// Regenerates Fig. 9.
 pub fn run_figure(opts: &Opts) {
@@ -18,21 +26,28 @@ pub fn run_figure(opts: &Opts) {
     } else {
         vec![4, 16, 32]
     };
+    let mut sweep = Sweep::new();
+    for nr_t in &t_stages {
+        for stack in stacks() {
+            for cores in [2u16, 4, 8] {
+                sweep.add(
+                    format!("T={nr_t} {} {cores}c", stack.name()),
+                    Scenario::multi_tenant_fio(stack.clone(), 4, *nr_t, cores, MachinePreset::SvM),
+                );
+            }
+        }
+    }
+    let mut results = sweep.run(opts);
+
     let mut table = Table::new(
         "Fig 9: L-tenant p99.9 (ms) vs available cores (SV-M)",
         &["T-tenants", "stack", "2 cores", "4 cores", "8 cores"],
     );
     for nr_t in &t_stages {
-        for stack in [
-            StackSpec::vanilla(),
-            StackSpec::blk_switch(),
-            StackSpec::daredevil(),
-        ] {
+        for stack in stacks() {
             let mut cells = vec![format!("T={nr_t}"), stack.name().to_string()];
-            for cores in [2u16, 4, 8] {
-                let s =
-                    Scenario::multi_tenant_fio(stack.clone(), 4, *nr_t, cores, MachinePreset::SvM);
-                let out = run(opts, s);
+            for _cores in [2u16, 4, 8] {
+                let out = results.next_output();
                 cells.push(fmt_ms(out.summary.class("L").latency.p999()));
             }
             table.row(&cells);

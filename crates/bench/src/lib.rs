@@ -3,9 +3,13 @@
 //! Every binary in `src/bin/` regenerates one artifact of the paper's
 //! evaluation (see DESIGN.md §3 for the index). They share:
 //!
-//! * [`Opts`] — `--quick` (reduced durations for smoke runs) and `--csv`
-//!   (machine-readable output in addition to the tables);
+//! * [`Opts`] — `--quick` (reduced durations for smoke runs), `--csv`
+//!   (machine-readable output in addition to the tables) and `--jobs N`
+//!   (sweep worker threads, default `available_parallelism`, env
+//!   `DD_JOBS`);
 //! * duration presets and the T-pressure stages of §7.1;
+//! * [`sweep::Sweep`] — the deterministic parallel sweep executor every
+//!   figure module runs its cells on;
 //! * [`run`] / [`latency_row`] helpers turning a scenario into the table
 //!   columns the paper reports (p99.9, average latency, L-IOPS,
 //!   T-throughput).
@@ -13,11 +17,20 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod sweep;
 
 use dd_metrics::table::{fmt_f, fmt_ms};
 use dd_metrics::Table;
 use simkit::SimDuration;
 use testbed::{RunOutput, Scenario};
+
+pub use sweep::{Sweep, SweepResults, SweepStats};
+
+const USAGE: &str = "usage: <bin> [--quick] [--csv] [--jobs N]\n\
+  --quick    reduced durations (CI/smoke scale)\n\
+  --csv      also print CSV after each table\n\
+  --jobs N   sweep worker threads (default: available parallelism,\n\
+             or the DD_JOBS environment variable)";
 
 /// Command-line options shared by the figure binaries.
 #[derive(Clone, Copy, Debug)]
@@ -26,25 +39,69 @@ pub struct Opts {
     pub quick: bool,
     /// Also print CSV after each table.
     pub csv: bool,
+    /// Worker threads for [`sweep::Sweep`] execution (≥ 1).
+    pub jobs: usize,
 }
 
 impl Opts {
-    /// Parses options from the process arguments.
+    /// The default worker count: `DD_JOBS` if set and valid, otherwise the
+    /// host's available parallelism.
+    pub fn default_jobs() -> usize {
+        if let Ok(v) = std::env::var("DD_JOBS") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => {
+                    eprintln!("invalid DD_JOBS={v:?} (want a positive integer)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Parses options from the process arguments. Genuinely unknown
+    /// arguments are an error (exit 2), not a warning.
     pub fn from_args() -> Self {
         let mut quick = false;
         let mut csv = false;
-        for a in std::env::args().skip(1) {
+        let mut jobs: Option<usize> = None;
+        let mut args = std::env::args().skip(1);
+        let bad = |msg: String| -> ! {
+            eprintln!("{msg}\n{USAGE}");
+            std::process::exit(2);
+        };
+        while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => quick = true,
                 "--csv" => csv = true,
+                "--jobs" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| bad("--jobs needs a value".into()));
+                    jobs = Some(parse_jobs(&v).unwrap_or_else(|| bad(format!(
+                        "invalid --jobs value {v:?} (want a positive integer)"
+                    ))));
+                }
+                other if other.starts_with("--jobs=") => {
+                    let v = &other["--jobs=".len()..];
+                    jobs = Some(parse_jobs(v).unwrap_or_else(|| bad(format!(
+                        "invalid --jobs value {v:?} (want a positive integer)"
+                    ))));
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: <bin> [--quick] [--csv]");
+                    eprintln!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => eprintln!("ignoring unknown argument {other}"),
+                other => bad(format!("unknown argument {other:?}")),
             }
         }
-        Opts { quick, csv }
+        Opts {
+            quick,
+            csv,
+            jobs: jobs.unwrap_or_else(Self::default_jobs),
+        }
     }
 
     /// Warm-up duration for this scale.
@@ -91,15 +148,23 @@ impl Opts {
     }
 }
 
+/// Parses a `--jobs` value.
+fn parse_jobs(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
 /// Applies the shared durations to a scenario.
 pub fn scaled(opts: &Opts, s: Scenario) -> Scenario {
     s.with_durations(opts.warmup(), opts.measure())
 }
 
-/// Runs a scenario and returns its output (panicking on invalid scenarios —
-/// these binaries are the test matrix, failing loudly is correct).
+/// Runs one scenario serially and returns its output (panicking on invalid
+/// scenarios — these binaries are the test matrix, failing loudly is
+/// correct). Sweeps of independent cells should use [`Sweep`] instead.
 pub fn run(opts: &Opts, s: Scenario) -> RunOutput {
-    testbed::run(scaled(opts, s))
+    let out = testbed::run(scaled(opts, s));
+    sweep::record_run(&out);
+    out
 }
 
 /// The standard measurement columns of the paper's latency figures.

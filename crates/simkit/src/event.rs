@@ -3,8 +3,33 @@
 //! [`EventQueue`] is a min-priority queue of `(SimTime, E)` pairs. Events
 //! that share a firing time are delivered in insertion order: every push is
 //! stamped with a monotonically increasing sequence number that acts as the
-//! tie-breaker. This makes simulation runs reproducible regardless of how the
-//! underlying binary heap happens to break ties.
+//! tie-breaker. This makes simulation runs reproducible regardless of how
+//! the underlying containers happen to break ties.
+//!
+//! # Two lanes
+//!
+//! Discrete-event simulations of queueing systems schedule the overwhelming
+//! majority of their events a few hundred nanoseconds to a few hundred
+//! microseconds ahead of the current virtual time (core dispatches at `now`,
+//! work completions at `now + cost`, device fetch/completion latencies,
+//! interrupt deliveries). A binary heap pays `O(log n)` sift work for every
+//! one of those pushes and pops. [`EventQueue`] therefore keeps two lanes,
+//! calendar-queue style:
+//!
+//! * a **near-future lane**: a ring of [`NEAR_BUCKETS`] buckets, each
+//!   covering a granule of `1 << GRANULE_SHIFT` nanoseconds. Pushes whose
+//!   firing granule lies within the ring's current window are appended to
+//!   their bucket in O(1); a bucket is sorted once, when draining reaches
+//!   it.
+//! * a **far lane**: the plain binary heap, for timers beyond the window
+//!   (stop markers, warmup boundaries, think-time wakeups, storm intervals)
+//!   and for the rare push behind the drain cursor.
+//!
+//! Every pop compares the near-lane head against the far-lane head on the
+//! full `(time, seq)` key, so the observable order is *identical* to the
+//! reference single-heap implementation ([`HeapQueue`]) — property-tested
+//! in `simkit/tests/proptests.rs` against random push/pop interleavings,
+//! and micro-benched old-vs-new in `bench/benches/micro.rs`.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -43,7 +68,60 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A deterministic min-queue of timed events.
+/// Width of one near-future bucket: events within the same
+/// `2^GRANULE_SHIFT` ns granule share a bucket (1.024 µs).
+pub const GRANULE_SHIFT: u32 = 10;
+
+/// Number of buckets in the near-future ring (must stay a power of two).
+/// Window covered: `NEAR_BUCKETS << GRANULE_SHIFT` ns ≈ 262 µs — the
+/// dominant event horizon of the simulated storage stack.
+pub const NEAR_BUCKETS: usize = 256;
+
+const NEAR_MASK: u64 = NEAR_BUCKETS as u64 - 1;
+
+/// One near-lane bucket. `sorted == true` means `items` is kept in
+/// *descending* `(time, seq)` order so the minimum pops off the tail.
+struct Bucket<E> {
+    items: Vec<(SimTime, u64, E)>,
+    sorted: bool,
+}
+
+impl<E> Bucket<E> {
+    const fn new() -> Self {
+        Bucket {
+            items: Vec::new(),
+            sorted: false,
+        }
+    }
+
+    /// Sorts (once) so the minimal `(time, seq)` sits at the tail.
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            // Keys are unique (seq is unique), so unstable is exact.
+            self.items
+                .sort_unstable_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+            self.sorted = true;
+        }
+    }
+
+    fn push(&mut self, at: SimTime, seq: u64, event: E) {
+        if self.sorted {
+            // Active (draining) bucket: keep descending order. Pushes at
+            // the current time carry the largest seq so far, i.e. they
+            // belong near the tail — `partition_point` finds the spot and
+            // the memmove is short.
+            let pos = self
+                .items
+                .partition_point(|(t, s, _)| (*t, *s) > (at, seq));
+            self.items.insert(pos, (at, seq, event));
+        } else {
+            self.items.push((at, seq, event));
+        }
+    }
+}
+
+/// A deterministic min-queue of timed events (bucketed near-future lane
+/// plus a binary-heap far lane; see the module docs).
 ///
 /// # Examples
 ///
@@ -61,7 +139,15 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Near-future ring; slot `g & NEAR_MASK` holds granule `g` whenever
+    /// `cursor <= g < cursor + NEAR_BUCKETS`.
+    buckets: Vec<Bucket<E>>,
+    /// Events currently in the near lane.
+    near_len: usize,
+    /// Granule index the drain has reached; only advances.
+    cursor: u64,
+    /// Far timers and behind-cursor pushes.
+    far: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     pushed_total: u64,
 }
@@ -72,10 +158,176 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+const fn granule(at: SimTime) -> u64 {
+    at.as_nanos() >> GRANULE_SHIFT
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(NEAR_BUCKETS);
+        buckets.resize_with(NEAR_BUCKETS, Bucket::new);
         EventQueue {
+            buckets,
+            near_len: 0,
+            cursor: 0,
+            far: BinaryHeap::new(),
+            next_seq: 0,
+            pushed_total: 0,
+        }
+    }
+
+    /// Creates an empty queue pre-sized for roughly `cap` concurrently
+    /// pending events (spread over the near buckets and the far heap), so
+    /// the steady state allocates nothing.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut q = Self::new();
+        // Most pending events cluster in a handful of active granules;
+        // sizing every bucket for an even spread (with a floor) absorbs
+        // that clustering without allocating cap × NEAR_BUCKETS slots.
+        let per_bucket = (cap / NEAR_BUCKETS).clamp(4, 256);
+        for b in &mut q.buckets {
+            b.items.reserve(per_bucket);
+        }
+        q.far.reserve(cap / 4 + 16);
+        q
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed_total += 1;
+        let g = granule(at);
+        if g >= self.cursor && g - self.cursor < NEAR_BUCKETS as u64 {
+            self.buckets[(g & NEAR_MASK) as usize].push(at, seq, event);
+            self.near_len += 1;
+        } else {
+            self.far.push(Scheduled { at, seq, event });
+        }
+    }
+
+    /// Finds the near-lane head: advances `cursor` to the first non-empty
+    /// bucket, sorts it if needed, and returns its minimal `(time, seq)`.
+    /// Caller must guarantee `near_len > 0`.
+    fn near_head(&mut self) -> (SimTime, u64) {
+        debug_assert!(self.near_len > 0);
+        loop {
+            let slot = (self.cursor & NEAR_MASK) as usize;
+            if self.buckets[slot].items.is_empty() {
+                self.buckets[slot].sorted = false;
+                self.cursor += 1;
+                continue;
+            }
+            let b = &mut self.buckets[slot];
+            b.ensure_sorted();
+            let (at, seq, _) = b.items.last().expect("non-empty bucket");
+            return (*at, *seq);
+        }
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let near = if self.near_len > 0 {
+            Some(self.near_head())
+        } else {
+            None
+        };
+        let take_far = match (near, self.far.peek()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some((nat, nseq)), Some(f)) => (f.at, f.seq) < (nat, nseq),
+        };
+        if take_far {
+            let s = self.far.pop().expect("peeked above");
+            Some((s.at, s.event))
+        } else {
+            let slot = (self.cursor & NEAR_MASK) as usize;
+            let (at, _, event) = self.buckets[slot].items.pop().expect("near head exists");
+            if self.buckets[slot].items.is_empty() {
+                self.buckets[slot].sorted = false;
+            }
+            self.near_len -= 1;
+            Some((at, event))
+        }
+    }
+
+    /// The firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // Non-mutating: scan the ring window for the earliest bucket and
+        // take that bucket's minimum (no sorting).
+        let mut near: Option<SimTime> = None;
+        if self.near_len > 0 {
+            'outer: for off in 0..NEAR_BUCKETS as u64 {
+                let slot = ((self.cursor + off) & NEAR_MASK) as usize;
+                let b = &self.buckets[slot];
+                if b.items.is_empty() {
+                    continue;
+                }
+                near = if b.sorted {
+                    b.items.last().map(|(t, _, _)| *t)
+                } else {
+                    b.items.iter().map(|(t, _, _)| *t).min()
+                };
+                break 'outer;
+            }
+        }
+        match (near, self.far.peek().map(|s| s.at)) {
+            (None, f) => f,
+            (n, None) => n,
+            (Some(n), Some(f)) => Some(n.min(f)),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.near_len + self.far.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.near_len == 0 && self.far.is_empty()
+    }
+
+    /// Total number of events ever pushed (for run statistics).
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed_total
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.items.clear();
+            b.sorted = false;
+        }
+        self.near_len = 0;
+        self.far.clear();
+    }
+}
+
+/// The reference implementation: one binary heap on `(time, seq)`.
+///
+/// This is the pre-bucketing [`EventQueue`]; it is kept as the behavioural
+/// oracle for the property tests (order equivalence under random push/pop
+/// interleavings) and as the baseline of the `micro/event_queue_*`
+/// benches. Its API is a subset of [`EventQueue`]'s.
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    pushed_total: u64,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        HeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             pushed_total: 0,
@@ -84,7 +336,7 @@ impl<E> EventQueue<E> {
 
     /// Creates an empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             pushed_total: 0,
@@ -161,6 +413,48 @@ mod tests {
     }
 
     #[test]
+    fn fifo_across_lanes() {
+        // Same firing time reached through the near lane and (via a push
+        // far beyond the window) the far lane: seq order must still win.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_nanos((NEAR_BUCKETS as u64 + 10) << GRANULE_SHIFT);
+        q.push(far, "far-first"); // lands in the far heap
+        q.push(SimTime::from_nanos(1), "near");
+        q.push(far, "far-second"); // also far heap
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far-first");
+        assert_eq!(q.pop().unwrap().1, "far-second");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_behind_cursor_still_delivered() {
+        // Pop something late, then push something earlier ("time travel"):
+        // the queue is a plain priority queue, so the early event comes
+        // right out even though the drain cursor moved past its granule.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(50), "late");
+        assert_eq!(q.pop().unwrap().1, "late");
+        q.push(SimTime::from_nanos(5), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+    }
+
+    #[test]
+    fn interleaved_push_pop_at_now() {
+        // The machine's dominant pattern: pop at t, push follow-ups at t
+        // and t + small deltas. Order must stay (time, seq).
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1000), 0u32);
+        let (t, _) = q.pop().unwrap();
+        q.push(t, 1);
+        q.push(t + crate::SimDuration::from_nanos(500), 3);
+        q.push(t, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
     fn peek_does_not_remove() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_nanos(7), ());
@@ -169,6 +463,16 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_sees_both_lanes() {
+        let mut q = EventQueue::new();
+        let far = SimTime::from_secs(5);
+        q.push(far, "far");
+        assert_eq!(q.peek_time(), Some(far));
+        q.push(SimTime::from_nanos(3), "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
     }
 
     #[test]
@@ -181,5 +485,18 @@ mod tests {
         q.clear();
         assert_eq!(q.pushed_total(), 2);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heap_queue_matches_basic_order() {
+        let mut q = HeapQueue::new();
+        for t in [5u64, 3, 9, 1, 7] {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
     }
 }

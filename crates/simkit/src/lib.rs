@@ -2,7 +2,9 @@
 //!
 //! `simkit` provides the substrate every other crate in this workspace is
 //! built on: a nanosecond-resolution virtual clock ([`SimTime`]), a
-//! deterministic event queue ([`EventQueue`]), a seedable PRNG with the
+//! deterministic event queue ([`EventQueue`], a bucketed calendar queue
+//! with a binary-heap far lane; [`HeapQueue`] is the plain-heap reference
+//! implementation it is property-tested against), a seedable PRNG with the
 //! distributions the workloads need ([`rng::SimRng`]), the exponential
 //! smoothing used by Daredevil's NQ scheduler ([`ewma::Ewma`]), and a
 //! re-sortable keyed min-heap ([`keyed_heap::KeyedMinHeap`]) that backs the
@@ -20,7 +22,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapQueue};
 pub use ewma::Ewma;
 pub use keyed_heap::KeyedMinHeap;
 pub use rng::{SimRng, Zipfian};

@@ -1,7 +1,7 @@
 //! Property-based tests for the simulation kit (dd-check harness).
 
 use dd_check::{check, prop_assert, prop_assert_eq};
-use simkit::{EventQueue, KeyedMinHeap, SimRng, SimTime, Zipfian};
+use simkit::{EventQueue, HeapQueue, KeyedMinHeap, SimRng, SimTime, Zipfian};
 
 /// Popping the event queue always yields non-decreasing times, and events
 /// pushed with equal times come out in push order.
@@ -27,6 +27,65 @@ fn event_queue_total_order() {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
+        Ok(())
+    });
+}
+
+/// The bucketed [`EventQueue`] is order-equivalent to the single-heap
+/// reference ([`HeapQueue`]) under random push/pop interleavings whose
+/// horizons deliberately straddle the near-lane window: deltas from 0 ns
+/// up to milliseconds ahead of (and occasionally behind) the drain point.
+#[test]
+fn event_queue_matches_heap_reference() {
+    check("event_queue_matches_heap_reference", |c| {
+        let steps = c.vec_of(1, 300, |c| {
+            // (is_pop, horizon-class, delta-within-class)
+            let pop = c.bool_with(0.45);
+            let class = c.u32_in(0, 3);
+            let delta = c.u64_in(0, 4095);
+            (pop, class, delta)
+        });
+        let mut bucketed: EventQueue<u64> = EventQueue::new();
+        let mut reference: HeapQueue<u64> = HeapQueue::new();
+        // `now` trails the last popped time, as in a simulation — but
+        // pushes may also land *behind* it (class 3) to exercise the
+        // behind-cursor path.
+        let mut now: u64 = 0;
+        for (i, &(pop, class, delta)) in steps.iter().enumerate() {
+            if pop {
+                let a = bucketed.pop();
+                let b = reference.pop();
+                prop_assert_eq!(
+                    a,
+                    b,
+                    "pop #{i} diverged: bucketed={a:?} reference={b:?}"
+                );
+                if let Some((t, _)) = a {
+                    now = now.max(t.as_nanos());
+                }
+            } else {
+                let at = match class {
+                    0 => now + delta,                     // near: ≤ ~4 µs ahead
+                    1 => now + (delta << 8),              // mid: ≤ ~1 ms ahead
+                    2 => now + (delta << 16),             // far beyond the window
+                    _ => now.saturating_sub(delta),       // behind the drain point
+                };
+                bucketed.push(SimTime::from_nanos(at), i as u64);
+                reference.push(SimTime::from_nanos(at), i as u64);
+            }
+            prop_assert_eq!(bucketed.len(), reference.len());
+            prop_assert_eq!(bucketed.peek_time(), reference.peek_time());
+        }
+        // Drain both to empty: the tails must agree too.
+        loop {
+            let a = bucketed.pop();
+            let b = reference.pop();
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(bucketed.pushed_total(), reference.pushed_total());
         Ok(())
     });
 }

@@ -172,13 +172,16 @@ pub struct Machine {
     dev_out: DeviceOutput,
     comps: Vec<BioCompletion>,
     migs: Vec<(Pid, u16)>,
+    bio_scratch: Vec<Bio>,
     next_bio_id: u64,
     now: SimTime,
     window_start: SimTime,
     stop_at: SimTime,
     cpu_baseline: Vec<SimDuration>,
-    series: HashMap<String, ClassSeries>,
-    breakdown: HashMap<String, PhaseBreakdown>,
+    // Keyed by the tenants' `&'static` class labels so the per-completion
+    // hot path allocates nothing; converted to owned keys in the output.
+    series: HashMap<&'static str, ClassSeries>,
+    breakdown: HashMap<&'static str, PhaseBreakdown>,
     op_lat: HashMap<OpKind, LatencyHistogram>,
     active_apps: usize,
     events_processed: u64,
@@ -290,7 +293,10 @@ impl Machine {
         let stop_at = window_start + scenario.measure;
         Machine {
             cpu: CpuSystem::new(&scenario.topology),
-            queue: EventQueue::with_capacity(4096),
+            // Pre-sized from the scenario shape (Σ queue depth × the
+            // events each in-flight I/O can hold) so the dispatch loop
+            // never grows the queue mid-run.
+            queue: EventQueue::with_capacity(scenario.event_capacity_hint()),
             device,
             stack,
             tenants,
@@ -300,6 +306,7 @@ impl Machine {
             dev_out: DeviceOutput::new(),
             comps: Vec::new(),
             migs: Vec::new(),
+            bio_scratch: Vec::with_capacity(64),
             next_bio_id: 0,
             now: SimTime::ZERO,
             window_start,
@@ -323,8 +330,12 @@ impl Machine {
     /// Moves pending device effects, completions, and migrations into the
     /// event queue. Must run after every stack/device interaction.
     fn drain_effects(&mut self) {
-        while let Some((at, ev)) = pop_first(&mut self.dev_out.events) {
-            self.queue.push(at, Event::Dev(ev));
+        // FIFO drain (same push order as the device emitted, so equal-time
+        // events keep their sequence tie-break) without the O(n²) front
+        // removal the previous `Vec::remove(0)` loop paid.
+        let queue = &mut self.queue;
+        for (at, ev) in self.dev_out.events.drain(..) {
+            queue.push(at, Event::Dev(ev));
         }
         while let Some(irq) = self.dev_out.irqs.pop() {
             self.queue.push(
@@ -364,8 +375,12 @@ impl Machine {
         r
     }
 
-    /// Generates `nr` fresh FIO bios for a tenant.
+    /// Generates `nr` fresh FIO bios for a tenant into the reusable scratch
+    /// buffer (taken out of `self`, handed back by the caller — the
+    /// dispatch loop allocates nothing in steady state).
     fn gen_fio_bios(&mut self, pid: Pid, nr: u32) -> Vec<Bio> {
+        let mut bios = std::mem::take(&mut self.bio_scratch);
+        bios.clear();
         let now = self.now;
         let mut ids = self.next_bio_id;
         let tenant = self.tenants.get_mut(&pid).expect("known tenant");
@@ -373,14 +388,12 @@ impl Machine {
             panic!("fio bios for a non-fio tenant");
         };
         let job = *job;
-        let bios: Vec<Bio> = (0..nr)
-            .map(|_| {
-                let io = job.next_io(&mut tenant.rng);
-                let bio = materialize(tenant, io, ids, now);
-                ids += 1;
-                bio
-            })
-            .collect();
+        for _ in 0..nr {
+            let io = job.next_io(&mut tenant.rng);
+            let bio = materialize(tenant, io, ids, now);
+            ids += 1;
+            bios.push(bio);
+        }
         self.next_bio_id = ids;
         bios
     }
@@ -390,11 +403,14 @@ impl Machine {
         match work {
             Work::Submit { pid, nr } => {
                 let bios = self.gen_fio_bios(pid, nr);
-                self.with_env(|stack, env| stack.submit(&bios, env))
+                let cost = self.with_env(|stack, env| stack.submit(&bios, env));
+                self.bio_scratch = bios;
+                cost
             }
             Work::Resubmit { pid } => {
                 let bios = self.gen_fio_bios(pid, 1);
                 let cost = self.with_env(|stack, env| stack.submit(&bios, env));
+                self.bio_scratch = bios;
                 self.costs.reap_per_rq + cost
             }
             Work::Isr { cq } => self.with_env(|stack, env| stack.on_irq(cq, core, env)),
@@ -414,16 +430,20 @@ impl Machine {
     fn app_step(&mut self, pid: Pid) -> SimDuration {
         let now = self.now;
         let mut ids = self.next_bio_id;
+        // Bios are staged into the reusable scratch buffer (no per-step
+        // allocation); it is handed back on every exit path below.
+        let mut bios = std::mem::take(&mut self.bio_scratch);
+        bios.clear();
         // Stage 1: advance the tenant's op state, producing an action.
         enum Action {
+            AlreadyDone,
+            Finished,
             OpDone { kind: OpKind, started: SimTime },
             Compute(SimDuration),
-            Issue(Vec<Bio>),
+            Issue,
         }
         let action = {
             let tenant = self.tenants.get_mut(&pid).expect("known tenant");
-            let core = tenant.core;
-            let _ = core;
             let Driver::App {
                 workload,
                 current,
@@ -433,61 +453,62 @@ impl Machine {
                 panic!("app step for a non-app tenant");
             };
             if *done {
-                return SimDuration::ZERO;
-            }
-            if current.is_none() {
-                // Split borrows: next_op needs the workload and the rng.
-                match workload.next_op(&mut tenant.rng) {
-                    Some(op) => {
-                        *current = Some(OpState {
-                            kind: op.kind,
-                            steps: op.steps,
-                            idx: 0,
-                            started: now,
-                            waiting_ios: 0,
-                        });
-                    }
-                    None => {
-                        *done = true;
-                        return self.app_finished(pid);
+                Action::AlreadyDone
+            } else {
+                if current.is_none() {
+                    // Split borrows: next_op needs the workload and the rng.
+                    match workload.next_op(&mut tenant.rng) {
+                        Some(op) => {
+                            *current = Some(OpState {
+                                kind: op.kind,
+                                steps: op.steps,
+                                idx: 0,
+                                started: now,
+                                waiting_ios: 0,
+                            });
+                        }
+                        None => *done = true,
                     }
                 }
-            }
-            let st = current.as_mut().expect("just ensured");
-            if st.idx >= st.steps.len() {
-                let kind = st.kind;
-                let started = st.started;
-                *current = None;
-                Action::OpDone { kind, started }
-            } else {
-                let step = st.steps[st.idx].clone();
-                st.idx += 1;
-                match step {
-                    OpStep::Compute(d) => Action::Compute(d),
-                    OpStep::Io(desc) => {
-                        st.waiting_ios = 1;
-                        let bio = materialize(tenant, desc, ids, now);
-                        ids += 1;
-                        Action::Issue(vec![bio])
+                match current.as_mut() {
+                    None => Action::Finished,
+                    Some(st) if st.idx >= st.steps.len() => {
+                        let kind = st.kind;
+                        let started = st.started;
+                        *current = None;
+                        Action::OpDone { kind, started }
                     }
-                    OpStep::IoParallel(descs) => {
-                        st.waiting_ios = descs.len() as u32;
-                        let bios = descs
-                            .into_iter()
-                            .map(|d| {
-                                let bio = materialize(tenant, d, ids, now);
+                    Some(st) => {
+                        let step = st.steps[st.idx].clone();
+                        st.idx += 1;
+                        match step {
+                            OpStep::Compute(d) => Action::Compute(d),
+                            OpStep::Io(desc) => {
+                                st.waiting_ios = 1;
+                                let bio = materialize(tenant, desc, ids, now);
                                 ids += 1;
-                                bio
-                            })
-                            .collect();
-                        Action::Issue(bios)
+                                bios.push(bio);
+                                Action::Issue
+                            }
+                            OpStep::IoParallel(descs) => {
+                                st.waiting_ios = descs.len() as u32;
+                                for d in descs {
+                                    let bio = materialize(tenant, d, ids, now);
+                                    ids += 1;
+                                    bios.push(bio);
+                                }
+                                Action::Issue
+                            }
+                        }
                     }
                 }
             }
         };
         self.next_bio_id = ids;
         // Stage 2: act.
-        match action {
+        let cost = match action {
+            Action::AlreadyDone => SimDuration::ZERO,
+            Action::Finished => self.app_finished(pid),
             Action::OpDone { kind, started } => {
                 if now >= self.window_start && kind != OpKind::Maintenance {
                     self.op_lat
@@ -504,8 +525,10 @@ impl Machine {
                 self.enqueue_work(core, WorkClass::Task, Work::AppStep { pid });
                 d
             }
-            Action::Issue(bios) => self.with_env(|stack, env| stack.submit(&bios, env)),
-        }
+            Action::Issue => self.with_env(|stack, env| stack.submit(&bios, env)),
+        };
+        self.bio_scratch = bios;
+        cost
     }
 
     /// A tenant's app workload ran out of ops.
@@ -526,7 +549,7 @@ impl Machine {
         if in_window {
             tenant.summary.record_completion(c.latency(), c.bio.bytes);
         }
-        let class = tenant.class_label.to_string();
+        let class = tenant.class_label;
         let core = tenant.core;
         let pid = tenant.pid;
         let continuation = match &mut tenant.driver {
@@ -558,7 +581,7 @@ impl Machine {
             let width = self.scenario.sample_width;
             let entry = self
                 .series
-                .entry(class.clone())
+                .entry(class)
                 .or_insert_with(|| ClassSeries {
                     latency: TimeSeries::new(window_start, width),
                     bytes: TimeSeries::new(window_start, width),
@@ -661,7 +684,11 @@ impl Machine {
                     }
                 }
                 Event::IoniceStorm => {
-                    for pid in self.tenant_order.clone() {
+                    // Borrow-juggle without the per-storm clone: the order
+                    // vec is taken out of `self` for the loop's duration
+                    // (nothing below touches it).
+                    let order = std::mem::take(&mut self.tenant_order);
+                    for &pid in &order {
                         let (core, class) = {
                             let t = &self.tenants[&pid];
                             let flipped = match t.ionice {
@@ -672,6 +699,7 @@ impl Machine {
                         };
                         self.enqueue_work(core, WorkClass::Task, Work::IoniceUpdate { pid, class });
                     }
+                    self.tenant_order = order;
                     let interval = self.scenario.ionice_storm.expect("storm active");
                     self.queue.push(self.now + interval, Event::IoniceStorm);
                 }
@@ -713,8 +741,16 @@ impl Machine {
         };
         RunOutput {
             summary,
-            series: self.series,
-            breakdown: self.breakdown,
+            series: self
+                .series
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            breakdown: self
+                .breakdown
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
             stack_stats: self.stack.stats(),
             op_latencies: self.op_lat,
             flash_queue_delay: self.device.flash().avg_queue_delay(),
@@ -753,15 +789,6 @@ fn build_stack(spec: &StackSpec, nr_cores: u16, device: &NvmeDevice) -> StackHol
             };
             StackHolder::Virtio(VirtioBlk::new(boxed, mode))
         }
-    }
-}
-
-/// Pops the first element of a vec (FIFO drain without an iterator borrow).
-fn pop_first<T>(v: &mut Vec<T>) -> Option<T> {
-    if v.is_empty() {
-        None
-    } else {
-        Some(v.remove(0))
     }
 }
 

@@ -373,6 +373,26 @@ impl Scenario {
         self.topology.nr_cores()
     }
 
+    /// Estimated peak of concurrently pending machine events, derived from
+    /// the scenario shape: every in-flight I/O (Σ tenant queue depth) can
+    /// hold a device event, an IRQ delivery and a completion at once, plus
+    /// per-core dispatch/done pairs and the handful of global timers. Used
+    /// to pre-size the event queue so the steady state allocates nothing.
+    pub fn event_capacity_hint(&self) -> usize {
+        let inflight: usize = self
+            .tenants
+            .iter()
+            .map(|t| match &t.kind {
+                // Closed-loop FIO keeps at most `iodepth` I/Os in flight.
+                TenantKind::Fio(job) => job.iodepth as usize,
+                // App ops issue small parallel I/O bursts.
+                TenantKind::App(_) => 8,
+            })
+            .sum();
+        let per_core = self.nr_cores() as usize * 2;
+        (inflight * 3 + per_core + 64).next_power_of_two()
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         self.nvme.validate()?;

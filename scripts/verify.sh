@@ -39,6 +39,30 @@ else
     cargo bench -p bench -- --smoke
 fi
 
+echo "== verify: parallel sweep determinism (jobs=1 vs jobs=N) =="
+# The sweep executor must make --jobs N byte-identical to --jobs 1 on
+# stdout. Serial first (its wall-clock becomes the speedup baseline in
+# the parallel run's BENCH_sweep.json), then parallel, then diff.
+JOBS_N="${DD_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+[ "$JOBS_N" -lt 2 ] && JOBS_N=4
+SERIAL_OUT="$(mktemp)"
+PAR_OUT="$(mktemp)"
+trap 'rm -f "$SERIAL_OUT" "$PAR_OUT" BENCH_sweep_serial.json' EXIT
+DD_BENCH_SWEEP=BENCH_sweep_serial.json \
+    ./target/release/all_figures --quick --csv --jobs 1 >"$SERIAL_OUT" 2>/dev/null
+BASE_WALL="$(sed -n 's/.*"total_wall_s": \([0-9.]*\),.*/\1/p' BENCH_sweep_serial.json)"
+DD_BENCH_SWEEP=BENCH_sweep.json DD_BASELINE_WALL_S="$BASE_WALL" \
+    ./target/release/all_figures --quick --csv --jobs "$JOBS_N" >"$PAR_OUT" 2>/dev/null
+if ! diff -q "$SERIAL_OUT" "$PAR_OUT" >/dev/null; then
+    echo "verify: FAILED — --jobs $JOBS_N output diverges from --jobs 1:" >&2
+    diff "$SERIAL_OUT" "$PAR_OUT" | head -40 >&2
+    exit 1
+fi
+echo "  jobs=1 vs jobs=$JOBS_N: byte-identical stdout"
+sed -n 's/^  "\(total_wall_s\|speedup_vs_serial\|events_per_s\|jobs\)": \(.*\),$/  \1 = \2/p' \
+    BENCH_sweep.json
+# Speedup is recorded, not gated: single-core CI hosts cannot speed up.
+
 echo "== verify: no external crates in any manifest =="
 if grep -rn --include=Cargo.toml -E '^(proptest|criterion|rand|serde|tokio)' . | grep -v target; then
     echo "verify: FAILED — external dependency found above" >&2
