@@ -223,6 +223,129 @@ fn bench_event_queues(set: &mut BenchSet) {
     drain!("event_queue/drain_heap", HeapQueue);
 }
 
+/// Request-map churn: the slab-backed [`RequestMap`] vs the HashMap shape
+/// it replaced.
+///
+/// One iteration is one request lifecycle at a steady outstanding depth of
+/// 64 — insert a bio, allocate its request id, then retire the oldest
+/// in-flight request — i.e. the per-I/O map traffic every submit/complete
+/// pair pays on the hot path. The `hashmap` variant reproduces the old
+/// implementation (u64 counters into two `HashMap`s) as the baseline; the
+/// slab variant must win on both the id allocation (free-list pop vs hash +
+/// possible rehash) and the completion lookup (indexed load vs probe).
+fn bench_reqmap(set: &mut BenchSet) {
+    use blkstack::reqmap::RequestMap;
+    use std::collections::HashMap;
+
+    fn bio(id: u64) -> Bio {
+        Bio {
+            id: BioId(id),
+            tenant: Pid(1),
+            core: 0,
+            nsid: NamespaceId(1),
+            op: IoOpcode::Read,
+            offset_blocks: id * 8,
+            bytes: 4096,
+            flags: ReqFlags::NONE,
+            issued_at: SimTime::ZERO,
+        }
+    }
+
+    const DEPTH: usize = 64;
+    {
+        let mut map = RequestMap::new();
+        let mut inflight = std::collections::VecDeque::with_capacity(DEPTH + 1);
+        let mut next = 0u64;
+        for _ in 0..DEPTH {
+            let h = map.insert_bio(bio(next), 1);
+            inflight.push_back(map.alloc_rq(h, 8));
+            next += 1;
+        }
+        set.bench("reqmap/churn_slab", move || {
+            let h = map.insert_bio(bio(next), 1);
+            inflight.push_back(map.alloc_rq(h, 8));
+            next += 1;
+            let rq = inflight.pop_front().expect("steady depth");
+            black_box(map.complete_rq(rq))
+        });
+    }
+    {
+        // The pre-slab shape: monotonically growing u64 ids hashed into two
+        // maps (bio table + request table), exactly what `RequestMap` was
+        // before the port.
+        struct HashReqMap {
+            bios: HashMap<u64, (Bio, u32)>,
+            rqs: HashMap<u64, (u64, u32)>,
+            next_bio: u64,
+            next_rq: u64,
+        }
+        impl HashReqMap {
+            fn insert_bio(&mut self, bio: Bio, nr: u32) -> u64 {
+                let id = self.next_bio;
+                self.next_bio += 1;
+                self.bios.insert(id, (bio, nr));
+                id
+            }
+            fn alloc_rq(&mut self, bio: u64, nlb: u32) -> u64 {
+                let id = self.next_rq;
+                self.next_rq += 1;
+                self.rqs.insert(id, (bio, nlb));
+                id
+            }
+            fn complete_rq(&mut self, rq: u64) -> Option<Bio> {
+                let (bio_id, _) = self.rqs.remove(&rq)?;
+                let (_, nr) = self.bios.get_mut(&bio_id)?;
+                *nr -= 1;
+                if *nr == 0 {
+                    return self.bios.remove(&bio_id).map(|(b, _)| b);
+                }
+                None
+            }
+        }
+        let mut map = HashReqMap {
+            bios: HashMap::new(),
+            rqs: HashMap::new(),
+            next_bio: 0,
+            next_rq: 0,
+        };
+        let mut inflight = std::collections::VecDeque::with_capacity(DEPTH + 1);
+        let mut next = 0u64;
+        for _ in 0..DEPTH {
+            let h = map.insert_bio(bio(next), 1);
+            inflight.push_back(map.alloc_rq(h, 8));
+            next += 1;
+        }
+        set.bench("reqmap/churn_hashmap", move || {
+            let h = map.insert_bio(bio(next), 1);
+            inflight.push_back(map.alloc_rq(h, 8));
+            next += 1;
+            let rq = inflight.pop_front().expect("steady depth");
+            black_box(map.complete_rq(rq))
+        });
+    }
+
+    // The per-bio tenant lookup on the submit path: dense open-addressing
+    // table vs HashMap, 32 live tenants (a busy WS-M node).
+    {
+        let mut dense: simkit::DenseMap<Pid, u32> = simkit::DenseMap::new();
+        let mut hash: HashMap<Pid, u32> = HashMap::new();
+        for p in 0..32u64 {
+            dense.insert(Pid(p), p as u32);
+            hash.insert(Pid(p), p as u32);
+        }
+        let mut i = 0u64;
+        set.bench("reqmap/tenant_lookup_dense", move || {
+            i = (i + 7) % 32;
+            black_box(dense.get(Pid(i)).copied())
+        });
+        let mut i = 0u64;
+        set.bench("reqmap/tenant_lookup_hashmap", move || {
+            i = (i + 7) % 32;
+            black_box(hash.get(&Pid(i)).copied())
+        });
+    }
+}
+
 fn bench_daredevil_config(set: &mut BenchSet) {
     let dev = device(128, 24);
     set.bench("construction/daredevil_stack_for_device", || {
@@ -240,6 +363,7 @@ fn main() {
     bench_troute(&mut set);
     bench_substrate(&mut set);
     bench_event_queues(&mut set);
+    bench_reqmap(&mut set);
     bench_daredevil_config(&mut set);
     set.finish();
 }

@@ -74,8 +74,7 @@ fn main() {
 /// Writes the JSON artifact by hand (the repo is dependency-free; the
 /// schema is flat enough that a serializer would be overkill).
 fn write_artifact(opts: &bench::Opts, total_wall_s: f64, stats: &[FigStat]) {
-    let path =
-        std::env::var("DD_BENCH_SWEEP").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    let path = std::env::var("DD_BENCH_SWEEP").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
     if path.is_empty() {
         return;
     }

@@ -80,15 +80,19 @@ impl Opts {
                     let v = args
                         .next()
                         .unwrap_or_else(|| bad("--jobs needs a value".into()));
-                    jobs = Some(parse_jobs(&v).unwrap_or_else(|| bad(format!(
-                        "invalid --jobs value {v:?} (want a positive integer)"
-                    ))));
+                    jobs = Some(parse_jobs(&v).unwrap_or_else(|| {
+                        bad(format!(
+                            "invalid --jobs value {v:?} (want a positive integer)"
+                        ))
+                    }));
                 }
                 other if other.starts_with("--jobs=") => {
                     let v = &other["--jobs=".len()..];
-                    jobs = Some(parse_jobs(v).unwrap_or_else(|| bad(format!(
-                        "invalid --jobs value {v:?} (want a positive integer)"
-                    ))));
+                    jobs = Some(parse_jobs(v).unwrap_or_else(|| {
+                        bad(format!(
+                            "invalid --jobs value {v:?} (want a positive integer)"
+                        ))
+                    }));
                 }
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");

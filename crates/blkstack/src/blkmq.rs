@@ -11,12 +11,10 @@
 //! active NQs and T-tenants to the second half, eliminating NQ-level
 //! interference while keeping the same number of queues.
 
-use std::collections::HashMap;
-
 use dd_nvme::command::HostTag;
 use dd_nvme::spec::CommandId;
-use dd_nvme::{CqId, NvmeCommand, SqId};
-use simkit::SimDuration;
+use dd_nvme::{CqEntry, CqId, NvmeCommand, SqId};
+use simkit::{DenseMap, SimDuration};
 
 use crate::bio::Bio;
 use crate::capabilities::Capabilities;
@@ -78,7 +76,7 @@ struct TenantState {
 pub struct VanillaBlkMq {
     nr_queues: u16,
     policy: QueuePolicy,
-    tenants: HashMap<Pid, TenantState>,
+    tenants: DenseMap<Pid, TenantState>,
     locks: NsqLockTable,
     reqmap: RequestMap,
     parked: ParkedCommands,
@@ -89,6 +87,16 @@ pub struct VanillaBlkMq {
     /// Dispatched-but-uncompleted commands per NSQ (budget accounting).
     inflight: Vec<u32>,
     hw_budget: u32,
+    /// Recycled submit staging buffer (drained back to empty every call).
+    cmd_scratch: Vec<NvmeCommand>,
+    /// Recycled elevator dispatch batch.
+    batch_scratch: Vec<NvmeCommand>,
+    /// Recycled ISR scratch for drained CQEs.
+    cqe_scratch: Vec<CqEntry>,
+    /// Recycled ISR scratch: freed elevator tokens per entry.
+    freed_scratch: Vec<(SqId, bool)>,
+    /// Recycled ISR scratch: SQs to refill after completions.
+    touched_scratch: Vec<SqId>,
 }
 
 impl VanillaBlkMq {
@@ -104,7 +112,7 @@ impl VanillaBlkMq {
         VanillaBlkMq {
             nr_queues,
             policy: cfg.policy,
-            tenants: HashMap::new(),
+            tenants: DenseMap::new(),
             locks: NsqLockTable::new(device_sqs),
             reqmap: RequestMap::new(),
             parked: ParkedCommands::new(),
@@ -113,6 +121,11 @@ impl VanillaBlkMq {
             scheds: (0..device_sqs).map(|_| cfg.scheduler.build()).collect(),
             inflight: vec![0; device_sqs as usize],
             hw_budget: cfg.hw_budget.max(1),
+            cmd_scratch: Vec::new(),
+            batch_scratch: Vec::new(),
+            cqe_scratch: Vec::new(),
+            freed_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
         }
     }
 
@@ -128,10 +141,13 @@ impl VanillaBlkMq {
     /// Releases staged requests of `sq` up to the in-flight budget; returns
     /// the CPU cost of the dispatch work.
     fn run_queue(&mut self, sq: SqId, env: &mut StackEnv<'_>) -> SimDuration {
-        let Some(sched) = self.scheds[sq.index()].as_mut() else {
+        if self.scheds[sq.index()].is_none() {
             return SimDuration::ZERO;
-        };
-        let mut batch: Vec<NvmeCommand> = Vec::new();
+        }
+        // Reused dispatch batch: taken, drained back to empty, restored.
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        debug_assert!(batch.is_empty());
+        let sched = self.scheds[sq.index()].as_mut().expect("checked");
         while self.inflight[sq.index()] + (batch.len() as u32) < self.hw_budget {
             match sched.dispatch(env.now) {
                 Some(staged) => batch.push(staged.cmd),
@@ -139,13 +155,14 @@ impl VanillaBlkMq {
             }
         }
         if batch.is_empty() {
+            self.batch_scratch = batch;
             return SimDuration::ZERO;
         }
         let n = batch.len() as u64;
         let hold = env.costs.nsq_insert * n;
         let acq = self.locks.acquire(sq, env.now, hold);
         let mut pushed = 0u64;
-        for cmd in batch {
+        for cmd in batch.drain(..) {
             if env.device.sq_has_room(sq) {
                 env.device
                     .push_command(sq, cmd)
@@ -162,6 +179,7 @@ impl VanillaBlkMq {
             env.device.ring_doorbell(sq, env.now, env.dev_out);
             self.stats.doorbells += 1;
         }
+        self.batch_scratch = batch;
         acq.wait + hold + env.costs.doorbell
     }
 
@@ -209,12 +227,21 @@ impl StorageStack for VanillaBlkMq {
     }
 
     fn deregister_tenant(&mut self, pid: Pid, _env: &mut StackEnv<'_>) {
-        self.tenants.remove(&pid);
+        self.tenants.remove(pid);
     }
 
     fn update_ionice(&mut self, pid: Pid, class: IoPriorityClass, _env: &mut StackEnv<'_>) {
-        if let Some(t) = self.tenants.get_mut(&pid) {
+        if let Some(t) = self.tenants.get_mut(pid) {
             t.ionice = class;
+        }
+    }
+
+    fn reserve(&mut self, hint: usize) {
+        self.reqmap.reserve(hint);
+        self.cmd_scratch.reserve(hint);
+        self.cqe_scratch.reserve(hint);
+        for sched in self.scheds.iter_mut().flatten() {
+            sched.reserve(hint);
         }
     }
 
@@ -223,20 +250,22 @@ impl StorageStack for VanillaBlkMq {
         let core = bios[0].core;
         let ionice = self
             .tenants
-            .get(&bios[0].tenant)
+            .get(bios[0].tenant)
             .map(|t| t.ionice)
             .unwrap_or_default();
         let sq = self.sq_for(core, ionice);
 
-        // Build all commands of this plug batch.
-        let mut cmds: Vec<NvmeCommand> = Vec::new();
+        // Build all commands of this plug batch in the recycled staging
+        // buffer (drained back to empty before this call returns).
+        let mut cmds = std::mem::take(&mut self.cmd_scratch);
+        debug_assert!(cmds.is_empty());
         for bio in bios {
             let extents = split_extents(&self.split, bio.offset_blocks, bio.bytes);
-            self.reqmap.insert_bio(*bio, extents.len() as u32);
+            let h = self.reqmap.insert_bio(*bio, extents.len() as u32);
             for e in extents {
-                let rq_id =
-                    self.reqmap
-                        .alloc_rq_dir(bio.id, e.nlb, bio.op == dd_nvme::IoOpcode::Read);
+                let rq_id = self
+                    .reqmap
+                    .alloc_rq_dir(h, e.nlb, bio.op == dd_nvme::IoOpcode::Read);
                 cmds.push(NvmeCommand {
                     cid: CommandId(rq_id),
                     nsid: bio.nsid,
@@ -255,9 +284,10 @@ impl StorageStack for VanillaBlkMq {
         if self.scheds[sq.index()].is_some() {
             let n = cmds.len() as u32;
             let sched = self.scheds[sq.index()].as_mut().expect("checked");
-            for cmd in cmds {
+            for cmd in cmds.drain(..) {
                 sched.insert(StagedRequest::new(cmd, sq, env.now));
             }
+            self.cmd_scratch = cmds;
             let dispatch_cost = self.run_queue(sq, env);
             return env.costs.submit_cost(n) + dispatch_cost;
         }
@@ -268,7 +298,7 @@ impl StorageStack for VanillaBlkMq {
         let acq = self.locks.acquire(sq, env.now, hold);
 
         let mut pushed = 0u64;
-        for cmd in cmds {
+        for cmd in cmds.drain(..) {
             if env.device.sq_has_room(sq) {
                 env.device
                     .push_command(sq, cmd)
@@ -285,14 +315,17 @@ impl StorageStack for VanillaBlkMq {
             env.device.ring_doorbell(sq, env.now, env.dev_out);
             self.stats.doorbells += 1;
         }
+        self.cmd_scratch = cmds;
         env.costs.submit_cost(n as u32) + acq.wait + hold + env.costs.doorbell
     }
 
     fn on_irq(&mut self, cq: CqId, core: u16, env: &mut StackEnv<'_>) -> SimDuration {
-        let entries = env.device.isr_pop(cq, usize::MAX);
+        let mut entries = std::mem::take(&mut self.cqe_scratch);
+        env.device.isr_pop_into(cq, usize::MAX, &mut entries);
         // Capture scheduler token info before the request map forgets the
         // requests.
-        let mut freed: Vec<(SqId, bool)> = Vec::new();
+        let mut freed = std::mem::take(&mut self.freed_scratch);
+        debug_assert!(freed.is_empty());
         for e in &entries {
             if self.scheds[e.sq_id.index()].is_some() {
                 let read = self.reqmap.rq_is_read(e.host.rq_id).unwrap_or(true);
@@ -310,9 +343,11 @@ impl StorageStack for VanillaBlkMq {
             env.completions,
         );
         env.device.isr_done(cq, env.now, env.dev_out);
+        self.cqe_scratch = entries;
         // Release elevator tokens and refill the freed queues.
-        let mut touched: Vec<SqId> = Vec::new();
-        for (sq, read) in freed {
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        debug_assert!(touched.is_empty());
+        for (sq, read) in freed.drain(..) {
             self.inflight[sq.index()] = self.inflight[sq.index()].saturating_sub(1);
             if let Some(sched) = self.scheds[sq.index()].as_mut() {
                 sched.complete(read);
@@ -321,9 +356,11 @@ impl StorageStack for VanillaBlkMq {
                 touched.push(sq);
             }
         }
-        for sq in touched {
+        self.freed_scratch = freed;
+        for sq in touched.drain(..) {
             cost += self.run_queue(sq, env);
         }
+        self.touched_scratch = touched;
         // Freed SQ entries: retry parked commands (kblockd requeue).
         if !self.parked.is_empty() {
             self.parked

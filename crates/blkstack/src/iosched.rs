@@ -63,6 +63,12 @@ pub trait IoScheduler {
     /// A previously dispatched request completed (token release).
     fn complete(&mut self, _was_read: bool) {}
 
+    /// Pre-sizes the internal FIFO ring buffers for `hint` staged requests
+    /// so the steady state never reallocates (the buffers themselves are
+    /// ring buffers — they recycle their storage across insert/dispatch
+    /// churn once grown).
+    fn reserve(&mut self, _hint: usize) {}
+
     /// Requests currently staged.
     fn len(&self) -> usize;
 
@@ -96,6 +102,10 @@ impl IoScheduler for NoopSched {
 
     fn dispatch(&mut self, _now: SimTime) -> Option<StagedRequest> {
         self.fifo.pop_front()
+    }
+
+    fn reserve(&mut self, hint: usize) {
+        self.fifo.reserve(hint);
     }
 
     fn len(&self) -> usize {
@@ -182,6 +192,11 @@ impl IoScheduler for MqDeadlineSched {
         self.writes.pop_front()
     }
 
+    fn reserve(&mut self, hint: usize) {
+        self.reads.reserve(hint);
+        self.writes.reserve(hint);
+    }
+
     fn len(&self) -> usize {
         self.reads.len() + self.writes.len()
     }
@@ -265,6 +280,11 @@ impl IoScheduler for KyberSched {
         } else {
             self.write_inflight = self.write_inflight.saturating_sub(1);
         }
+    }
+
+    fn reserve(&mut self, hint: usize) {
+        self.reads.reserve(hint);
+        self.writes.reserve(hint);
     }
 
     fn len(&self) -> usize {
@@ -417,6 +437,30 @@ mod tests {
         // A fresh read still bypasses the blocked write backlog.
         s.insert(rq(4, IoOpcode::Read, 0));
         assert!(s.dispatch(SimTime::ZERO).unwrap().is_read);
+    }
+
+    #[test]
+    fn reserve_presizes_without_changing_order() {
+        for kind in [SchedKind::MqDeadline, SchedKind::Kyber] {
+            let mut s = kind.build().unwrap();
+            s.reserve(64);
+            for i in 0..64 {
+                s.insert(rq(i, IoOpcode::Read, 0));
+            }
+            assert_eq!(s.len(), 64);
+            assert_eq!(s.dispatch(SimTime::ZERO).unwrap().cmd.cid, CommandId(0));
+        }
+        let mut s = NoopSched::new();
+        s.reserve(64);
+        assert!(s.fifo.capacity() >= 64, "reserve must pre-size the ring");
+        s.insert(rq(1, IoOpcode::Write, 0));
+        let cap = s.fifo.capacity();
+        for i in 0..32 {
+            // Ring-buffer churn: steady-state insert/dispatch never grows.
+            s.insert(rq(2 + i, IoOpcode::Read, 0));
+            s.dispatch(SimTime::ZERO);
+        }
+        assert_eq!(s.fifo.capacity(), cap, "churn must reuse the ring");
     }
 
     #[test]

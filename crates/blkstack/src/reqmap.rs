@@ -4,10 +4,30 @@
 //! owns the bookkeeping: it allocates request ids (embedded in the command's
 //! [`dd_nvme::HostTag`]), remembers which bio each request belongs to, and
 //! reports when the last request of a bio completes.
+//!
+//! # Memory model
+//!
+//! Both tables are generational slabs ([`simkit::Slab`]): steady-state
+//! alloc/complete traffic recycles slots off a free list and never touches
+//! the heap. Request ids are the raw encoding of the rq slab handle
+//! ([`simkit::SlotId::to_raw`]), so `complete_rq` is an array index plus a
+//! generation check rather than a hash lookup — and a stale or double
+//! completion is caught by the generation mismatch, exactly like the old
+//! `HashMap::remove` returning `None`. Bios are addressed by the opaque
+//! [`BioHandle`] returned from [`RequestMap::insert_bio`], which removes the
+//! `BioId`-keyed map (and its per-bio hashing) entirely.
 
-use std::collections::HashMap;
+use simkit::{Slab, SlotId};
 
-use crate::bio::{Bio, BioId};
+use crate::bio::Bio;
+
+/// Opaque handle to an outstanding bio inside a [`RequestMap`].
+///
+/// Returned by [`RequestMap::insert_bio`]; pass it to
+/// [`RequestMap::alloc_rq_dir`] for each command carved out of the bio. The
+/// handle is only valid until the bio's last request completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BioHandle(SlotId);
 
 /// State of one in-flight bio.
 #[derive(Clone, Debug)]
@@ -20,7 +40,7 @@ struct BioState {
 /// Per-request record.
 #[derive(Clone, Copy, Debug)]
 struct RqState {
-    bio: BioId,
+    bio: SlotId,
     /// Blocks carried by this request (completion-side cost input).
     nlb: u32,
     /// Whether the request is a read (scheduler token direction).
@@ -30,9 +50,8 @@ struct RqState {
 /// Tracks outstanding bios and their per-command requests.
 #[derive(Debug, Default)]
 pub struct RequestMap {
-    next_rq: u64,
-    bios: HashMap<BioId, BioState>,
-    rqs: HashMap<u64, RqState>,
+    bios: Slab<BioState>,
+    rqs: Slab<RqState>,
     /// Peak outstanding requests (observability).
     peak_outstanding: usize,
 }
@@ -43,37 +62,43 @@ impl RequestMap {
         Self::default()
     }
 
-    /// Registers a bio that will be served by `nr_requests` commands.
+    /// Pre-sizes both slabs for `hint` concurrently outstanding requests so
+    /// the steady state never reallocates.
+    pub fn reserve(&mut self, hint: usize) {
+        self.bios.reserve(hint);
+        self.rqs.reserve(hint);
+    }
+
+    /// Registers a bio that will be served by `nr_requests` commands and
+    /// returns its handle.
     ///
     /// # Panics
     ///
-    /// Panics if the bio id is already outstanding or `nr_requests == 0`.
-    pub fn insert_bio(&mut self, bio: Bio, nr_requests: u32) {
+    /// Panics if `nr_requests == 0`.
+    pub fn insert_bio(&mut self, bio: Bio, nr_requests: u32) -> BioHandle {
         assert!(nr_requests > 0, "bio must map to at least one request");
-        let prev = self.bios.insert(
-            bio.id,
-            BioState {
-                bio,
-                remaining: nr_requests,
-            },
-        );
-        assert!(prev.is_none(), "duplicate outstanding bio id {:?}", bio.id);
+        BioHandle(self.bios.insert(BioState {
+            bio,
+            remaining: nr_requests,
+        }))
     }
 
     /// Allocates a request id for one command of `bio`.
-    pub fn alloc_rq(&mut self, bio: BioId, nlb: u32) -> u64 {
+    pub fn alloc_rq(&mut self, bio: BioHandle, nlb: u32) -> u64 {
         self.alloc_rq_dir(bio, nlb, true)
     }
 
     /// Allocates a request id recording its direction (for scheduler token
     /// accounting).
-    pub fn alloc_rq_dir(&mut self, bio: BioId, nlb: u32, read: bool) -> u64 {
-        debug_assert!(self.bios.contains_key(&bio), "rq for unknown bio");
-        let id = self.next_rq;
-        self.next_rq += 1;
-        self.rqs.insert(id, RqState { bio, nlb, read });
+    pub fn alloc_rq_dir(&mut self, bio: BioHandle, nlb: u32, read: bool) -> u64 {
+        debug_assert!(self.bios.contains(bio.0), "rq for unknown bio");
+        let id = self.rqs.insert(RqState {
+            bio: bio.0,
+            nlb,
+            read,
+        });
         self.peak_outstanding = self.peak_outstanding.max(self.rqs.len());
-        id
+        id.to_raw()
     }
 
     /// Completes a request. Returns the parent bio when this was its last
@@ -81,16 +106,17 @@ impl RequestMap {
     ///
     /// # Panics
     ///
-    /// Panics if the request id is unknown (double completion).
+    /// Panics if the request id is unknown (double completion — the slab
+    /// generation check catches reuse of a stale id).
     pub fn complete_rq(&mut self, rq_id: u64) -> Option<Bio> {
         let rq = self
             .rqs
-            .remove(&rq_id)
+            .remove(SlotId::from_raw(rq_id))
             .unwrap_or_else(|| panic!("completion for unknown rq {rq_id}"));
-        let state = self.bios.get_mut(&rq.bio).expect("rq outlived its bio");
+        let state = self.bios.get_mut(rq.bio).expect("rq outlived its bio");
         state.remaining -= 1;
         if state.remaining == 0 {
-            let state = self.bios.remove(&rq.bio).expect("bio vanished");
+            let state = self.bios.remove(rq.bio).expect("bio vanished");
             Some(state.bio)
         } else {
             None
@@ -99,12 +125,12 @@ impl RequestMap {
 
     /// Blocks carried by an outstanding request.
     pub fn rq_blocks(&self, rq_id: u64) -> Option<u32> {
-        self.rqs.get(&rq_id).map(|r| r.nlb)
+        self.rqs.get(SlotId::from_raw(rq_id)).map(|r| r.nlb)
     }
 
     /// Whether an outstanding request is a read.
     pub fn rq_is_read(&self, rq_id: u64) -> Option<bool> {
-        self.rqs.get(&rq_id).map(|r| r.read)
+        self.rqs.get(SlotId::from_raw(rq_id)).map(|r| r.read)
     }
 
     /// Outstanding requests.
@@ -126,7 +152,7 @@ impl RequestMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bio::ReqFlags;
+    use crate::bio::{BioId, ReqFlags};
     use crate::tenant::Pid;
     use dd_nvme::{IoOpcode, NamespaceId};
     use simkit::SimTime;
@@ -148,8 +174,8 @@ mod tests {
     #[test]
     fn single_request_bio() {
         let mut m = RequestMap::new();
-        m.insert_bio(bio(1), 1);
-        let rq = m.alloc_rq(BioId(1), 2);
+        let h = m.insert_bio(bio(1), 1);
+        let rq = m.alloc_rq(h, 2);
         assert_eq!(m.rq_blocks(rq), Some(2));
         let done = m.complete_rq(rq);
         assert_eq!(done.unwrap().id, BioId(1));
@@ -160,8 +186,8 @@ mod tests {
     #[test]
     fn multi_request_bio_completes_on_last() {
         let mut m = RequestMap::new();
-        m.insert_bio(bio(1), 3);
-        let rqs: Vec<u64> = (0..3).map(|_| m.alloc_rq(BioId(1), 32)).collect();
+        let h = m.insert_bio(bio(1), 3);
+        let rqs: Vec<u64> = (0..3).map(|_| m.alloc_rq(h, 32)).collect();
         assert!(m.complete_rq(rqs[0]).is_none());
         assert!(m.complete_rq(rqs[2]).is_none());
         assert_eq!(m.complete_rq(rqs[1]).unwrap().id, BioId(1));
@@ -170,10 +196,10 @@ mod tests {
     #[test]
     fn independent_bios() {
         let mut m = RequestMap::new();
-        m.insert_bio(bio(1), 1);
-        m.insert_bio(bio(2), 1);
-        let r1 = m.alloc_rq(BioId(1), 1);
-        let r2 = m.alloc_rq(BioId(2), 1);
+        let h1 = m.insert_bio(bio(1), 1);
+        let h2 = m.insert_bio(bio(2), 1);
+        let r1 = m.alloc_rq(h1, 1);
+        let r2 = m.alloc_rq(h2, 1);
         assert_eq!(m.complete_rq(r2).unwrap().id, BioId(2));
         assert_eq!(m.outstanding_bios(), 1);
         assert_eq!(m.complete_rq(r1).unwrap().id, BioId(1));
@@ -182,9 +208,9 @@ mod tests {
     #[test]
     fn peak_tracking() {
         let mut m = RequestMap::new();
-        m.insert_bio(bio(1), 2);
-        let a = m.alloc_rq(BioId(1), 1);
-        let b = m.alloc_rq(BioId(1), 1);
+        let h = m.insert_bio(bio(1), 2);
+        let a = m.alloc_rq(h, 1);
+        let b = m.alloc_rq(h, 1);
         assert_eq!(m.peak_outstanding(), 2);
         m.complete_rq(a);
         m.complete_rq(b);
@@ -195,17 +221,38 @@ mod tests {
     #[should_panic(expected = "unknown rq")]
     fn double_completion_panics() {
         let mut m = RequestMap::new();
-        m.insert_bio(bio(1), 1);
-        let rq = m.alloc_rq(BioId(1), 1);
+        let h = m.insert_bio(bio(1), 1);
+        let rq = m.alloc_rq(h, 1);
         m.complete_rq(rq);
         m.complete_rq(rq);
     }
 
     #[test]
-    #[should_panic(expected = "duplicate outstanding bio")]
-    fn duplicate_bio_panics() {
+    #[should_panic(expected = "unknown rq")]
+    fn recycled_slot_rejects_stale_id() {
+        // The slot index is reused after completion, but the generation
+        // advances: a stale id must not alias the new occupant.
         let mut m = RequestMap::new();
-        m.insert_bio(bio(1), 1);
-        m.insert_bio(bio(1), 1);
+        let h1 = m.insert_bio(bio(1), 1);
+        let stale = m.alloc_rq(h1, 1);
+        m.complete_rq(stale);
+        let h2 = m.insert_bio(bio(2), 1);
+        let fresh = m.alloc_rq(h2, 1);
+        // Same slot index, different generation.
+        assert_eq!(stale & 0xFFFF_FFFF, fresh & 0xFFFF_FFFF);
+        assert_ne!(stale, fresh);
+        m.complete_rq(stale);
+    }
+
+    #[test]
+    fn rq_ids_recycle_without_unbounded_growth() {
+        let mut m = RequestMap::new();
+        for i in 0..1000 {
+            let h = m.insert_bio(bio(i), 1);
+            let rq = m.alloc_rq(h, 1);
+            assert!(m.complete_rq(rq).is_some());
+        }
+        // One slot each is enough for a serial workload.
+        assert_eq!(m.peak_outstanding(), 1);
     }
 }

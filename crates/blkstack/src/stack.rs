@@ -92,6 +92,12 @@ pub trait StorageStack {
     /// The testbed moved a tenant to another core (Fig. 13 interleaving).
     fn migrate_tenant(&mut self, _pid: Pid, _core: u16, _env: &mut StackEnv<'_>) {}
 
+    /// Pre-sizes internal tables (request maps, dispatch scratch) for
+    /// roughly `hint` concurrently outstanding requests, so the steady
+    /// state never reallocates. Called once by the testbed before traffic
+    /// starts; the default does nothing.
+    fn reserve(&mut self, _hint: usize) {}
+
     /// Submits a batch of bios issued by one tenant in one syscall, on the
     /// tenant's current core. Returns the CPU cost of the submission path.
     fn submit(&mut self, bios: &[Bio], env: &mut StackEnv<'_>) -> SimDuration;
@@ -142,7 +148,9 @@ pub fn process_cqes(
     completions: &mut Vec<BioCompletion>,
 ) -> SimDuration {
     let mut elapsed = costs.isr_base;
-    let mut finished: Vec<(Bio, SimTime, SimTime, SimTime)> = Vec::new();
+    // Completions are pushed directly into the output vector (no per-call
+    // staging allocation); batched mode patches the timestamps afterwards.
+    let first = completions.len();
     for entry in entries {
         let pages = entry.bytes / dd_nvme::BLOCK_BYTES;
         elapsed += costs.isr_per_cqe + costs.isr_per_page * pages;
@@ -154,22 +162,21 @@ pub fn process_cqes(
         }
         stats.completed_rqs += 1;
         if let Some(bio) = reqmap.complete_rq(entry.host.rq_id) {
-            finished.push((bio, now + elapsed, entry.fetched_at, entry.service_done_at));
+            completions.push(BioCompletion {
+                bio,
+                completed_at: now + elapsed,
+                completion_core: core,
+                fetched_at: entry.fetched_at,
+                service_done_at: entry.service_done_at,
+            });
         }
     }
     let total = elapsed;
-    for (bio, at, fetched_at, service_done_at) in finished {
-        let completed_at = match mode {
-            CompletionMode::PerRequest => at,
-            CompletionMode::Batched => now + total,
-        };
-        completions.push(BioCompletion {
-            bio,
-            completed_at,
-            completion_core: core,
-            fetched_at,
-            service_done_at,
-        });
+    if mode == CompletionMode::Batched {
+        // Kernel default: everything in the batch is signalled at its end.
+        for c in &mut completions[first..] {
+            c.completed_at = now + total;
+        }
     }
     total
 }
@@ -179,6 +186,10 @@ pub fn process_cqes(
 #[derive(Debug, Default)]
 pub struct ParkedCommands {
     parked: VecDeque<(SqId, NvmeCommand)>,
+    /// Flush scratch, reused across calls: SQs that accepted a command.
+    rung: Vec<SqId>,
+    /// Flush scratch, reused across calls: commands whose SQ is still full.
+    still_full: VecDeque<(SqId, NvmeCommand)>,
 }
 
 impl ParkedCommands {
@@ -213,8 +224,7 @@ impl ParkedCommands {
         stats: &mut StackStats,
     ) -> usize {
         let mut unparked = 0;
-        let mut rung: Vec<SqId> = Vec::new();
-        let mut remaining = VecDeque::new();
+        debug_assert!(self.rung.is_empty() && self.still_full.is_empty());
         while let Some((sq, cmd)) = self.parked.pop_front() {
             if device.sq_has_room(sq) {
                 device
@@ -222,15 +232,17 @@ impl ParkedCommands {
                     .expect("has_room guaranteed space");
                 stats.submitted_rqs += 1;
                 unparked += 1;
-                if !rung.contains(&sq) {
-                    rung.push(sq);
+                if !self.rung.contains(&sq) {
+                    self.rung.push(sq);
                 }
             } else {
-                remaining.push_back((sq, cmd));
+                self.still_full.push_back((sq, cmd));
             }
         }
-        self.parked = remaining;
-        for sq in rung {
+        // `parked` drained to empty above; swap the leftovers back in and
+        // keep both allocations for the next flush.
+        std::mem::swap(&mut self.parked, &mut self.still_full);
+        for sq in self.rung.drain(..) {
             device.ring_doorbell(sq, now, dev_out);
             stats.doorbells += 1;
         }
@@ -279,10 +291,10 @@ mod tests {
         let mut completions = Vec::new();
         // Small L request first, bulky T request second: in batched mode
         // both are signalled at the end.
-        reqmap.insert_bio(bio(1, 0), 1);
-        let r1 = reqmap.alloc_rq(BioId(1), 1);
-        reqmap.insert_bio(bio(2, 0), 1);
-        let r2 = reqmap.alloc_rq(BioId(2), 32);
+        let h1 = reqmap.insert_bio(bio(1, 0), 1);
+        let r1 = reqmap.alloc_rq(h1, 1);
+        let h2 = reqmap.insert_bio(bio(2, 0), 1);
+        let r2 = reqmap.alloc_rq(h2, 32);
         let entries = vec![cqe(r1, 0, 4096), cqe(r2, 0, 131072)];
         let cost = process_cqes(
             &entries,
@@ -305,10 +317,10 @@ mod tests {
         let mut reqmap = RequestMap::new();
         let mut stats = StackStats::default();
         let mut completions = Vec::new();
-        reqmap.insert_bio(bio(1, 0), 1);
-        let r1 = reqmap.alloc_rq(BioId(1), 1);
-        reqmap.insert_bio(bio(2, 0), 1);
-        let r2 = reqmap.alloc_rq(BioId(2), 32);
+        let h1 = reqmap.insert_bio(bio(1, 0), 1);
+        let r1 = reqmap.alloc_rq(h1, 1);
+        let h2 = reqmap.insert_bio(bio(2, 0), 1);
+        let r2 = reqmap.alloc_rq(h2, 32);
         let entries = vec![cqe(r1, 0, 4096), cqe(r2, 0, 131072)];
         let cost = process_cqes(
             &entries,
@@ -330,8 +342,8 @@ mod tests {
         let mut reqmap = RequestMap::new();
         let mut stats = StackStats::default();
         let mut completions = Vec::new();
-        reqmap.insert_bio(bio(1, 5), 1);
-        let r1 = reqmap.alloc_rq(BioId(1), 1);
+        let h1 = reqmap.insert_bio(bio(1, 5), 1);
+        let r1 = reqmap.alloc_rq(h1, 1);
         // Submitted on core 5, completed on core 0: remote.
         let entries = vec![cqe(r1, 5, 4096)];
         let remote_cost = process_cqes(
@@ -348,8 +360,8 @@ mod tests {
         assert_eq!(stats.local_completions, 0);
         // Same on the submitting core: cheaper.
         let mut reqmap2 = RequestMap::new();
-        reqmap2.insert_bio(bio(1, 0), 1);
-        let r = reqmap2.alloc_rq(BioId(1), 1);
+        let h = reqmap2.insert_bio(bio(1, 0), 1);
+        let r = reqmap2.alloc_rq(h, 1);
         let local_cost = process_cqes(
             &[cqe(r, 0, 4096)],
             CompletionMode::Batched,
@@ -369,9 +381,9 @@ mod tests {
         let mut reqmap = RequestMap::new();
         let mut stats = StackStats::default();
         let mut completions = Vec::new();
-        reqmap.insert_bio(bio(1, 0), 2);
-        let r1 = reqmap.alloc_rq(BioId(1), 32);
-        let r2 = reqmap.alloc_rq(BioId(1), 32);
+        let h = reqmap.insert_bio(bio(1, 0), 2);
+        let r1 = reqmap.alloc_rq(h, 32);
+        let r2 = reqmap.alloc_rq(h, 32);
         process_cqes(
             &[cqe(r1, 0, 131072)],
             CompletionMode::Batched,

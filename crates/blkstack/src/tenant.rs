@@ -13,6 +13,12 @@ use crate::ioprio::IoPriorityClass;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Pid(pub u64);
 
+impl simkit::slab::Key for Pid {
+    fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
 impl std::fmt::Display for Pid {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "pid{}", self.0)

@@ -67,7 +67,10 @@ fn nsq_lock_serializes() {
             expected_wait_total[q] += expect_wait;
         }
         for q in 0..4u16 {
-            prop_assert_eq!(locks.in_lock_total(SqId(q)), expected_wait_total[q as usize]);
+            prop_assert_eq!(
+                locks.in_lock_total(SqId(q)),
+                expected_wait_total[q as usize]
+            );
         }
         let grand: SimDuration = expected_wait_total
             .iter()

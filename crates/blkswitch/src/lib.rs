@@ -89,6 +89,10 @@ pub struct BlkSwitchStack {
     parked: ParkedCommands,
     split: SplitConfig,
     stats: StackStats,
+    /// Recycled submit staging buffer (drained back to empty every call).
+    cmd_scratch: Vec<NvmeCommand>,
+    /// Recycled ISR scratch for drained CQEs.
+    cqe_scratch: Vec<dd_nvme::CqEntry>,
 }
 
 impl BlkSwitchStack {
@@ -106,6 +110,8 @@ impl BlkSwitchStack {
             parked: ParkedCommands::new(),
             split: SplitConfig::default(),
             stats: StackStats::default(),
+            cmd_scratch: Vec::new(),
+            cqe_scratch: Vec::new(),
         }
     }
 
@@ -261,14 +267,15 @@ impl StorageStack for BlkSwitchStack {
             self.stats.steering_actions += 1;
         }
 
-        let mut cmds: Vec<NvmeCommand> = Vec::new();
+        let mut cmds = std::mem::take(&mut self.cmd_scratch);
+        debug_assert!(cmds.is_empty());
         let mut batch_bytes = 0u64;
         for bio in bios {
             let extents = split_extents(&self.split, bio.offset_blocks, bio.bytes);
-            self.reqmap.insert_bio(*bio, extents.len() as u32);
+            let h = self.reqmap.insert_bio(*bio, extents.len() as u32);
             batch_bytes += bio.bytes;
             for e in extents {
-                let rq_id = self.reqmap.alloc_rq(bio.id, e.nlb);
+                let rq_id = self.reqmap.alloc_rq(h, e.nlb);
                 cmds.push(NvmeCommand {
                     cid: CommandId(rq_id),
                     nsid: bio.nsid,
@@ -294,7 +301,7 @@ impl StorageStack for BlkSwitchStack {
             cost += env.costs.remote_submission * n;
         }
         let mut pushed = 0u64;
-        for cmd in cmds {
+        for cmd in cmds.drain(..) {
             let bytes = cmd.bytes();
             if env.device.sq_has_room(sq) {
                 env.device
@@ -312,11 +319,13 @@ impl StorageStack for BlkSwitchStack {
             env.device.ring_doorbell(sq, env.now, env.dev_out);
             self.stats.doorbells += 1;
         }
+        self.cmd_scratch = cmds;
         cost
     }
 
     fn on_irq(&mut self, cq: CqId, core: u16, env: &mut StackEnv<'_>) -> SimDuration {
-        let entries = env.device.isr_pop(cq, usize::MAX);
+        let mut entries = std::mem::take(&mut self.cqe_scratch);
+        env.device.isr_pop_into(cq, usize::MAX, &mut entries);
         for e in &entries {
             let q = &mut self.outstanding_bytes[e.sq_id.index()];
             *q = q.saturating_sub(e.bytes);
@@ -332,11 +341,18 @@ impl StorageStack for BlkSwitchStack {
             env.completions,
         );
         env.device.isr_done(cq, env.now, env.dev_out);
+        self.cqe_scratch = entries;
         if !self.parked.is_empty() {
             self.parked
                 .flush(env.device, env.now, env.dev_out, &mut self.stats);
         }
         cost
+    }
+
+    fn reserve(&mut self, hint: usize) {
+        self.reqmap.reserve(hint);
+        self.cmd_scratch.reserve(hint);
+        self.cqe_scratch.reserve(hint);
     }
 
     fn on_tick(&mut self, env: &mut StackEnv<'_>) -> Option<SimDuration> {

@@ -97,12 +97,7 @@ impl Case {
 
     /// A vector with size-scaled length in `[lo, hi)`, elements drawn by
     /// `f`. The direct port of `proptest::collection::vec(elem, lo..hi)`.
-    pub fn vec_of<T>(
-        &mut self,
-        lo: usize,
-        hi: usize,
-        mut f: impl FnMut(&mut Case) -> T,
-    ) -> Vec<T> {
+    pub fn vec_of<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut Case) -> T) -> Vec<T> {
         let n = self.len_in(lo, hi);
         (0..n).map(|_| f(self)).collect()
     }
@@ -140,7 +135,10 @@ mod tests {
         // ...and at full size the whole range is reachable.
         let mut big = Case::new(3, 100);
         let max = (0..1000).map(|_| big.len_in(1, 200)).max().unwrap();
-        assert!(max > 150, "full-size lengths should span the range, max={max}");
+        assert!(
+            max > 150,
+            "full-size lengths should span the range, max={max}"
+        );
     }
 
     #[test]

@@ -188,7 +188,13 @@ fn fnv1a(name: &str) -> u64 {
 /// Sanitizes a property name into a file stem.
 fn file_stem(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -205,10 +211,9 @@ fn load_regressions(dir: &Path, name: &str) -> Vec<(u64, u32)> {
             continue;
         }
         let mut it = line.split_whitespace();
-        if let (Some(seed), Some(size)) = (
-            it.next().and_then(parse_u64),
-            it.next().and_then(parse_u64),
-        ) {
+        if let (Some(seed), Some(size)) =
+            (it.next().and_then(parse_u64), it.next().and_then(parse_u64))
+        {
             cases.push((seed, (size as u32).clamp(1, MAX_SIZE)));
         }
     }
@@ -239,11 +244,7 @@ fn persist_regression(dir: &Path, name: &str, seed: u64, size: u32) -> Option<Pa
 
 /// Shrinks a failing `(seed, size)` case (see the crate docs): binary
 /// search over the size axis, then binary descent over the seed value.
-fn shrink(
-    prop: &dyn Fn(&mut Case) -> CheckResult,
-    seed: u64,
-    size: u32,
-) -> (u64, u32, String) {
+fn shrink(prop: &dyn Fn(&mut Case) -> CheckResult, seed: u64, size: u32) -> (u64, u32, String) {
     // Phase 1: smallest failing size for this seed. The invariant is that
     // `hi` always fails; the search converges to a local minimum even when
     // failure is not strictly monotone in size.
@@ -352,7 +353,12 @@ pub fn check(name: &str, prop: impl Fn(&mut Case) -> CheckResult) {
             persisted_to,
         } => {
             let persisted = persisted_to
-                .map(|p| format!("\n  persisted to {} (replays on every future run)", p.display()))
+                .map(|p| {
+                    format!(
+                        "\n  persisted to {} (replays on every future run)",
+                        p.display()
+                    )
+                })
                 .unwrap_or_default();
             panic!(
                 "property `{name}` failed\n  minimal case: seed=0x{seed:016x} size={size}\n  \

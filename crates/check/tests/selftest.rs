@@ -36,11 +36,20 @@ fn fails_at_len_10(c: &mut Case) -> dd_check::CheckResult {
 #[test]
 fn shrinking_converges_to_minimal_counterexample() {
     let outcome = run("selftest_len10", &no_persist(64, 0xddc), fails_at_len_10);
-    let Outcome::Fail { seed, size, message, persisted_to } = outcome else {
+    let Outcome::Fail {
+        seed,
+        size,
+        message,
+        persisted_to,
+    } = outcome
+    else {
         panic!("property must fail");
     };
     assert!(persisted_to.is_none(), "persistence disabled");
-    assert!(message.contains(">= 10"), "original assertion surfaced: {message}");
+    assert!(
+        message.contains(">= 10"),
+        "original assertion surfaced: {message}"
+    );
     // The size axis was binary-searched down: at `size` the length bound
     // (1 + 199*size/100 exclusive) has only just reached 10, so the shrunk
     // size sits near the minimum admitting a counterexample (5) and far
@@ -49,8 +58,16 @@ fn shrinking_converges_to_minimal_counterexample() {
     // The persisted pair must still be a true, near-minimal counterexample.
     let mut case = Case::new(seed, size);
     let v = case.vec_of(1, 200, |c| c.u64_in(0, 1000));
-    assert!(v.len() >= 10, "shrunk case must still fail (len {})", v.len());
-    assert!(v.len() <= 60, "shrunk case far from minimal (len {})", v.len());
+    assert!(
+        v.len() >= 10,
+        "shrunk case must still fail (len {})",
+        v.len()
+    );
+    assert!(
+        v.len() <= 60,
+        "shrunk case far from minimal (len {})",
+        v.len()
+    );
 }
 
 #[test]
@@ -72,8 +89,11 @@ fn shrinking_reduces_seed_magnitude_when_possible() {
 fn regression_replay_runs_persisted_cases_first() {
     let dir = scratch_dir("replay");
     // Persist one case by hand, exactly as the runner writes it.
-    std::fs::write(dir.join("selftest_order.txt"), "# header\n0x00000000000000ff 7\n")
-        .expect("write regression file");
+    std::fs::write(
+        dir.join("selftest_order.txt"),
+        "# header\n0x00000000000000ff 7\n",
+    )
+    .expect("write regression file");
     let seen: RefCell<Vec<(u64, u32)>> = RefCell::new(Vec::new());
     let cfg = Config {
         cases: 3,
@@ -105,8 +125,12 @@ fn failure_is_persisted_and_replayed_next_run() {
         regressions: Some(dir.clone()),
         persist: true,
     };
-    let Outcome::Fail { seed, size, persisted_to, .. } =
-        run("selftest_persist", &cfg, fails_at_len_10)
+    let Outcome::Fail {
+        seed,
+        size,
+        persisted_to,
+        ..
+    } = run("selftest_persist", &cfg, fails_at_len_10)
     else {
         panic!("property must fail");
     };
@@ -119,8 +143,9 @@ fn failure_is_persisted_and_replayed_next_run() {
     // Second run: the persisted case replays before the sweep, so even a
     // 0-case config refinds the same counterexample.
     let cfg2 = Config { cases: 0, ..cfg };
-    let Outcome::Fail { seed: s2, size: z2, .. } =
-        run("selftest_persist", &cfg2, fails_at_len_10)
+    let Outcome::Fail {
+        seed: s2, size: z2, ..
+    } = run("selftest_persist", &cfg2, fails_at_len_10)
     else {
         panic!("replay must refind the counterexample");
     };
@@ -182,7 +207,10 @@ fn env_knobs_override_defaults() {
     assert_eq!(cfg.cases, 17);
     assert_eq!(cfg.seed, 0xabc);
     assert!(!cfg.persist);
-    assert_eq!(cfg.regressions.as_deref(), Some(std::path::Path::new("/tmp/dd-check-env-knob")));
+    assert_eq!(
+        cfg.regressions.as_deref(),
+        Some(std::path::Path::new("/tmp/dd-check-env-knob"))
+    );
 }
 
 #[test]

@@ -184,14 +184,17 @@ impl NqReg {
         // empty: fall back to sharing the high group's queues so routing
         // never dead-ends (separation is simply impossible there).
         if groups[Priority::Low.index()].ncq_heap.is_empty() {
-            let high = &groups[Priority::High.index()];
-            let cqs: Vec<CqId> = high.ncq_heap.iter().map(|(c, _)| c).collect();
-            let flat = high.rr_flat.clone();
-            let low = &mut groups[Priority::Low.index()];
-            for c in cqs {
+            // Split-borrow the two groups so the high group's heap is
+            // iterated in place — no temporary `Vec<CqId>` collect, no
+            // `rr_flat.clone()`; the single allocation left is the low
+            // group's own flat list, sized exactly once.
+            let (high_half, low_half) = groups.split_at_mut(Priority::Low.index());
+            let high = &high_half[Priority::High.index()];
+            let low = &mut low_half[0];
+            for (c, _) in high.ncq_heap.iter() {
                 low.ncq_heap.insert(c, 0.0);
             }
-            low.rr_flat = flat;
+            low.rr_flat.extend_from_slice(&high.rr_flat);
         }
         NqReg {
             alpha,
@@ -244,9 +247,12 @@ impl NqReg {
     ) -> SqId {
         self.queries += 1;
         if !self.use_merit {
+            // Branch-free round-robin: the cursor counts monotonically and
+            // is reduced modulo the flat list length exactly once per pick
+            // (the old double-`%` wrap was a second division for nothing).
             let group = &mut self.groups[prio.index()];
             let sq = group.rr_flat[group.rr_cursor % group.rr_flat.len()];
-            group.rr_cursor = (group.rr_cursor + 1) % group.rr_flat.len();
+            group.rr_cursor = group.rr_cursor.wrapping_add(1);
             return sq;
         }
         // Step 1: NCQ by IRQ-balancing merit. The MRU-gated recomputation
@@ -281,11 +287,19 @@ impl NqReg {
             .expect("non-empty heap")
     }
 
+    /// Recomputes the NCQ heap's merits. Cold by design: the MRU budget
+    /// exists precisely to keep this off the per-query fast path, so the
+    /// hint keeps the resort body out of `schedule`'s hot icache lines.
+    #[cold]
+    #[inline(never)]
     fn resort_ncq_heap(&mut self, group_idx: usize, device: &NvmeDevice, proxies: &ProxyTable) {
         self.resorts += 1;
         let ncq_state = &mut self.ncq_state;
         let ncq_nodes = &self.ncq_nodes;
         self.groups[group_idx].ncq_heap.resort_with(|cq| {
+            // Window-delta bookkeeping is straight-line: unconditional
+            // loads/stores, with `max(1)` saturations (not `if`s) guarding
+            // the divisions inside `ncq_merit_k`.
             let st = device.cq_stats(cq);
             let state = &mut ncq_state[cq.index()];
             let complete_delta = st.complete_rqs - state.last_complete;
@@ -309,6 +323,10 @@ impl NqReg {
         self.groups[group_idx].mru = self.mru_init as i64;
     }
 
+    /// Recomputes one NCQ's NSQ heap. Cold for the same reason as
+    /// [`Self::resort_ncq_heap`].
+    #[cold]
+    #[inline(never)]
     fn resort_nsq_heap(
         &mut self,
         ncq: CqId,
@@ -320,6 +338,8 @@ impl NqReg {
         let nsq_state = &mut self.nsq_state;
         let node = &mut self.ncq_nodes[ncq.index()];
         node.nsq_heap.resort_with(|sq| {
+            // Branch-free like the NCQ pass: `saturating_sub` instead of an
+            // underflow check, `max(1)` saturations inside `nsq_merit_k`.
             let state = &mut nsq_state[sq.index()];
             let lock_total = locks.in_lock_total(sq);
             let submitted = device.sq_stats(sq).submitted_total;

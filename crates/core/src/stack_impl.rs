@@ -43,6 +43,15 @@ pub struct DaredevilStack {
     split: SplitConfig,
     stats: StackStats,
     irq_policy_configured: bool,
+    /// Recycled per-NSQ command staging buffers (indexed by `SqId`); each
+    /// submit call drains the buffers it touched back to empty, keeping the
+    /// capacity for the next call.
+    sq_bufs: Vec<Vec<NvmeCommand>>,
+    /// NSQs touched by the current submit call, in first-touch order (the
+    /// dispatch order the old per-call `Vec<(SqId, Vec<_>)>` produced).
+    active_sqs: Vec<SqId>,
+    /// Recycled ISR scratch for drained CQEs.
+    cqe_scratch: Vec<dd_nvme::CqEntry>,
 }
 
 impl DaredevilStack {
@@ -82,6 +91,9 @@ impl DaredevilStack {
             split: SplitConfig::default(),
             stats: StackStats::default(),
             irq_policy_configured: false,
+            sq_bufs: (0..nr_sqs).map(|_| Vec::new()).collect(),
+            active_sqs: Vec::new(),
+            cqe_scratch: Vec::new(),
             cfg,
         }
     }
@@ -182,12 +194,21 @@ impl StorageStack for DaredevilStack {
         self.troute.migrate(pid, core, &mut self.proxies);
     }
 
+    fn reserve(&mut self, hint: usize) {
+        self.reqmap.reserve(hint);
+        self.cqe_scratch.reserve(hint);
+    }
+
     fn submit(&mut self, bios: &[Bio], env: &mut StackEnv<'_>) -> SimDuration {
         debug_assert!(!bios.is_empty());
         let core = bios[0].core;
         // Route every bio, then group its commands by target NSQ so each
-        // NSQ's lock is taken once per batch.
-        let mut per_sq: Vec<(SqId, Vec<NvmeCommand>)> = Vec::new();
+        // NSQ's lock is taken once per batch. Grouping goes through the
+        // recycled per-SQ staging buffers: `active_sqs` records first-touch
+        // order (the dispatch order the old per-call Vec produced) and each
+        // buffer is drained back to empty below — zero steady-state heap
+        // traffic.
+        debug_assert!(self.active_sqs.is_empty());
         let mut total_rqs = 0u32;
         for bio in bios {
             let sq = if self.cfg.variant == Variant::Base {
@@ -216,16 +237,13 @@ impl StorageStack for DaredevilStack {
                 )
             };
             let extents = split_extents(&self.split, bio.offset_blocks, bio.bytes);
-            self.reqmap.insert_bio(*bio, extents.len() as u32);
-            let bucket = match per_sq.iter_mut().find(|(s, _)| *s == sq) {
-                Some((_, v)) => v,
-                None => {
-                    per_sq.push((sq, Vec::new()));
-                    &mut per_sq.last_mut().expect("just pushed").1
-                }
-            };
+            let h = self.reqmap.insert_bio(*bio, extents.len() as u32);
+            if !self.active_sqs.contains(&sq) {
+                self.active_sqs.push(sq);
+            }
+            let bucket = &mut self.sq_bufs[sq.index()];
             for e in extents {
-                let rq_id = self.reqmap.alloc_rq(bio.id, e.nlb);
+                let rq_id = self.reqmap.alloc_rq(h, e.nlb);
                 total_rqs += 1;
                 bucket.push(NvmeCommand {
                     cid: CommandId(rq_id),
@@ -243,7 +261,9 @@ impl StorageStack for DaredevilStack {
 
         let mut cost = env.costs.submit_cost(total_rqs);
         let full_dispatch = self.cfg.variant == Variant::Full;
-        for (sq, cmds) in per_sq {
+        let mut active_sqs = std::mem::take(&mut self.active_sqs);
+        for &sq in &active_sqs {
+            let mut cmds = std::mem::take(&mut self.sq_bufs[sq.index()]);
             let n = cmds.len() as u64;
             let hold = env.costs.nsq_insert * n;
             let acq = self.locks.acquire(sq, env.now, hold);
@@ -254,7 +274,7 @@ impl StorageStack for DaredevilStack {
             }
             let high_prio = self.proxies.get(sq).prio == Priority::High;
             let mut pushed = 0u64;
-            for cmd in cmds {
+            for cmd in cmds.drain(..) {
                 if env.device.sq_has_room(sq) {
                     env.device
                         .push_command(sq, cmd)
@@ -278,12 +298,16 @@ impl StorageStack for DaredevilStack {
                 self.stats.doorbells += 1;
                 cost += env.costs.doorbell;
             }
+            self.sq_bufs[sq.index()] = cmds;
         }
+        active_sqs.clear();
+        self.active_sqs = active_sqs;
         cost
     }
 
     fn on_irq(&mut self, cq: CqId, core: u16, env: &mut StackEnv<'_>) -> SimDuration {
-        let entries = env.device.isr_pop(cq, usize::MAX);
+        let mut entries = std::mem::take(&mut self.cqe_scratch);
+        env.device.isr_pop_into(cq, usize::MAX, &mut entries);
         let mode =
             if self.cfg.variant == Variant::Full && self.nqreg.cq_priority(cq) == Priority::High {
                 CompletionMode::PerRequest
@@ -301,6 +325,7 @@ impl StorageStack for DaredevilStack {
             env.completions,
         );
         env.device.isr_done(cq, env.now, env.dev_out);
+        self.cqe_scratch = entries;
         if !self.parked.is_empty() {
             self.parked
                 .flush(env.device, env.now, env.dev_out, &mut self.stats);

@@ -28,9 +28,8 @@
 //! ever routed to a low-priority NSQ* — is property-tested in
 //! `tests/proptests.rs` (`troute_l_requests_never_low_priority`).
 
-use std::collections::HashMap;
-
 use dd_nvme::{NvmeDevice, SqId};
+use simkit::DenseMap;
 
 use blkstack::nsqlock::NsqLockTable;
 use blkstack::{Bio, IoPriorityClass, Pid, TaskStruct};
@@ -85,7 +84,7 @@ pub struct RouteStats {
 /// The request router.
 #[derive(Debug)]
 pub struct Troute {
-    tenants: HashMap<Pid, TenantRoute>,
+    tenants: DenseMap<Pid, TenantRoute>,
     mru: u32,
     profile_window: u64,
     stats: RouteStats,
@@ -97,7 +96,7 @@ impl Troute {
     /// the outlier tag.
     pub fn new(mru: u32, profile_window: u64) -> Self {
         Troute {
-            tenants: HashMap::new(),
+            tenants: DenseMap::new(),
             mru,
             profile_window,
             stats: RouteStats::default(),
@@ -142,7 +141,7 @@ impl Troute {
 
     /// Removes a tenant, releasing its claims.
     pub fn deregister(&mut self, pid: Pid, proxies: &mut ProxyTable) {
-        if let Some(route) = self.tenants.remove(&pid) {
+        if let Some(route) = self.tenants.remove(pid) {
             self.unclaim(route.default_sq, route.core, proxies);
             if let Some(osq) = route.outlier_sq {
                 self.unclaim(osq, route.core, proxies);
@@ -165,7 +164,7 @@ impl Troute {
 
     /// Routing state of a tenant.
     pub fn route_of(&self, pid: Pid) -> Option<&TenantRoute> {
-        self.tenants.get(&pid)
+        self.tenants.get(pid)
     }
 
     /// Handles a runtime ionice change: if the base priority flips, the
@@ -181,7 +180,7 @@ impl Troute {
         proxies: &mut ProxyTable,
     ) {
         let new_prio = Self::base_priority(ionice);
-        let Some(route) = self.tenants.get(&pid).copied() else {
+        let Some(route) = self.tenants.get(pid).copied() else {
             return;
         };
         if route.base_prio == new_prio {
@@ -190,7 +189,7 @@ impl Troute {
         let new_sq = nqreg.schedule(new_prio, self.mru, device, locks, proxies);
         // Swap claims: remove the tenant's entry view first so the
         // still-used check does not see the stale route.
-        let r = self.tenants.remove(&pid).expect("checked above");
+        let r = self.tenants.remove(pid).expect("checked above");
         self.unclaim(r.default_sq, r.core, proxies);
         let mut r = r;
         r.base_prio = new_prio;
@@ -210,13 +209,13 @@ impl Troute {
     /// Handles a tenant migration to another core: the claimed-core bitmaps
     /// move with it.
     pub fn migrate(&mut self, pid: Pid, new_core: u16, proxies: &mut ProxyTable) {
-        let Some(route) = self.tenants.get(&pid).copied() else {
+        let Some(route) = self.tenants.get(pid).copied() else {
             return;
         };
         if route.core == new_core {
             return;
         }
-        let mut r = self.tenants.remove(&pid).expect("checked above");
+        let mut r = self.tenants.remove(pid).expect("checked above");
         self.unclaim(r.default_sq, r.core, proxies);
         if let Some(osq) = r.outlier_sq {
             self.unclaim(osq, r.core, proxies);
@@ -243,7 +242,7 @@ impl Troute {
     ) -> SqId {
         let route = self
             .tenants
-            .get_mut(&bio.tenant)
+            .get_mut(bio.tenant)
             .expect("routing for unregistered tenant");
         // Line 1-2: high-priority tenants always use their default NSQ.
         if route.base_prio == Priority::High {
@@ -261,7 +260,7 @@ impl Troute {
         if total.is_multiple_of(self.profile_window) {
             self.reevaluate_tag(bio.tenant, nqreg, device, locks, proxies);
         }
-        let route = self.tenants.get(&bio.tenant).expect("still registered");
+        let route = self.tenants.get(bio.tenant).expect("still registered");
         if !is_outlier {
             // Line 3 fallthrough: normal T-requests use the default NSQ.
             self.stats.default_routes += 1;
@@ -289,11 +288,11 @@ impl Troute {
         locks: &NsqLockTable,
         proxies: &mut ProxyTable,
     ) {
-        let route = self.tenants.get(&pid).copied().expect("registered");
+        let route = self.tenants.get(pid).copied().expect("registered");
         let tendency = route.outlier_count * 10 >= route.normal_count && route.outlier_count > 0;
         if tendency == route.outlier_tag {
             // Reset the window counters and keep the tag.
-            let r = self.tenants.get_mut(&pid).expect("registered");
+            let r = self.tenants.get_mut(pid).expect("registered");
             r.normal_count = 0;
             r.outlier_count = 0;
             return;
@@ -303,14 +302,14 @@ impl Troute {
             // Tag on: assign an outlier NSQ (tenant-based context).
             let osq = nqreg.schedule(Priority::High, self.mru, device, locks, proxies);
             proxies.get_mut(osq).claim(route.core);
-            let r = self.tenants.get_mut(&pid).expect("registered");
+            let r = self.tenants.get_mut(pid).expect("registered");
             r.outlier_tag = true;
             r.outlier_sq = Some(osq);
             r.normal_count = 0;
             r.outlier_count = 0;
         } else {
             // Tag off: drop the outlier NSQ.
-            let mut r = self.tenants.remove(&pid).expect("registered");
+            let mut r = self.tenants.remove(pid).expect("registered");
             if let Some(osq) = r.outlier_sq.take() {
                 self.unclaim(osq, r.core, proxies);
             }

@@ -152,9 +152,18 @@ fn troute_claims_balance_on_deregister() {
         // Random request traffic (may create outlier NSQ claims)...
         for _ in 0..c.usize_in(0, 100) {
             let pid = c.usize_in(0, n) as u64;
-            let flags = if c.bool_with(0.3) { ReqFlags::SYNC } else { ReqFlags::NONE };
-            f.troute
-                .route(&bio(pid, flags), &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
+            let flags = if c.bool_with(0.3) {
+                ReqFlags::SYNC
+            } else {
+                ReqFlags::NONE
+            };
+            f.troute.route(
+                &bio(pid, flags),
+                &mut f.nqreg,
+                &f.device,
+                &f.locks,
+                &mut f.proxies,
+            );
         }
         // ...then everyone leaves.
         for i in 0..n {

@@ -37,9 +37,14 @@ fn histogram_percentiles_monotone_and_bounded() {
         prop_assert!(h.min().as_nanos() <= tol(lo) && lo <= tol(h.min().as_nanos()));
         prop_assert!(h.max().as_nanos() <= tol(hi) && hi <= tol(h.max().as_nanos()));
         prop_assert!(h.percentile(100.0) <= SimDuration::from_nanos(tol(hi)));
-        prop_assert!(SimDuration::from_nanos(lo) <= SimDuration::from_nanos(tol(h.percentile(0.0).as_nanos())));
+        prop_assert!(
+            SimDuration::from_nanos(lo)
+                <= SimDuration::from_nanos(tol(h.percentile(0.0).as_nanos()))
+        );
         // Mean sits within [min, max].
-        prop_assert!(h.mean() >= h.min() && h.mean() <= SimDuration::from_nanos(tol(h.max().as_nanos())));
+        prop_assert!(
+            h.mean() >= h.min() && h.mean() <= SimDuration::from_nanos(tol(h.max().as_nanos()))
+        );
         Ok(())
     });
 }

@@ -82,6 +82,13 @@ impl DeviceOutput {
     }
 
     /// Empties the buffer (callers reuse one allocation).
+    ///
+    /// Contract: hosts own exactly one `DeviceOutput`, drain it after every
+    /// device interaction, and hand the *same* (now empty) value back on the
+    /// next call. The device only ever appends, so honouring the contract
+    /// means the backing vectors reach their high-water capacity once and
+    /// are never reallocated again; [`DeviceOutput::capacity`] exposes that
+    /// high-water mark so tests can assert it stays flat.
     pub fn clear(&mut self) {
         self.events.clear();
         self.irqs.clear();
@@ -90,6 +97,13 @@ impl DeviceOutput {
     /// True when no effects are pending.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty() && self.irqs.is_empty()
+    }
+
+    /// Backing capacities `(events, irqs)` — observability for the
+    /// one-allocation reuse contract (see [`DeviceOutput::clear`]); steady
+    /// state must not grow these.
+    pub fn capacity(&self) -> (usize, usize) {
+        (self.events.capacity(), self.irqs.capacity())
     }
 }
 
@@ -301,6 +315,14 @@ impl NvmeDevice {
         self.cqs[cq.index()].pop(max)
     }
 
+    /// Like [`NvmeDevice::isr_pop`], but pops into `buf` (cleared first) so
+    /// the caller's allocation is reused across ISRs — the stacks' hot
+    /// completion path never touches the heap in steady state. Returns the
+    /// number of entries popped.
+    pub fn isr_pop_into(&mut self, cq: CqId, max: usize, buf: &mut Vec<CqEntry>) -> usize {
+        self.cqs[cq.index()].pop_into(max, buf)
+    }
+
     /// Host ISR finished for `cq`. Re-raises the vector (subject to
     /// coalescing) if CQEs arrived during the ISR.
     pub fn isr_done(&mut self, cq: CqId, now: SimTime, out: &mut DeviceOutput) {
@@ -308,5 +330,80 @@ impl NvmeDevice {
         if self.cqs[cq.index()].pending() > 0 {
             self.maybe_raise(cq, now, out);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::HostTag;
+    use crate::spec::{CommandId, NamespaceId};
+    use crate::IoOpcode;
+    use simkit::EventQueue;
+
+    fn small_device() -> NvmeDevice {
+        let mut cfg = NvmeConfig::sv_m();
+        cfg.nr_sqs = 2;
+        cfg.nr_cqs = 1;
+        cfg.sq_depth = 64;
+        NvmeDevice::new(cfg, 1)
+    }
+
+    fn cmd(cid: u64) -> NvmeCommand {
+        NvmeCommand {
+            cid: CommandId(cid),
+            nsid: NamespaceId(1),
+            opcode: IoOpcode::Read,
+            slba: cid * 8,
+            nlb: 8,
+            host: HostTag {
+                rq_id: cid,
+                submit_core: 0,
+            },
+        }
+    }
+
+    /// The "callers reuse one allocation" contract of [`DeviceOutput::clear`]
+    /// and [`NvmeDevice::isr_pop_into`]: after a warm-up round, churning the
+    /// device with the *same* output buffer and the *same* ISR scratch must
+    /// never grow either allocation again.
+    #[test]
+    fn output_and_isr_buffers_recycle_without_growth() {
+        let mut dev = small_device();
+        let mut out = DeviceOutput::new();
+        let mut isr_buf: Vec<CqEntry> = Vec::new();
+        let mut q = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        let mut warm_out = (0, 0);
+        let mut warm_isr = 0;
+        for round in 0..8u64 {
+            for i in 0..16u64 {
+                dev.push_command(SqId(0), cmd(round * 16 + i)).unwrap();
+            }
+            dev.ring_doorbell(SqId(0), now, &mut out);
+            // Drive the device to quiescence, draining effects after every
+            // step exactly the way the machine does.
+            loop {
+                for (at, ev) in out.events.drain(..) {
+                    q.push(at, ev);
+                }
+                out.irqs.clear(); // delivery modelled elsewhere
+                let Some((at, ev)) = q.pop() else { break };
+                now = at;
+                dev.handle_event(ev, now, &mut out);
+            }
+            // ISR drains the CQ through the recycled scratch buffer.
+            while dev.isr_pop_into(CqId(0), 4, &mut isr_buf) > 0 {}
+            dev.isr_done(CqId(0), now, &mut out);
+            assert!(out.is_empty(), "quiescent device left effects behind");
+            if round == 0 {
+                warm_out = out.capacity();
+                warm_isr = isr_buf.capacity();
+            } else {
+                assert_eq!(out.capacity(), warm_out, "DeviceOutput regrew");
+                assert_eq!(isr_buf.capacity(), warm_isr, "ISR scratch regrew");
+            }
+        }
+        assert_eq!(dev.stats().completed, 128);
     }
 }

@@ -193,6 +193,16 @@ impl CompletionQueue {
         self.entries.drain(..n).collect()
     }
 
+    /// Host ISR pops up to `max` entries into `buf`, which is cleared and
+    /// refilled in place so its allocation is reused across ISRs. Returns
+    /// the number of entries popped.
+    pub fn pop_into(&mut self, max: usize, buf: &mut Vec<CqEntry>) -> usize {
+        buf.clear();
+        let n = max.min(self.entries.len());
+        buf.extend(self.entries.drain(..n));
+        n
+    }
+
     /// Entries currently pending host processing.
     pub fn pending(&self) -> usize {
         self.entries.len()

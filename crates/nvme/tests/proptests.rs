@@ -142,9 +142,13 @@ fn device_completes_everything_exactly_once() {
         }
         prop_assert_eq!(dev.stats().completed, pushed);
         // Every CQE is retrievable exactly once.
-        let total: usize = (0..2).map(|cq| dev.isr_pop(CqId(cq), usize::MAX).len()).sum();
+        let total: usize = (0..2)
+            .map(|cq| dev.isr_pop(CqId(cq), usize::MAX).len())
+            .sum();
         prop_assert_eq!(total as u64, pushed);
-        let again: usize = (0..2).map(|cq| dev.isr_pop(CqId(cq), usize::MAX).len()).sum();
+        let again: usize = (0..2)
+            .map(|cq| dev.isr_pop(CqId(cq), usize::MAX).len())
+            .sum();
         prop_assert_eq!(again, 0);
         Ok(())
     });

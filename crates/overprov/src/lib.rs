@@ -52,6 +52,12 @@ pub struct OverprovStack {
     stats: StackStats,
     /// Whether the device's queues have been WRR-classified yet.
     classified: bool,
+    /// Recycled staging buffer for the pair's L-queue commands.
+    l_scratch: Vec<NvmeCommand>,
+    /// Recycled staging buffer for the pair's T-queue commands.
+    t_scratch: Vec<NvmeCommand>,
+    /// Recycled ISR scratch for drained CQEs.
+    cqe_scratch: Vec<dd_nvme::CqEntry>,
 }
 
 impl OverprovStack {
@@ -74,6 +80,9 @@ impl OverprovStack {
             split: SplitConfig::default(),
             stats: StackStats::default(),
             classified: false,
+            l_scratch: Vec::new(),
+            t_scratch: Vec::new(),
+            cqe_scratch: Vec::new(),
         }
     }
 
@@ -148,25 +157,19 @@ impl StorageStack for OverprovStack {
         let (l_sq, t_sq) = self.pair_of(core);
 
         // Split the batch by target queue: outliers of T-tenants take the
-        // L-queue of the same pair.
-        let mut per_sq: Vec<(SqId, Vec<NvmeCommand>)> =
-            vec![(l_sq, Vec::new()), (t_sq, Vec::new())];
+        // L-queue of the same pair. The two buckets are recycled scratch
+        // buffers, drained back to empty before this call returns.
+        let mut l_cmds = std::mem::take(&mut self.l_scratch);
+        let mut t_cmds = std::mem::take(&mut self.t_scratch);
+        debug_assert!(l_cmds.is_empty() && t_cmds.is_empty());
         let mut total = 0u32;
         for bio in bios {
-            let sq = if is_l_tenant || bio.flags.is_outlier() {
-                l_sq
-            } else {
-                t_sq
-            };
+            let is_l_rq = is_l_tenant || bio.flags.is_outlier();
             let extents = split_extents(&self.split, bio.offset_blocks, bio.bytes);
-            self.reqmap.insert_bio(*bio, extents.len() as u32);
-            let bucket = &mut per_sq
-                .iter_mut()
-                .find(|(s, _)| *s == sq)
-                .expect("pair bucket")
-                .1;
+            let h = self.reqmap.insert_bio(*bio, extents.len() as u32);
+            let bucket = if is_l_rq { &mut l_cmds } else { &mut t_cmds };
             for e in extents {
-                let rq_id = self.reqmap.alloc_rq(bio.id, e.nlb);
+                let rq_id = self.reqmap.alloc_rq(h, e.nlb);
                 total += 1;
                 bucket.push(NvmeCommand {
                     cid: CommandId(rq_id),
@@ -183,7 +186,9 @@ impl StorageStack for OverprovStack {
         }
 
         let mut cost = env.costs.submit_cost(total);
-        for (sq, cmds) in per_sq {
+        // L-queue first, T-queue second — the order the old per-call Vec
+        // used.
+        for (sq, cmds) in [(l_sq, &mut l_cmds), (t_sq, &mut t_cmds)] {
             if cmds.is_empty() {
                 continue;
             }
@@ -192,7 +197,7 @@ impl StorageStack for OverprovStack {
             let acq = self.locks.acquire(sq, env.now, hold);
             cost += acq.wait + hold + env.costs.doorbell;
             let mut pushed = 0u64;
-            for cmd in cmds {
+            for cmd in cmds.drain(..) {
                 if env.device.sq_has_room(sq) {
                     env.device
                         .push_command(sq, cmd)
@@ -209,11 +214,21 @@ impl StorageStack for OverprovStack {
                 self.stats.doorbells += 1;
             }
         }
+        self.l_scratch = l_cmds;
+        self.t_scratch = t_cmds;
         cost
     }
 
+    fn reserve(&mut self, hint: usize) {
+        self.reqmap.reserve(hint);
+        self.l_scratch.reserve(hint);
+        self.t_scratch.reserve(hint);
+        self.cqe_scratch.reserve(hint);
+    }
+
     fn on_irq(&mut self, cq: CqId, core: u16, env: &mut StackEnv<'_>) -> SimDuration {
-        let entries = env.device.isr_pop(cq, usize::MAX);
+        let mut entries = std::mem::take(&mut self.cqe_scratch);
+        env.device.isr_pop_into(cq, usize::MAX, &mut entries);
         let cost = process_cqes(
             &entries,
             CompletionMode::Batched,
@@ -225,6 +240,7 @@ impl StorageStack for OverprovStack {
             env.completions,
         );
         env.device.isr_done(cq, env.now, env.dev_out);
+        self.cqe_scratch = entries;
         if !self.parked.is_empty() {
             self.parked
                 .flush(env.device, env.now, env.dev_out, &mut self.stats);

@@ -110,9 +110,7 @@ impl<E> Bucket<E> {
             // the current time carry the largest seq so far, i.e. they
             // belong near the tail — `partition_point` finds the spot and
             // the memmove is short.
-            let pos = self
-                .items
-                .partition_point(|(t, s, _)| (*t, *s) > (at, seq));
+            let pos = self.items.partition_point(|(t, s, _)| (*t, *s) > (at, seq));
             self.items.insert(pos, (at, seq, event));
         } else {
             self.items.push((at, seq, event));

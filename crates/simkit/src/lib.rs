@@ -19,6 +19,7 @@ pub mod event;
 pub mod ewma;
 pub mod keyed_heap;
 pub mod rng;
+pub mod slab;
 pub mod time;
 pub mod trace;
 
@@ -26,4 +27,5 @@ pub use event::{EventQueue, HeapQueue};
 pub use ewma::Ewma;
 pub use keyed_heap::KeyedMinHeap;
 pub use rng::{SimRng, Zipfian};
+pub use slab::{DenseMap, Key, Slab, SlotId};
 pub use time::{SimDuration, SimTime};

@@ -55,20 +55,16 @@ fn event_queue_matches_heap_reference() {
             if pop {
                 let a = bucketed.pop();
                 let b = reference.pop();
-                prop_assert_eq!(
-                    a,
-                    b,
-                    "pop #{i} diverged: bucketed={a:?} reference={b:?}"
-                );
+                prop_assert_eq!(a, b, "pop #{i} diverged: bucketed={a:?} reference={b:?}");
                 if let Some((t, _)) = a {
                     now = now.max(t.as_nanos());
                 }
             } else {
                 let at = match class {
-                    0 => now + delta,                     // near: ≤ ~4 µs ahead
-                    1 => now + (delta << 8),              // mid: ≤ ~1 ms ahead
-                    2 => now + (delta << 16),             // far beyond the window
-                    _ => now.saturating_sub(delta),       // behind the drain point
+                    0 => now + delta,               // near: ≤ ~4 µs ahead
+                    1 => now + (delta << 8),        // mid: ≤ ~1 ms ahead
+                    2 => now + (delta << 16),       // far beyond the window
+                    _ => now.saturating_sub(delta), // behind the drain point
                 };
                 bucketed.push(SimTime::from_nanos(at), i as u64);
                 reference.push(SimTime::from_nanos(at), i as u64);
@@ -106,7 +102,9 @@ fn keyed_heap_top_is_min() {
 
         // Resort with a pseudo-random reassignment and re-check.
         let mut rng = SimRng::new(reseed);
-        let new_keys: Vec<f64> = (0..keys.len()).map(|_| rng.gen_range(10_000) as f64).collect();
+        let new_keys: Vec<f64> = (0..keys.len())
+            .map(|_| rng.gen_range(10_000) as f64)
+            .collect();
         h.resort_with(|id| new_keys[id]);
         let new_min = new_keys.iter().cloned().fold(f64::INFINITY, f64::min);
         prop_assert_eq!(h.top_key(), Some(new_min));
@@ -154,6 +152,137 @@ fn zipfian_within_range() {
         let mut rng = SimRng::new(seed);
         for _ in 0..200 {
             prop_assert!(z.sample(&mut rng) < n);
+        }
+        Ok(())
+    });
+}
+
+/// The generational [`Slab`] agrees with a `HashMap<raw-id, value>` oracle
+/// under random alloc/free/realloc interleavings, and — the ABA property the
+/// request map depends on — a retired handle NEVER aliases a live value,
+/// even after its slot has been recycled arbitrarily many times.
+#[test]
+fn slab_matches_hashmap_oracle() {
+    use simkit::{Slab, SlotId};
+    use std::collections::HashMap;
+    check("slab_matches_hashmap_oracle", |c| {
+        let steps = c.vec_of(1, 400, |c| {
+            // (op-class, payload)
+            (c.u32_in(0, 99), c.u64_in(0, u64::MAX / 2))
+        });
+        let mut slab: Slab<u64> = Slab::new();
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        let mut live: Vec<SlotId> = Vec::new();
+        let mut retired: Vec<SlotId> = Vec::new();
+        let mut peak_live = 0usize;
+        for &(op, payload) in &steps {
+            match op {
+                // ~45 %: insert.
+                0..=44 => {
+                    let id = slab.insert(payload);
+                    prop_assert!(
+                        oracle.insert(id.to_raw(), payload).is_none(),
+                        "insert returned a raw id that is already live"
+                    );
+                    live.push(id);
+                    peak_live = peak_live.max(live.len());
+                }
+                // ~35 %: remove a random live handle (if any).
+                45..=79 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let pick = payload as usize % live.len();
+                    let id = live.swap_remove(pick);
+                    let expect = oracle.remove(&id.to_raw());
+                    prop_assert_eq!(slab.remove(id), expect);
+                    // Double-free must be rejected.
+                    prop_assert_eq!(slab.remove(id), None);
+                    retired.push(id);
+                }
+                // ~10 %: read a random live handle.
+                80..=89 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[payload as usize % live.len()];
+                    prop_assert_eq!(slab.get(id).copied(), oracle.get(&id.to_raw()).copied());
+                }
+                // ~10 %: a stale (retired) handle must stay dead forever.
+                _ => {
+                    if retired.is_empty() {
+                        continue;
+                    }
+                    let id = retired[payload as usize % retired.len()];
+                    prop_assert!(
+                        slab.get(id).is_none(),
+                        "stale handle aliased a recycled slot (ABA)"
+                    );
+                    prop_assert!(!slab.contains(id));
+                }
+            }
+            prop_assert_eq!(slab.len(), oracle.len());
+            // Free-list reuse: the slot array never exceeds the peak number
+            // of concurrently live values.
+            prop_assert!(slab.slot_count() <= peak_live);
+            // Round-trip: every live handle survives raw encode/decode.
+            if let Some(&id) = live.last() {
+                prop_assert_eq!(SlotId::from_raw(id.to_raw()), id);
+            }
+        }
+        // Full final sweep against the oracle.
+        for &id in &live {
+            prop_assert_eq!(slab.get(id).copied(), oracle.get(&id.to_raw()).copied());
+        }
+        Ok(())
+    });
+}
+
+/// The open-addressing [`DenseMap`] agrees with `HashMap` under random
+/// insert/remove/get churn over a key space that mixes dense low keys with
+/// the sparse high keys the virtio proxy-PID path produces.
+#[test]
+fn dense_map_matches_hashmap_oracle() {
+    use simkit::DenseMap;
+    use std::collections::HashMap;
+    check("dense_map_matches_hashmap_oracle", |c| {
+        let steps = c.vec_of(1, 400, |c| {
+            let sparse = c.bool_with(0.25);
+            let base = c.u64_in(0, 40);
+            // Sparse keys mimic `PROXY_PID_BASE + n` (1 << 32 offset).
+            let key = if sparse { (1u64 << 32) + base } else { base };
+            (c.u32_in(0, 99), key, c.u64_in(0, 1_000_000))
+        });
+        let mut map: DenseMap<u64, u64> = DenseMap::new();
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for &(op, key, value) in &steps {
+            match op {
+                // ~50 %: insert / overwrite.
+                0..=49 => {
+                    prop_assert_eq!(map.insert(key, value), oracle.insert(key, value));
+                }
+                // ~30 %: remove (maybe absent — backward-shift path).
+                50..=79 => {
+                    prop_assert_eq!(map.remove(key), oracle.remove(&key));
+                    prop_assert!(!map.contains_key(key));
+                }
+                // ~20 %: point lookup.
+                _ => {
+                    prop_assert_eq!(map.get(key).copied(), oracle.get(&key).copied());
+                    prop_assert_eq!(map.contains_key(key), oracle.contains_key(&key));
+                }
+            }
+            prop_assert_eq!(map.len(), oracle.len());
+        }
+        // The iteration view holds exactly the oracle's entries.
+        let mut got: Vec<(u64, u64)> = map.iter().map(|(k, v)| (k, *v)).collect();
+        let mut want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // And every oracle key remains point-readable.
+        for (&k, &v) in &oracle {
+            prop_assert_eq!(map.get(k).copied(), Some(v));
         }
         Ok(())
     });

@@ -241,7 +241,11 @@ impl Machine {
             nvme_cfg = nvme_cfg.with_wrr(dd_nvme::WrrWeights::default());
         }
         let device = NvmeDevice::new(nvme_cfg, nr_cores);
-        let stack = build_stack(&scenario.stack, nr_cores, &device);
+        let mut stack = build_stack(&scenario.stack, nr_cores, &device);
+        // Pre-size the stack's slab request maps and recycled scratch from
+        // the same shape hint the event queue uses, so the steady state
+        // allocates nothing on the hot path.
+        stack.as_dyn().reserve(scenario.event_capacity_hint());
         let mut rng = SimRng::new(scenario.seed);
         let mut tenants = HashMap::new();
         let mut tenant_order = Vec::new();
@@ -359,6 +363,13 @@ impl Machine {
 
     /// Runs one stack call with a fresh environment; returns its CPU cost.
     fn with_env<R>(&mut self, f: impl FnOnce(&mut dyn StorageStack, &mut StackEnv<'_>) -> R) -> R {
+        // The one-allocation reuse contract (`DeviceOutput::clear`): the
+        // machine owns a single output buffer and must have drained it fully
+        // before lending it to the next device interaction.
+        debug_assert!(
+            self.dev_out.is_empty(),
+            "DeviceOutput must be drained before reuse"
+        );
         let mut env = StackEnv {
             now: self.now,
             device: &mut self.device,
@@ -579,13 +590,10 @@ impl Machine {
         if in_window {
             let window_start = self.window_start;
             let width = self.scenario.sample_width;
-            let entry = self
-                .series
-                .entry(class)
-                .or_insert_with(|| ClassSeries {
-                    latency: TimeSeries::new(window_start, width),
-                    bytes: TimeSeries::new(window_start, width),
-                });
+            let entry = self.series.entry(class).or_insert_with(|| ClassSeries {
+                latency: TimeSeries::new(window_start, width),
+                bytes: TimeSeries::new(window_start, width),
+            });
             entry.latency.record_latency(c.completed_at, c.latency());
             entry.bytes.record(c.completed_at, c.bio.bytes);
             let b = self.breakdown.entry(class).or_default();

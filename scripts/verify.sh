@@ -63,6 +63,34 @@ sed -n 's/^  "\(total_wall_s\|speedup_vs_serial\|events_per_s\|jobs\)": \(.*\),$
     BENCH_sweep.json
 # Speedup is recorded, not gated: single-core CI hosts cannot speed up.
 
+echo "== verify: figure outputs match the golden capture =="
+# The zero-allocation request-lifecycle port (slab ids, dense tenant
+# tables, recycled scratch) is a pure mechanism change: every figure must
+# stay byte-identical to the committed pre-port capture.
+if ! diff -q tests/golden/all_figures_quick.csv "$SERIAL_OUT" >/dev/null; then
+    echo "verify: FAILED — figure outputs diverge from tests/golden/all_figures_quick.csv:" >&2
+    diff tests/golden/all_figures_quick.csv "$SERIAL_OUT" | head -40 >&2
+    echo "(if the divergence is an intended semantic change, regenerate the" >&2
+    echo " golden file with: ./target/release/all_figures --quick --csv --jobs 1 > tests/golden/all_figures_quick.csv)" >&2
+    exit 1
+fi
+echo "  all 14 figures byte-identical to the golden capture"
+
+echo "== verify: hot-path maps stay slab/dense (no std hash maps) =="
+# The request-lifecycle hot path must not regress to allocating hash maps.
+# A file may opt out with an explicit `dd-alloc-allowlist:` comment
+# justifying the exception.
+HOT_FILES="crates/blkstack/src/reqmap.rs crates/blkstack/src/blkmq.rs crates/core/src/troute.rs"
+for f in $HOT_FILES; do
+    if grep -qE 'use std::collections::.*(HashMap|BTreeMap)' "$f" \
+        && ! grep -q 'dd-alloc-allowlist:' "$f"; then
+        echo "verify: FAILED — $f imports HashMap/BTreeMap on the hot path" >&2
+        echo "(use simkit::{Slab, DenseMap}, or add a 'dd-alloc-allowlist: <reason>' comment)" >&2
+        exit 1
+    fi
+done
+echo "  ${HOT_FILES// /, }: clean"
+
 echo "== verify: no external crates in any manifest =="
 if grep -rn --include=Cargo.toml -E '^(proptest|criterion|rand|serde|tokio)' . | grep -v target; then
     echo "verify: FAILED — external dependency found above" >&2
