@@ -29,11 +29,7 @@ fn main() {
         }
     }
     // Reduced scale either way: this harness is the smoke-level sweep.
-    let opts = bench::Opts {
-        quick: true,
-        csv,
-        jobs,
-    };
+    let opts = bench::Opts::new(true, csv, jobs);
     if smoke {
         println!("Regenerating the smoke subset of paper artifacts (--smoke).\n");
         bench::figures::table1::run_figure(&opts);

@@ -346,6 +346,96 @@ fn bench_reqmap(set: &mut BenchSet) {
     }
 }
 
+/// Cost of the structured trace API on the simulation hot path.
+///
+/// * `trace/off_guarded_record` — the exact shape every instrumentation
+///   point compiles to with tracing off: one predictable `enabled()`
+///   branch, no event construction. This is the "zero overhead when
+///   disabled" claim at the instruction level; `scripts/verify.sh` gates
+///   the same claim end-to-end by diffing a tracing-off sweep against the
+///   committed golden.
+/// * `trace/on_record` — recording into a pre-sized ring (never
+///   allocates): the steady-state cost a traced run pays per phase.
+/// * `trace/on_record_wrapping` — same with the ring full, so every
+///   record overwrites the oldest entry (the drop-oldest path).
+/// * `trace/span_table_build_4k_events` — post-processing: stitching a
+///   4096-event harvest into per-request spans.
+fn bench_trace(set: &mut BenchSet) {
+    use dd_metrics::SpanTable;
+    use simkit::{Phase, Sla, TraceEvent, TraceSink};
+
+    const LIFECYCLE: [Phase; 8] = [
+        Phase::Submit,
+        Phase::NsqEnqueue,
+        Phase::DoorbellRing,
+        Phase::DeviceFetch,
+        Phase::FlashDone,
+        Phase::CqePosted,
+        Phase::IrqFire,
+        Phase::Complete,
+    ];
+    fn ev(rq: u64, phase: Phase, t: u64) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_nanos(t),
+            rq,
+            tenant: rq % 8,
+            sla: if rq % 8 == 0 { Sla::L } else { Sla::T },
+            phase,
+            core: (rq % 4) as u16,
+            nsq: Some((rq % 16) as u16),
+        }
+    }
+
+    {
+        let sink = TraceSink::disabled();
+        let mut i = 0u64;
+        set.bench("trace/off_guarded_record", move || {
+            i += 1;
+            // The guard every instrumentation point uses; the event is
+            // never built when it fails.
+            if sink.enabled() {
+                unreachable!("sink is disabled");
+            }
+            black_box(i)
+        });
+    }
+    {
+        let mut sink = TraceSink::enabled_all(1 << 20);
+        let mut i = 0u64;
+        set.bench("trace/on_record", move || {
+            i += 1;
+            if sink.enabled() {
+                sink.record(ev(i, LIFECYCLE[(i % 8) as usize], i));
+            }
+            black_box(sink.len())
+        });
+    }
+    {
+        let mut sink = TraceSink::enabled_all(1024);
+        for i in 0..1024u64 {
+            sink.record(ev(i, Phase::Submit, i));
+        }
+        let mut i = 1024u64;
+        set.bench("trace/on_record_wrapping", move || {
+            i += 1;
+            sink.record(ev(i, LIFECYCLE[(i % 8) as usize], i));
+            black_box(sink.dropped())
+        });
+    }
+    {
+        let mut events = Vec::with_capacity(4096);
+        for rq in 0..512u64 {
+            for (k, phase) in LIFECYCLE.iter().enumerate() {
+                events.push(ev(rq, *phase, rq * 100 + k as u64));
+            }
+        }
+        set.bench("trace/span_table_build_4k_events", move || {
+            let table = SpanTable::build(&events);
+            black_box(table.len())
+        });
+    }
+}
+
 fn bench_daredevil_config(set: &mut BenchSet) {
     let dev = device(128, 24);
     set.bench("construction/daredevil_stack_for_device", || {
@@ -364,6 +454,7 @@ fn main() {
     bench_substrate(&mut set);
     bench_event_queues(&mut set);
     bench_reqmap(&mut set);
+    bench_trace(&mut set);
     bench_daredevil_config(&mut set);
     set.finish();
 }

@@ -3,10 +3,10 @@
 //! Every binary in `src/bin/` regenerates one artifact of the paper's
 //! evaluation (see DESIGN.md §3 for the index). They share:
 //!
-//! * [`Opts`] — `--quick` (reduced durations for smoke runs), `--csv`
-//!   (machine-readable output in addition to the tables) and `--jobs N`
-//!   (sweep worker threads, default `available_parallelism`, env
-//!   `DD_JOBS`);
+//! * [`cli::Opts`] — the one command line every binary speaks: `--quick`,
+//!   `--csv`, `--jobs N`, `--seed N`, and the span-trace flags
+//!   (`--trace [PHASES]`, `--trace-out PATH`, `--trace-cap N`), with
+//!   unknown flags exiting 2 with usage everywhere;
 //! * duration presets and the T-pressure stages of §7.1;
 //! * [`sweep::Sweep`] — the deterministic parallel sweep executor every
 //!   figure module runs its cells on;
@@ -16,158 +16,45 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod figures;
 pub mod sweep;
 
 use dd_metrics::table::{fmt_f, fmt_ms};
-use dd_metrics::Table;
-use simkit::SimDuration;
+use simkit::TraceSpec;
 use testbed::{RunOutput, Scenario};
 
+pub use cli::Opts;
 pub use sweep::{Sweep, SweepResults, SweepStats};
 
-const USAGE: &str = "usage: <bin> [--quick] [--csv] [--jobs N]\n\
-  --quick    reduced durations (CI/smoke scale)\n\
-  --csv      also print CSV after each table\n\
-  --jobs N   sweep worker threads (default: available parallelism,\n\
-             or the DD_JOBS environment variable)";
-
-/// Command-line options shared by the figure binaries.
-#[derive(Clone, Copy, Debug)]
-pub struct Opts {
-    /// Run a reduced-scale version (CI/smoke).
-    pub quick: bool,
-    /// Also print CSV after each table.
-    pub csv: bool,
-    /// Worker threads for [`sweep::Sweep`] execution (≥ 1).
-    pub jobs: usize,
-}
-
-impl Opts {
-    /// The default worker count: `DD_JOBS` if set and valid, otherwise the
-    /// host's available parallelism.
-    pub fn default_jobs() -> usize {
-        if let Ok(v) = std::env::var("DD_JOBS") {
-            match v.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => return n,
-                _ => {
-                    eprintln!("invalid DD_JOBS={v:?} (want a positive integer)");
-                    std::process::exit(2);
-                }
-            }
-        }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    }
-
-    /// Parses options from the process arguments. Genuinely unknown
-    /// arguments are an error (exit 2), not a warning.
-    pub fn from_args() -> Self {
-        let mut quick = false;
-        let mut csv = false;
-        let mut jobs: Option<usize> = None;
-        let mut args = std::env::args().skip(1);
-        let bad = |msg: String| -> ! {
-            eprintln!("{msg}\n{USAGE}");
-            std::process::exit(2);
-        };
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--quick" => quick = true,
-                "--csv" => csv = true,
-                "--jobs" => {
-                    let v = args
-                        .next()
-                        .unwrap_or_else(|| bad("--jobs needs a value".into()));
-                    jobs = Some(parse_jobs(&v).unwrap_or_else(|| {
-                        bad(format!(
-                            "invalid --jobs value {v:?} (want a positive integer)"
-                        ))
-                    }));
-                }
-                other if other.starts_with("--jobs=") => {
-                    let v = &other["--jobs=".len()..];
-                    jobs = Some(parse_jobs(v).unwrap_or_else(|| {
-                        bad(format!(
-                            "invalid --jobs value {v:?} (want a positive integer)"
-                        ))
-                    }));
-                }
-                "--help" | "-h" => {
-                    eprintln!("{USAGE}");
-                    std::process::exit(0);
-                }
-                other => bad(format!("unknown argument {other:?}")),
-            }
-        }
-        Opts {
-            quick,
-            csv,
-            jobs: jobs.unwrap_or_else(Self::default_jobs),
-        }
-    }
-
-    /// Warm-up duration for this scale.
-    pub fn warmup(&self) -> SimDuration {
-        if self.quick {
-            SimDuration::from_millis(5)
-        } else {
-            SimDuration::from_millis(50)
-        }
-    }
-
-    /// Measurement window for this scale.
-    ///
-    /// The paper runs 10 wall-clock minutes per stage; queueing systems at
-    /// these arrival rates reach steady state within tens of milliseconds of
-    /// simulated time, so 800 ms measured per stage preserves the shape
-    /// (EXPERIMENTS.md records this scale substitution).
-    pub fn measure(&self) -> SimDuration {
-        if self.quick {
-            SimDuration::from_millis(40)
-        } else {
-            SimDuration::from_millis(800)
-        }
-    }
-
-    /// The §7.1 T-pressure stages.
-    pub fn t_stages(&self) -> Vec<u16> {
-        if self.quick {
-            vec![2, 8]
-        } else {
-            vec![0, 2, 4, 8, 16, 32]
-        }
-    }
-
-    /// Emits a finished table (and CSV when requested).
-    pub fn emit(&self, table: &Table) {
-        print!("{}", table.render());
-        if self.csv {
-            println!("--- csv ---");
-            print!("{}", table.to_csv());
-            println!("-----------");
-        }
-        println!();
-    }
-}
-
-/// Parses a `--jobs` value.
-fn parse_jobs(v: &str) -> Option<usize> {
-    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
-}
-
-/// Applies the shared durations to a scenario.
+/// Applies the shared durations — and, when `--trace`/`--seed` were
+/// given, the trace spec and seed override — to a scenario. An explicit
+/// `--trace` replaces a scenario's own trace configuration (so the CSV
+/// contains exactly the phases the user asked for); without it, the
+/// scenario's configuration (usually off) stands.
 pub fn scaled(opts: &Opts, s: Scenario) -> Scenario {
-    s.with_durations(opts.warmup(), opts.measure())
+    let mut s = s.with_durations(opts.warmup(), opts.measure());
+    if let Some(seed) = opts.seed {
+        s = s.with_seed(seed);
+    }
+    if let Some(mask) = opts.trace {
+        s = s.with_trace(TraceSpec {
+            cap: opts.trace_cap,
+            mask,
+        });
+    }
+    s
 }
 
 /// Runs one scenario serially and returns its output (panicking on invalid
 /// scenarios — these binaries are the test matrix, failing loudly is
 /// correct). Sweeps of independent cells should use [`Sweep`] instead.
 pub fn run(opts: &Opts, s: Scenario) -> RunOutput {
-    let out = testbed::run(scaled(opts, s));
+    let s = scaled(opts, s);
+    let name = s.name.clone();
+    let out = testbed::run(s);
     sweep::record_run(&out);
+    cli::dump_cell_trace(opts, &name, &out);
     out
 }
 

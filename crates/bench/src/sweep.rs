@@ -104,11 +104,16 @@ impl Sweep {
     /// regression test compares `jobs = 1` against `jobs ≥ 4` directly).
     pub fn run_with_jobs(self, opts: &Opts, jobs: usize) -> SweepResults {
         let started = Instant::now();
+        let mut names: Vec<String> = Vec::with_capacity(self.cells.len());
         let cells: Vec<(usize, String, Scenario)> = self
             .cells
             .into_iter()
             .enumerate()
-            .map(|(i, (label, s))| (i, label, crate::scaled(opts, s)))
+            .map(|(i, (label, s))| {
+                let s = crate::scaled(opts, s);
+                names.push(s.name.clone());
+                (i, label, s)
+            })
             .collect();
         let n = cells.len();
         let jobs = jobs.max(1).min(n.max(1));
@@ -152,6 +157,11 @@ impl Sweep {
             .into_iter()
             .map(|s| s.expect("every slot filled"))
             .collect();
+        // Trace dumping happens here — post-collection, in original cell
+        // order — so the CSV is byte-identical for any worker count.
+        for (name, (_, out)) in names.iter().zip(&outputs) {
+            crate::cli::dump_cell_trace(opts, name, out);
+        }
         let events = outputs.iter().map(|(_, o)| o.events_processed).sum();
         SweepResults {
             stats: SweepStats {

@@ -11,11 +11,7 @@ use dd_metrics::Table;
 use testbed::scenario::{MachinePreset, Scenario, StackSpec};
 
 fn opts() -> Opts {
-    Opts {
-        quick: true,
-        csv: false,
-        jobs: 1,
-    }
+    Opts::new(true, false, 1)
 }
 
 /// A miniature Fig. 6-shaped sweep: 2 T-pressure stages × 3 stacks.

@@ -72,6 +72,10 @@ pub struct Bio {
 }
 
 /// A finished bio, handed back to the testbed by the stack.
+///
+/// Phase-level timing (in-NSQ wait, device service, delivery) is no longer
+/// carried here: the structured span trace (`simkit::trace`, stitched by
+/// `dd_metrics::SpanTable`) covers the full lifecycle for every request.
 #[derive(Clone, Copy, Debug)]
 pub struct BioCompletion {
     /// The completed bio.
@@ -82,34 +86,12 @@ pub struct BioCompletion {
     pub completed_at: SimTime,
     /// Core whose ISR delivered the completion.
     pub completion_core: u16,
-    /// When the controller fetched the bio's *final* request from its NSQ
-    /// (phase breakdown: everything before this is in-NSQ wait).
-    pub fetched_at: SimTime,
-    /// When that request's device service (flash/flush) finished.
-    pub service_done_at: SimTime,
 }
 
 impl BioCompletion {
     /// End-to-end latency of the bio.
     pub fn latency(&self) -> simkit::SimDuration {
         self.completed_at.saturating_since(self.bio.issued_at)
-    }
-
-    /// In-NSQ wait of the final request: issue → controller fetch. This is
-    /// where the multi-tenancy HOL lives.
-    pub fn queue_wait(&self) -> simkit::SimDuration {
-        self.fetched_at.saturating_since(self.bio.issued_at)
-    }
-
-    /// Device service time of the final request: fetch → flash done.
-    pub fn device_service(&self) -> simkit::SimDuration {
-        self.service_done_at.saturating_since(self.fetched_at)
-    }
-
-    /// Completion delivery: flash done → signalled to the tenant (interrupt
-    /// delivery, ISR queueing, batched-completion wait).
-    pub fn delivery(&self) -> simkit::SimDuration {
-        self.completed_at.saturating_since(self.service_done_at)
     }
 }
 
@@ -146,17 +128,7 @@ mod tests {
             bio,
             completed_at: SimTime::from_micros(110),
             completion_core: 3,
-            fetched_at: SimTime::from_micros(30),
-            service_done_at: SimTime::from_micros(100),
         };
         assert_eq!(c.latency().as_micros(), 100);
-        assert_eq!(c.queue_wait().as_micros(), 20);
-        assert_eq!(c.device_service().as_micros(), 70);
-        assert_eq!(c.delivery().as_micros(), 10);
-        // Phases partition the end-to-end latency.
-        assert_eq!(
-            (c.queue_wait() + c.device_service() + c.delivery()).as_micros(),
-            c.latency().as_micros()
-        );
     }
 }

@@ -24,7 +24,8 @@ use crate::nsqlock::NsqLockTable;
 use crate::reqmap::RequestMap;
 use crate::split::{split_extents, SplitConfig};
 use crate::stack::{
-    process_cqes, CompletionMode, ParkedCommands, StackEnv, StackStats, StorageStack,
+    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, StackEnv,
+    StackStats, StorageStack,
 };
 use crate::tenant::{Pid, TaskStruct};
 
@@ -167,6 +168,7 @@ impl VanillaBlkMq {
                 env.device
                     .push_command(sq, cmd)
                     .expect("budget is far below queue depth");
+                trace_enqueued(&mut env.dev_out.trace, env.now, cmd.host, sq);
                 self.inflight[sq.index()] += 1;
                 pushed += 1;
                 self.stats.submitted_rqs += 1;
@@ -266,16 +268,26 @@ impl StorageStack for VanillaBlkMq {
                 let rq_id = self
                     .reqmap
                     .alloc_rq_dir(h, e.nlb, bio.op == dd_nvme::IoOpcode::Read);
+                let host = HostTag {
+                    rq_id,
+                    submit_core: core,
+                    tenant: bio.tenant.0,
+                    sla: ionice.sla(),
+                };
+                trace_routed(
+                    &mut env.dev_out.trace,
+                    env.now,
+                    host,
+                    sq,
+                    bio.flags.is_outlier(),
+                );
                 cmds.push(NvmeCommand {
                     cid: CommandId(rq_id),
                     nsid: bio.nsid,
                     opcode: bio.op,
                     slba: e.slba,
                     nlb: e.nlb,
-                    host: HostTag {
-                        rq_id,
-                        submit_core: core,
-                    },
+                    host,
                 });
             }
         }
@@ -303,6 +315,7 @@ impl StorageStack for VanillaBlkMq {
                 env.device
                     .push_command(sq, cmd)
                     .expect("has_room guaranteed space");
+                trace_enqueued(&mut env.dev_out.trace, env.now, cmd.host, sq);
                 pushed += 1;
                 self.stats.submitted_rqs += 1;
             } else {
@@ -341,6 +354,7 @@ impl StorageStack for VanillaBlkMq {
             &mut self.reqmap,
             &mut self.stats,
             env.completions,
+            &mut env.dev_out.trace,
         );
         env.device.isr_done(cq, env.now, env.dev_out);
         self.cqe_scratch = entries;

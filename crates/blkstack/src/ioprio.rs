@@ -23,6 +23,15 @@ impl IoPriorityClass {
     pub fn is_latency_sensitive(self) -> bool {
         matches!(self, IoPriorityClass::RealTime)
     }
+
+    /// The SLA class recorded in span-trace events for this ionice class.
+    pub fn sla(self) -> simkit::Sla {
+        if self.is_latency_sensitive() {
+            simkit::Sla::L
+        } else {
+            simkit::Sla::T
+        }
+    }
 }
 
 #[cfg(test)]

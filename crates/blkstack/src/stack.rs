@@ -20,8 +20,9 @@
 use std::collections::VecDeque;
 
 use dd_cpu::HostCosts;
+use dd_nvme::command::HostTag;
 use dd_nvme::{CqEntry, CqId, DeviceOutput, NvmeCommand, NvmeDevice, SqId};
-use simkit::{SimDuration, SimRng, SimTime};
+use simkit::{Phase, SimDuration, SimRng, SimTime, TraceEvent, TraceSink};
 
 use crate::bio::{Bio, BioCompletion};
 use crate::capabilities::Capabilities;
@@ -116,6 +117,31 @@ pub trait StorageStack {
     fn stats(&self) -> StackStats;
 }
 
+/// Records `Submit` + `Routed` span events for one request at its routing
+/// decision (troute / switch steering / home-queue pick). `Submit` carries no
+/// queue; `Routed` names the chosen NSQ and the outlier classification.
+///
+/// One `trace.enabled()` branch when tracing is off.
+#[inline]
+pub fn trace_routed(trace: &mut TraceSink, now: SimTime, host: HostTag, sq: SqId, outlier: bool) {
+    if trace.enabled() {
+        trace.record(host.trace_event(Phase::Submit, now, None));
+        trace.record(host.trace_event(Phase::Routed { outlier }, now, Some(sq.0)));
+    }
+}
+
+/// Records `NsqEnqueue` + `DoorbellRing` span events when a command lands in
+/// its NSQ and the covering doorbell write is issued. Called at direct push
+/// time, at elevator dispatch, and at queue-full unpark — whichever finally
+/// got the command into the device.
+#[inline]
+pub fn trace_enqueued(trace: &mut TraceSink, now: SimTime, host: HostTag, sq: SqId) {
+    if trace.enabled() {
+        trace.record(host.trace_event(Phase::NsqEnqueue, now, Some(sq.0)));
+        trace.record(host.trace_event(Phase::DoorbellRing, now, Some(sq.0)));
+    }
+}
+
 /// How an ISR turns CQEs into bio completions.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CompletionMode {
@@ -133,6 +159,11 @@ pub enum CompletionMode {
 /// to bios, applies the remote-completion penalty, and emits completions
 /// with mode-accurate delivery timestamps.
 ///
+/// With tracing on, records `IrqFire` (ISR picked the entry up, at the ISR's
+/// start) and `Complete` (request signalled — incremental under
+/// [`CompletionMode::PerRequest`], at batch end under
+/// [`CompletionMode::Batched`]) for every entry, on the interrupted core.
+///
 /// Returns the total ISR CPU cost.
 // The argument list mirrors the ISR's real inputs; bundling them into a
 // one-shot struct would only rename the problem.
@@ -146,6 +177,7 @@ pub fn process_cqes(
     reqmap: &mut RequestMap,
     stats: &mut StackStats,
     completions: &mut Vec<BioCompletion>,
+    trace: &mut TraceSink,
 ) -> SimDuration {
     let mut elapsed = costs.isr_base;
     // Completions are pushed directly into the output vector (no per-call
@@ -161,13 +193,33 @@ pub fn process_cqes(
             stats.local_completions += 1;
         }
         stats.completed_rqs += 1;
+        if trace.enabled() {
+            trace.record(TraceEvent {
+                t: now,
+                rq: entry.host.rq_id,
+                tenant: entry.host.tenant,
+                sla: entry.host.sla,
+                phase: Phase::IrqFire,
+                core,
+                nsq: Some(entry.sq_id.0),
+            });
+            if mode == CompletionMode::PerRequest {
+                trace.record(TraceEvent {
+                    t: now + elapsed,
+                    rq: entry.host.rq_id,
+                    tenant: entry.host.tenant,
+                    sla: entry.host.sla,
+                    phase: Phase::Complete,
+                    core,
+                    nsq: Some(entry.sq_id.0),
+                });
+            }
+        }
         if let Some(bio) = reqmap.complete_rq(entry.host.rq_id) {
             completions.push(BioCompletion {
                 bio,
                 completed_at: now + elapsed,
                 completion_core: core,
-                fetched_at: entry.fetched_at,
-                service_done_at: entry.service_done_at,
             });
         }
     }
@@ -176,6 +228,19 @@ pub fn process_cqes(
         // Kernel default: everything in the batch is signalled at its end.
         for c in &mut completions[first..] {
             c.completed_at = now + total;
+        }
+        if trace.enabled() {
+            for entry in entries {
+                trace.record(TraceEvent {
+                    t: now + total,
+                    rq: entry.host.rq_id,
+                    tenant: entry.host.tenant,
+                    sla: entry.host.sla,
+                    phase: Phase::Complete,
+                    core,
+                    nsq: Some(entry.sq_id.0),
+                });
+            }
         }
     }
     total
@@ -230,6 +295,9 @@ impl ParkedCommands {
                 device
                     .push_command(sq, cmd)
                     .expect("has_room guaranteed space");
+                // Late NsqEnqueue/DoorbellRing: the span shows the
+                // queue-full stall as Routed → NsqEnqueue time.
+                trace_enqueued(&mut dev_out.trace, now, cmd.host, sq);
                 stats.submitted_rqs += 1;
                 unparked += 1;
                 if !self.rung.contains(&sq) {
@@ -276,10 +344,12 @@ mod tests {
             cid: CommandId(rq_id),
             sq_id: SqId(0),
             status: CqStatus::Success,
-            host: HostTag { rq_id, submit_core },
+            host: HostTag {
+                rq_id,
+                submit_core,
+                ..HostTag::default()
+            },
             bytes,
-            fetched_at: SimTime::ZERO,
-            service_done_at: SimTime::ZERO,
         }
     }
 
@@ -305,6 +375,7 @@ mod tests {
             &mut reqmap,
             &mut stats,
             &mut completions,
+            &mut TraceSink::disabled(),
         );
         assert_eq!(completions.len(), 2);
         assert_eq!(completions[0].completed_at, SimTime::ZERO + cost);
@@ -331,6 +402,7 @@ mod tests {
             &mut reqmap,
             &mut stats,
             &mut completions,
+            &mut TraceSink::disabled(),
         );
         assert!(completions[0].completed_at < completions[1].completed_at);
         assert_eq!(completions[1].completed_at, SimTime::ZERO + cost);
@@ -355,6 +427,7 @@ mod tests {
             &mut reqmap,
             &mut stats,
             &mut completions,
+            &mut TraceSink::disabled(),
         );
         assert_eq!(stats.remote_completions, 1);
         assert_eq!(stats.local_completions, 0);
@@ -371,6 +444,7 @@ mod tests {
             &mut reqmap2,
             &mut stats,
             &mut completions,
+            &mut TraceSink::disabled(),
         );
         assert_eq!(remote_cost - local_cost, costs.remote_completion);
     }
@@ -393,6 +467,7 @@ mod tests {
             &mut reqmap,
             &mut stats,
             &mut completions,
+            &mut TraceSink::disabled(),
         );
         assert!(completions.is_empty(), "bio not finished yet");
         process_cqes(
@@ -404,6 +479,7 @@ mod tests {
             &mut reqmap,
             &mut stats,
             &mut completions,
+            &mut TraceSink::disabled(),
         );
         assert_eq!(completions.len(), 1);
     }

@@ -36,7 +36,8 @@ use blkstack::nsqlock::NsqLockTable;
 use blkstack::reqmap::RequestMap;
 use blkstack::split::{split_extents, SplitConfig};
 use blkstack::stack::{
-    process_cqes, CompletionMode, ParkedCommands, StackEnv, StackStats, StorageStack,
+    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, StackEnv,
+    StackStats, StorageStack,
 };
 use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
 
@@ -143,14 +144,17 @@ impl BlkSwitchStack {
     }
 
     /// Target size of the L partition of the active cores (at least one
-    /// core per class when both classes exist).
+    /// core per class when both classes exist). On a single-core machine
+    /// there is nothing to partition: both classes share the one core and
+    /// the L "partition" is that core (surfaced by the span-trace property
+    /// suite, which exercises 1-core machines the figure sweeps never do).
     fn l_core_target(&self) -> usize {
         let (l, t) = self.class_counts();
         let cores = self.active_cores.len().max(1);
         if l == 0 {
             return 0;
         }
-        if t == 0 {
+        if t == 0 || cores == 1 {
             return cores;
         }
         let share = (cores as f64 * l as f64 / (l + t) as f64).round() as usize;
@@ -270,22 +274,33 @@ impl StorageStack for BlkSwitchStack {
         let mut cmds = std::mem::take(&mut self.cmd_scratch);
         debug_assert!(cmds.is_empty());
         let mut batch_bytes = 0u64;
+        let sla = if is_l { simkit::Sla::L } else { simkit::Sla::T };
         for bio in bios {
             let extents = split_extents(&self.split, bio.offset_blocks, bio.bytes);
             let h = self.reqmap.insert_bio(*bio, extents.len() as u32);
             batch_bytes += bio.bytes;
             for e in extents {
                 let rq_id = self.reqmap.alloc_rq(h, e.nlb);
+                let host = HostTag {
+                    rq_id,
+                    submit_core: core,
+                    tenant: bio.tenant.0,
+                    sla,
+                };
+                trace_routed(
+                    &mut env.dev_out.trace,
+                    env.now,
+                    host,
+                    sq,
+                    bio.flags.is_outlier(),
+                );
                 cmds.push(NvmeCommand {
                     cid: CommandId(rq_id),
                     nsid: bio.nsid,
                     opcode: bio.op,
                     slba: e.slba,
                     nlb: e.nlb,
-                    host: HostTag {
-                        rq_id,
-                        submit_core: core,
-                    },
+                    host,
                 });
             }
         }
@@ -307,6 +322,7 @@ impl StorageStack for BlkSwitchStack {
                 env.device
                     .push_command(sq, cmd)
                     .expect("has_room guaranteed space");
+                trace_enqueued(&mut env.dev_out.trace, env.now, cmd.host, sq);
                 self.outstanding_bytes[sq.index()] += bytes;
                 pushed += 1;
                 self.stats.submitted_rqs += 1;
@@ -339,6 +355,7 @@ impl StorageStack for BlkSwitchStack {
             &mut self.reqmap,
             &mut self.stats,
             env.completions,
+            &mut env.dev_out.trace,
         );
         env.device.isr_done(cq, env.now, env.dev_out);
         self.cqe_scratch = entries;

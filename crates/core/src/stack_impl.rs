@@ -22,7 +22,8 @@ use blkstack::nsqlock::NsqLockTable;
 use blkstack::reqmap::RequestMap;
 use blkstack::split::{split_extents, SplitConfig};
 use blkstack::stack::{
-    process_cqes, CompletionMode, ParkedCommands, StackEnv, StackStats, StorageStack,
+    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, StackEnv,
+    StackStats, StorageStack,
 };
 use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
 
@@ -211,15 +212,22 @@ impl StorageStack for DaredevilStack {
         debug_assert!(self.active_sqs.is_empty());
         let mut total_rqs = 0u32;
         for bio in bios {
+            // Tenant base priority doubles as the trace SLA class (High
+            // base priority == latency-sensitive ionice == L-tenant).
+            let base = self
+                .troute
+                .route_of(bio.tenant)
+                .map(|r| r.base_prio)
+                .unwrap_or(Priority::Low);
+            let sla = if base == Priority::High {
+                simkit::Sla::L
+            } else {
+                simkit::Sla::T
+            };
             let sq = if self.cfg.variant == Variant::Base {
                 // dare-base: the decoupled layer only — requests round-robin
                 // across the NQs of their SLA group per request, with no
                 // tenant defaults and no merit scheduling (§7.3).
-                let base = self
-                    .troute
-                    .route_of(bio.tenant)
-                    .map(|r| r.base_prio)
-                    .unwrap_or(Priority::Low);
                 let prio = if base == Priority::Low && bio.flags.is_outlier() {
                     Priority::High
                 } else {
@@ -245,16 +253,26 @@ impl StorageStack for DaredevilStack {
             for e in extents {
                 let rq_id = self.reqmap.alloc_rq(h, e.nlb);
                 total_rqs += 1;
+                let host = HostTag {
+                    rq_id,
+                    submit_core: core,
+                    tenant: bio.tenant.0,
+                    sla,
+                };
+                trace_routed(
+                    &mut env.dev_out.trace,
+                    env.now,
+                    host,
+                    sq,
+                    bio.flags.is_outlier(),
+                );
                 bucket.push(NvmeCommand {
                     cid: CommandId(rq_id),
                     nsid: bio.nsid,
                     opcode: bio.op,
                     slba: e.slba,
                     nlb: e.nlb,
-                    host: HostTag {
-                        rq_id,
-                        submit_core: core,
-                    },
+                    host,
                 });
             }
         }
@@ -279,6 +297,7 @@ impl StorageStack for DaredevilStack {
                     env.device
                         .push_command(sq, cmd)
                         .expect("has_room guaranteed space");
+                    trace_enqueued(&mut env.dev_out.trace, env.now, cmd.host, sq);
                     pushed += 1;
                     self.stats.submitted_rqs += 1;
                     if full_dispatch && high_prio {
@@ -323,6 +342,7 @@ impl StorageStack for DaredevilStack {
             &mut self.reqmap,
             &mut self.stats,
             env.completions,
+            &mut env.dev_out.trace,
         );
         env.device.isr_done(cq, env.now, env.dev_out);
         self.cqe_scratch = entries;

@@ -10,16 +10,20 @@
 //! * [`series::TimeSeries`] — fixed-width time buckets for throughput and
 //!   latency-over-time plots;
 //! * [`summary`] — per-tenant and per-run roll-ups;
+//! * [`span`] — the [`span::SpanTable`] post-processor that stitches
+//!   structured `simkit` trace events into per-request phase spans;
 //! * [`table`] — plain-text/markdown emission used by the figure binaries.
 
 #![warn(missing_docs)]
 
 pub mod hist;
 pub mod series;
+pub mod span;
 pub mod summary;
 pub mod table;
 
 pub use hist::LatencyHistogram;
 pub use series::TimeSeries;
+pub use span::{SegmentStats, Span, SpanTable};
 pub use summary::{ClassSummary, RunSummary, TenantSummary};
 pub use table::Table;

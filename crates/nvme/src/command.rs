@@ -1,6 +1,6 @@
 //! NVMe command and completion entry structures.
 
-use simkit::SimTime;
+use simkit::{Phase, SimTime, Sla, TraceEvent};
 
 use crate::spec::{CommandId, NamespaceId, SqId, BLOCK_BYTES};
 
@@ -20,13 +20,36 @@ pub enum IoOpcode {
 /// The storage stack uses it to find its request when the completion entry
 /// comes back: `rq_id` names the block-layer request and `submit_core` the
 /// CPU core that issued it (used for the cross-core completion accounting of
-/// Fig. 13).
+/// Fig. 13). `tenant` and `sla` ride along so device-side trace events
+/// ([`HostTag::trace_event`]) stay attributable without a host-side lookup.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct HostTag {
     /// Block-layer request id.
     pub rq_id: u64,
     /// Core that pushed the command into the NSQ.
     pub submit_core: u16,
+    /// Owning tenant (raw `Pid`).
+    pub tenant: u64,
+    /// SLA class of the owning tenant.
+    pub sla: Sla,
+}
+
+impl HostTag {
+    /// Builds a structured trace event for this request at phase `phase`,
+    /// observed at time `t` on the tag's submit core, optionally naming the
+    /// NVMe submission queue involved.
+    #[inline]
+    pub fn trace_event(self, phase: Phase, t: SimTime, nsq: Option<u16>) -> TraceEvent {
+        TraceEvent {
+            t,
+            rq: self.rq_id,
+            tenant: self.tenant,
+            sla: self.sla,
+            phase,
+            core: self.submit_core,
+            nsq,
+        }
+    }
 }
 
 /// A submission queue entry.
@@ -89,11 +112,6 @@ pub struct CqEntry {
     /// the host ISR charge size-proportional completion work without a
     /// lookup.
     pub bytes: u64,
-    /// When the controller fetched the command from the NSQ — everything
-    /// before this is in-queue wait, the multi-tenancy issue's home.
-    pub fetched_at: SimTime,
-    /// When the command's flash (or flush) service finished.
-    pub service_done_at: SimTime,
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 //! 4. when the last page completes, a CQE is posted to the bound NCQ;
 //! 5. the NCQ's vector asserts an interrupt toward its bound core.
 
-use simkit::SimTime;
+use simkit::{Phase, SimTime};
 
 use crate::command::{CqEntry, CqStatus, IoOpcode, NvmeCommand};
 use crate::device::{DeviceOutput, IrqRaise, NvmeDevice, NvmeEvent};
@@ -56,6 +56,10 @@ impl NvmeDevice {
         now: SimTime,
         out: &mut DeviceOutput,
     ) {
+        if out.trace.enabled() {
+            out.trace
+                .record(cmd.host.trace_event(Phase::DeviceFetch, now, Some(sq.0)));
+        }
         let done_at = match cmd.opcode {
             IoOpcode::Flush => now + self.config.perf.flush_latency,
             IoOpcode::Read | IoOpcode::Write => {
@@ -68,14 +72,7 @@ impl NvmeDevice {
                 }
             }
         };
-        out.events.push((
-            done_at,
-            NvmeEvent::CmdDone {
-                cmd,
-                sq,
-                fetched_at: now,
-            },
-        ));
+        out.events.push((done_at, NvmeEvent::CmdDone { cmd, sq }));
         // The fetch engine frees as soon as the command is handed to flash.
         self.fetch_busy = false;
         self.maybe_start_fetch(now, out);
@@ -86,7 +83,6 @@ impl NvmeDevice {
         &mut self,
         cmd: NvmeCommand,
         sq: SqId,
-        fetched_at: SimTime,
         now: SimTime,
         out: &mut DeviceOutput,
     ) {
@@ -111,13 +107,23 @@ impl NvmeDevice {
             } else {
                 0
             },
-            fetched_at,
-            service_done_at: now,
         };
         self.cqs[cq.index()].post(entry);
         self.stats.completed += 1;
         self.stats.bytes += entry.bytes;
-        self.maybe_raise(cq, now + self.config.perf.completion_post, out);
+        let posted_at = now + self.config.perf.completion_post;
+        if out.trace.enabled() {
+            out.trace
+                .record(cmd.host.trace_event(Phase::FlashDone, now, Some(sq.0)));
+            // The entry is visible in the CQ from `now` (the `post` above);
+            // `completion_post` only delays the *interrupt raise*, and an
+            // ISR already in flight may legitimately drain this entry
+            // before `posted_at`. Stamp the phase at visibility time so
+            // span timelines stay monotone.
+            out.trace
+                .record(cmd.host.trace_event(Phase::CqePosted, now, Some(sq.0)));
+        }
+        self.maybe_raise(cq, posted_at, out);
         // Freed page budget may unblock a stalled fetch engine.
         self.maybe_start_fetch(now, out);
     }
@@ -195,6 +201,7 @@ mod tests {
             host: HostTag {
                 rq_id: cid,
                 submit_core: 0,
+                ..HostTag::default()
             },
         }
     }

@@ -16,7 +16,7 @@
 //! event loop, and interrupts to deliver to cores. This keeps the device a
 //! pure state machine that the unit tests can single-step.
 
-use simkit::SimTime;
+use simkit::{SimTime, TraceSink};
 
 use crate::arbiter::{RoundRobinArbiter, SqPriorityClass, WrrArbiter};
 use crate::command::{CqEntry, NvmeCommand};
@@ -45,8 +45,6 @@ pub enum NvmeEvent {
         cmd: NvmeCommand,
         /// The SQ it came from.
         sq: SqId,
-        /// When the fetch engine picked the command up (phase breakdown).
-        fetched_at: SimTime,
     },
     /// The interrupt-coalescing aggregation timer of a CQ expired.
     CoalesceTimeout {
@@ -73,6 +71,13 @@ pub struct DeviceOutput {
     pub events: Vec<(SimTime, NvmeEvent)>,
     /// Interrupts to deliver.
     pub irqs: Vec<IrqRaise>,
+    /// Structured span-trace sink shared by the device and the host stack.
+    ///
+    /// Disabled by default; [`DeviceOutput::clear`] and
+    /// [`DeviceOutput::is_empty`] deliberately ignore it — trace events
+    /// accumulate across the whole run and are harvested once at the end,
+    /// unlike `events`/`irqs` which are drained per interaction.
+    pub trace: TraceSink,
 }
 
 impl DeviceOutput {
@@ -301,11 +306,7 @@ impl NvmeDevice {
     pub fn handle_event(&mut self, ev: NvmeEvent, now: SimTime, out: &mut DeviceOutput) {
         match ev {
             NvmeEvent::FetchDone { cmd, sq } => self.on_fetch_done(cmd, sq, now, out),
-            NvmeEvent::CmdDone {
-                cmd,
-                sq,
-                fetched_at,
-            } => self.on_cmd_done(cmd, sq, fetched_at, now, out),
+            NvmeEvent::CmdDone { cmd, sq } => self.on_cmd_done(cmd, sq, now, out),
             NvmeEvent::CoalesceTimeout { cq } => self.on_coalesce_timeout(cq, now, out),
         }
     }
@@ -359,6 +360,7 @@ mod tests {
             host: HostTag {
                 rq_id: cid,
                 submit_core: 0,
+                ..HostTag::default()
             },
         }
     }

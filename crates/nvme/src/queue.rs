@@ -303,8 +303,6 @@ mod tests {
             status: CqStatus::Success,
             host: HostTag::default(),
             bytes: 4096,
-            fetched_at: simkit::SimTime::ZERO,
-            service_done_at: simkit::SimTime::ZERO,
         }
     }
 

@@ -20,6 +20,7 @@ fn cmd(cid: u64, nlb: u32, slba: u64) -> NvmeCommand {
         host: HostTag {
             rq_id: cid,
             submit_core: 0,
+            ..HostTag::default()
         },
     }
 }

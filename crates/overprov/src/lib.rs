@@ -31,7 +31,8 @@ use blkstack::nsqlock::NsqLockTable;
 use blkstack::reqmap::RequestMap;
 use blkstack::split::{split_extents, SplitConfig};
 use blkstack::stack::{
-    process_cqes, CompletionMode, ParkedCommands, StackEnv, StackStats, StorageStack,
+    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, StackEnv,
+    StackStats, StorageStack,
 };
 use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
 
@@ -163,24 +164,40 @@ impl StorageStack for OverprovStack {
         let mut t_cmds = std::mem::take(&mut self.t_scratch);
         debug_assert!(l_cmds.is_empty() && t_cmds.is_empty());
         let mut total = 0u32;
+        let sla = if is_l_tenant {
+            simkit::Sla::L
+        } else {
+            simkit::Sla::T
+        };
         for bio in bios {
             let is_l_rq = is_l_tenant || bio.flags.is_outlier();
             let extents = split_extents(&self.split, bio.offset_blocks, bio.bytes);
             let h = self.reqmap.insert_bio(*bio, extents.len() as u32);
+            let routed_sq = if is_l_rq { l_sq } else { t_sq };
             let bucket = if is_l_rq { &mut l_cmds } else { &mut t_cmds };
             for e in extents {
                 let rq_id = self.reqmap.alloc_rq(h, e.nlb);
                 total += 1;
+                let host = HostTag {
+                    rq_id,
+                    submit_core: core,
+                    tenant: bio.tenant.0,
+                    sla,
+                };
+                trace_routed(
+                    &mut env.dev_out.trace,
+                    env.now,
+                    host,
+                    routed_sq,
+                    bio.flags.is_outlier(),
+                );
                 bucket.push(NvmeCommand {
                     cid: CommandId(rq_id),
                     nsid: bio.nsid,
                     opcode: bio.op,
                     slba: e.slba,
                     nlb: e.nlb,
-                    host: HostTag {
-                        rq_id,
-                        submit_core: core,
-                    },
+                    host,
                 });
             }
         }
@@ -202,6 +219,7 @@ impl StorageStack for OverprovStack {
                     env.device
                         .push_command(sq, cmd)
                         .expect("has_room guaranteed space");
+                    trace_enqueued(&mut env.dev_out.trace, env.now, cmd.host, sq);
                     pushed += 1;
                     self.stats.submitted_rqs += 1;
                 } else {
@@ -238,6 +256,7 @@ impl StorageStack for OverprovStack {
             &mut self.reqmap,
             &mut self.stats,
             env.completions,
+            &mut env.dev_out.trace,
         );
         env.device.isr_done(cq, env.now, env.dev_out);
         self.cqe_scratch = entries;

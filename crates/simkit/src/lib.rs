@@ -29,3 +29,6 @@ pub use keyed_heap::KeyedMinHeap;
 pub use rng::{SimRng, Zipfian};
 pub use slab::{DenseMap, Key, Slab, SlotId};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    Phase, Sla, TraceEvent, TraceSink, TraceSpec, MASK_ALL, PHASE_COUNT, PHASE_NAMES, RQ_NONE,
+};

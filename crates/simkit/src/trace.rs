@@ -1,82 +1,288 @@
-//! Lightweight bounded trace buffer for debugging simulations.
+//! Structured per-request span tracing.
 //!
-//! Components can record human-readable trace lines tagged with the virtual
-//! time. The buffer is bounded (oldest entries dropped) and disabled by
-//! default, so tracing costs one branch in the hot path.
+//! Every layer of the simulated storage stack — block layer, NSQ routing,
+//! NVMe device, interrupt delivery — records [`TraceEvent`]s into a single
+//! [`TraceSink`]: a fixed-capacity, allocation-free ring buffer that is
+//! disabled by default, so tracing costs exactly one branch
+//! (`sink.enabled()`) in the hot path. A post-processor (the `SpanTable` in
+//! `dd-metrics`) stitches the events of each request into phase durations.
+//!
+//! # Event schema
+//!
+//! A [`TraceEvent`] carries the request id (`rq`, or [`RQ_NONE`] for
+//! queue-scoped events such as vector-level interrupt raises), the owning
+//! tenant and its SLA class, the lifecycle [`Phase`], the core the event
+//! was observed on, the NVMe submission queue when one is involved, and the
+//! virtual timestamp. `simkit` deliberately stores tenant/queue ids as raw
+//! integers: the typed wrappers (`Pid`, `SqId`) live in higher crates that
+//! depend on `simkit`, not the other way round.
+//!
+//! # Phases
+//!
+//! [`Phase`] covers the full request lifecycle in order: `Submit` (bio
+//! enters the stack), `Routed` (troute/steering decision, with the outlier
+//! flag), `NsqEnqueue` (command placed in an NVMe submission queue),
+//! `DoorbellRing` (doorbell write covering the command), `DeviceFetch`
+//! (controller fetched the command), `FlashDone` (flash service complete),
+//! `CqePosted` (completion queue entry posted), `IrqFire` (the ISR picked
+//! the CQE up), `Complete` (completion delivered to the submitting tenant).
+//! `Debug` is the escape hatch for ad-hoc markers that used to go through
+//! the old string-based trace.
 
 use crate::time::SimTime;
 
-/// A bounded, optionally-enabled trace log.
-#[derive(Debug)]
-pub struct Trace {
-    enabled: bool,
-    capacity: usize,
-    entries: Vec<(SimTime, String)>,
+/// Sentinel request id for events not tied to a specific request
+/// (e.g. a vector-level interrupt raise).
+pub const RQ_NONE: u64 = u64::MAX;
+
+/// SLA class of the tenant that owns a traced request.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Sla {
+    /// Latency-sensitive (real-time ionice) tenant.
+    L,
+    /// Throughput-bound (best-effort / idle ionice) tenant.
+    #[default]
+    T,
+}
+
+impl Sla {
+    /// Stable single-letter name used in trace CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sla::L => "L",
+            Sla::T => "T",
+        }
+    }
+}
+
+/// Request lifecycle phase of a [`TraceEvent`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Phase {
+    /// Bio entered the storage stack (`submit` called).
+    Submit,
+    /// Routing decision made (troute / switch steering); records whether
+    /// the request was classified as an outlier.
+    Routed {
+        /// True when the router classified the request as an outlier.
+        outlier: bool,
+    },
+    /// Command enqueued into an NVMe submission queue.
+    NsqEnqueue,
+    /// Doorbell write covering the command.
+    DoorbellRing,
+    /// Controller fetched the command from the SQ.
+    DeviceFetch,
+    /// Flash service for the command finished inside the device.
+    FlashDone,
+    /// Completion queue entry posted by the controller.
+    CqePosted,
+    /// ISR picked the CQE up on the completion core.
+    IrqFire,
+    /// Completion delivered back to the submitting tenant.
+    Complete,
+    /// Free-form debug marker (escape hatch for ad-hoc tracing).
+    Debug(&'static str),
+}
+
+/// Number of distinct phase kinds (mask bits).
+pub const PHASE_COUNT: usize = 10;
+
+/// Names of all phase kinds, in lifecycle order (index == mask bit).
+pub const PHASE_NAMES: [&str; PHASE_COUNT] = [
+    "submit",
+    "routed",
+    "nsq_enqueue",
+    "doorbell",
+    "device_fetch",
+    "flash_done",
+    "cqe_posted",
+    "irq_fire",
+    "complete",
+    "debug",
+];
+
+impl Phase {
+    /// Index of this phase kind in [`PHASE_NAMES`] (also its mask bit).
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Submit => 0,
+            Phase::Routed { .. } => 1,
+            Phase::NsqEnqueue => 2,
+            Phase::DoorbellRing => 3,
+            Phase::DeviceFetch => 4,
+            Phase::FlashDone => 5,
+            Phase::CqePosted => 6,
+            Phase::IrqFire => 7,
+            Phase::Complete => 8,
+            Phase::Debug(_) => 9,
+        }
+    }
+
+    /// Mask bit for this phase kind.
+    pub fn bit(self) -> u16 {
+        1 << self.index()
+    }
+
+    /// Stable snake_case name used in trace CSV output and `--trace` specs.
+    pub fn name(self) -> &'static str {
+        PHASE_NAMES[self.index()]
+    }
+
+    /// Mask bit for a phase named in a `--trace` spec, if the name is known.
+    pub fn bit_from_name(name: &str) -> Option<u16> {
+        PHASE_NAMES
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| 1 << i as u16)
+    }
+}
+
+/// Mask selecting every phase.
+pub const MASK_ALL: u16 = (1 << PHASE_COUNT as u16) - 1;
+
+/// One structured trace record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Virtual time the event was observed.
+    pub t: SimTime,
+    /// Request id (the NVMe host tag / rq slot), or [`RQ_NONE`].
+    pub rq: u64,
+    /// Owning tenant (raw `Pid`).
+    pub tenant: u64,
+    /// SLA class of the owning tenant.
+    pub sla: Sla,
+    /// Lifecycle phase.
+    pub phase: Phase,
+    /// Core the event was observed on.
+    pub core: u16,
+    /// NVMe submission queue involved, when one is.
+    pub nsq: Option<u16>,
+}
+
+/// Configuration for a run's trace sink, carried by scenarios.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceSpec {
+    /// Ring capacity in events.
+    pub cap: usize,
+    /// Phase mask ([`MASK_ALL`] for everything).
+    pub mask: u16,
+}
+
+impl TraceSpec {
+    /// Spec tracing all phases into a ring of `cap` events.
+    pub fn all(cap: usize) -> Self {
+        TraceSpec {
+            cap,
+            mask: MASK_ALL,
+        }
+    }
+}
+
+/// Fixed-capacity, allocation-free ring buffer of [`TraceEvent`]s.
+///
+/// Disabled by default; when disabled, [`TraceSink::enabled`] is `false`
+/// and [`TraceSink::record`] is a no-op, so instrumented code pays one
+/// predictable branch. When the ring is full the oldest event is
+/// overwritten and [`TraceSink::dropped`] counts the eviction — the
+/// accounting is exact: `recorded == len() + dropped()`.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    on: bool,
+    mask: u16,
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
     dropped: u64,
 }
 
-impl Default for Trace {
-    fn default() -> Self {
-        Trace::disabled()
-    }
-}
-
-impl Trace {
-    /// Creates a disabled trace (records nothing).
+impl TraceSink {
+    /// Creates a disabled sink (records nothing, owns no memory).
     pub fn disabled() -> Self {
-        Trace {
-            enabled: false,
-            capacity: 0,
-            entries: Vec::new(),
+        TraceSink::default()
+    }
+
+    /// Creates an enabled sink recording all phases into a ring of
+    /// `cap` events (pre-allocated; recording never allocates).
+    pub fn enabled_all(cap: usize) -> Self {
+        TraceSink::with_spec(TraceSpec::all(cap))
+    }
+
+    /// Creates an enabled sink from a [`TraceSpec`].
+    pub fn with_spec(spec: TraceSpec) -> Self {
+        TraceSink {
+            on: true,
+            mask: spec.mask,
+            buf: Vec::with_capacity(spec.cap.max(1)),
+            head: 0,
             dropped: 0,
         }
     }
 
-    /// Creates an enabled trace holding at most `capacity` entries.
-    pub fn enabled(capacity: usize) -> Self {
-        Trace {
-            enabled: true,
-            capacity: capacity.max(1),
-            entries: Vec::new(),
-            dropped: 0,
-        }
+    /// True when recording; instrumentation guards on this single branch.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        self.on
     }
 
-    /// True when recording.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
+    /// Phase mask in effect.
+    pub fn mask(&self) -> u16 {
+        self.mask
     }
 
-    /// Records a line; call sites should guard expensive formatting with
-    /// [`Trace::is_enabled`].
-    pub fn record(&mut self, now: SimTime, line: impl Into<String>) {
-        if !self.enabled {
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Records an event if the sink is enabled and the phase selected.
+    ///
+    /// Never allocates: the ring was sized at construction, and a full
+    /// ring overwrites its oldest event (counted in [`TraceSink::dropped`]).
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if !self.on || self.mask & ev.phase.bit() == 0 {
             return;
         }
-        if self.entries.len() == self.capacity {
-            self.entries.remove(0);
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == self.buf.len() {
+                self.head = 0;
+            }
             self.dropped += 1;
         }
-        self.entries.push((now, line.into()));
     }
 
-    /// Entries currently buffered, oldest first.
-    pub fn entries(&self) -> &[(SimTime, String)] {
-        &self.entries
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
     }
 
-    /// Number of entries evicted due to the capacity bound.
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// Renders the buffer as one string, one entry per line.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for (t, line) in &self.entries {
-            out.push_str(&format!("[{t}] {line}\n"));
-        }
-        out
+    /// Consumes the sink, returning buffered events oldest-first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        let TraceSink {
+            mut buf, head, ..
+        } = self;
+        buf.rotate_left(head);
+        buf
+    }
+
+    /// Copies buffered events oldest-first into `out` (appended).
+    pub fn copy_into(&self, out: &mut Vec<TraceEvent>) {
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
     }
 }
 
@@ -84,30 +290,82 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn ev(t: u64, rq: u64, phase: Phase) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_nanos(t),
+            rq,
+            tenant: 1,
+            sla: Sla::L,
+            phase,
+            core: 0,
+            nsq: Some(2),
+        }
+    }
+
     #[test]
     fn disabled_records_nothing() {
-        let mut t = Trace::disabled();
-        t.record(SimTime::ZERO, "x");
-        assert!(t.entries().is_empty());
-        assert!(!t.is_enabled());
+        let mut s = TraceSink::disabled();
+        s.record(ev(1, 1, Phase::Submit));
+        assert!(!s.enabled());
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 0);
     }
 
     #[test]
-    fn bounded_eviction() {
-        let mut t = Trace::enabled(2);
-        t.record(SimTime::from_nanos(1), "a");
-        t.record(SimTime::from_nanos(2), "b");
-        t.record(SimTime::from_nanos(3), "c");
-        assert_eq!(t.entries().len(), 2);
-        assert_eq!(t.entries()[0].1, "b");
-        assert_eq!(t.dropped(), 1);
+    fn ring_wraps_oldest_dropped_exact() {
+        let mut s = TraceSink::enabled_all(2);
+        for i in 0..5 {
+            s.record(ev(i, i, Phase::Submit));
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 3);
+        let evs = s.into_events();
+        assert_eq!(evs[0].t, SimTime::from_nanos(3));
+        assert_eq!(evs[1].t, SimTime::from_nanos(4));
     }
 
     #[test]
-    fn render_includes_time() {
-        let mut t = Trace::enabled(4);
-        t.record(SimTime::from_micros(5), "hello");
-        assert!(t.render().contains("5.000us"));
-        assert!(t.render().contains("hello"));
+    fn mask_filters_phases() {
+        let mut s = TraceSink::with_spec(TraceSpec {
+            cap: 8,
+            mask: Phase::Submit.bit() | Phase::Complete.bit(),
+        });
+        s.record(ev(1, 1, Phase::Submit));
+        s.record(ev(2, 1, Phase::DeviceFetch));
+        s.record(ev(3, 1, Phase::Complete));
+        let evs = s.into_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].phase, Phase::Submit);
+        assert_eq!(evs[1].phase, Phase::Complete);
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for (i, name) in PHASE_NAMES.iter().enumerate() {
+            assert_eq!(Phase::bit_from_name(name), Some(1 << i));
+        }
+        assert_eq!(Phase::bit_from_name("bogus"), None);
+        assert_eq!(Phase::Routed { outlier: true }.name(), "routed");
+        assert_eq!(Phase::Debug("x").name(), "debug");
+    }
+
+    #[test]
+    fn copy_into_preserves_order_across_wrap() {
+        let mut s = TraceSink::enabled_all(3);
+        for i in 0..4 {
+            s.record(ev(i, i, Phase::Submit));
+        }
+        let mut out = Vec::new();
+        s.copy_into(&mut out);
+        let ts: Vec<u64> = out.iter().map(|e| e.t.as_nanos()).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mask_all_covers_every_phase() {
+        assert_eq!(MASK_ALL.count_ones() as usize, PHASE_COUNT);
+        for name in PHASE_NAMES {
+            assert_ne!(MASK_ALL & Phase::bit_from_name(name).unwrap(), 0);
+        }
     }
 }

@@ -287,3 +287,61 @@ fn dense_map_matches_hashmap_oracle() {
         Ok(())
     });
 }
+
+/// The trace ring's eviction accounting is exact: recording `n` events
+/// into a ring of capacity `cap` keeps exactly the *newest*
+/// `min(n, cap)` selected events in order, drops exactly
+/// `max(0, n - cap)` — the oldest ones — and ignores masked-out phases
+/// entirely (they count neither as buffered nor as dropped).
+#[test]
+fn trace_ring_wrap_drops_exactly_the_oldest() {
+    use simkit::{Phase, Sla, TraceEvent, TraceSink, TraceSpec, MASK_ALL};
+    check("trace_ring_wrap_drops_exactly_the_oldest", |c| {
+        let cap = c.usize_in(1, 64);
+        let n = c.usize_in(0, 300);
+        // Sometimes mask half the phases to check mask interaction.
+        let mask = if c.bool_with(0.5) {
+            MASK_ALL
+        } else {
+            Phase::Submit.bit() | Phase::Complete.bit()
+        };
+        let mut sink = TraceSink::with_spec(TraceSpec { cap, mask });
+        prop_assert!(sink.enabled());
+        prop_assert_eq!(sink.capacity(), cap);
+        let mut selected = Vec::new();
+        for i in 0..n {
+            let phase = match c.u8_in(0, 3) {
+                0 => Phase::Submit,
+                1 => Phase::Routed { outlier: c.bool_with(0.2) },
+                2 => Phase::IrqFire,
+                _ => Phase::Complete,
+            };
+            let ev = TraceEvent {
+                t: SimTime::from_nanos(i as u64),
+                rq: i as u64,
+                tenant: c.u64_in(0, 8),
+                sla: if c.bool_with(0.5) { Sla::L } else { Sla::T },
+                phase,
+                core: c.u16_in(0, 4),
+                nsq: if c.bool_with(0.5) {
+                    Some(c.u16_in(0, 16))
+                } else {
+                    None
+                },
+            };
+            sink.record(ev);
+            if mask & phase.bit() != 0 {
+                selected.push(ev);
+            }
+        }
+        let expect_dropped = selected.len().saturating_sub(cap) as u64;
+        prop_assert_eq!(sink.dropped(), expect_dropped, "dropped count exact");
+        prop_assert_eq!(sink.len(), selected.len().min(cap), "buffered count exact");
+        // Harvest: exactly the newest `min(n_selected, cap)` events,
+        // oldest first.
+        let events = sink.into_events();
+        let tail = &selected[selected.len() - events.len()..];
+        prop_assert_eq!(events.as_slice(), tail, "ring keeps the newest events in order");
+        Ok(())
+    });
+}

@@ -31,7 +31,7 @@ use dd_workload::mailserver::MailserverWorkload;
 use dd_workload::{AppWorkload, FioJob, IoDesc, OpKind, OpStep, Placement, YcsbWorkload};
 use simkit::{EventQueue, SimDuration, SimRng, SimTime};
 
-use crate::runout::{ClassSeries, PhaseBreakdown, RunOutput};
+use crate::runout::{ClassSeries, RunOutput};
 use crate::scenario::{AppKind, Scenario, StackSpec, TenantKind};
 
 /// Events of the machine loop.
@@ -181,7 +181,6 @@ pub struct Machine {
     // Keyed by the tenants' `&'static` class labels so the per-completion
     // hot path allocates nothing; converted to owned keys in the output.
     series: HashMap<&'static str, ClassSeries>,
-    breakdown: HashMap<&'static str, PhaseBreakdown>,
     op_lat: HashMap<OpKind, LatencyHistogram>,
     active_apps: usize,
     events_processed: u64,
@@ -295,6 +294,13 @@ impl Machine {
         }
         let window_start = SimTime::ZERO + scenario.warmup;
         let stop_at = window_start + scenario.measure;
+        // Span tracing: install the (pre-allocated) sink once, up front;
+        // when the scenario leaves it off, every instrumentation point
+        // costs one `enabled()` branch.
+        let mut dev_out = DeviceOutput::new();
+        if let Some(spec) = scenario.trace {
+            dev_out.trace = simkit::TraceSink::with_spec(spec);
+        }
         Machine {
             cpu: CpuSystem::new(&scenario.topology),
             // Pre-sized from the scenario shape (Σ queue depth × the
@@ -307,7 +313,7 @@ impl Machine {
             tenant_order,
             rng,
             costs: HostCosts::default(),
-            dev_out: DeviceOutput::new(),
+            dev_out,
             comps: Vec::new(),
             migs: Vec::new(),
             bio_scratch: Vec::with_capacity(64),
@@ -317,7 +323,6 @@ impl Machine {
             stop_at,
             cpu_baseline: Vec::new(),
             series: HashMap::new(),
-            breakdown: HashMap::new(),
             op_lat: HashMap::new(),
             active_apps,
             events_processed: 0,
@@ -596,11 +601,6 @@ impl Machine {
             });
             entry.latency.record_latency(c.completed_at, c.latency());
             entry.bytes.record(c.completed_at, c.bio.bytes);
-            let b = self.breakdown.entry(class).or_default();
-            b.count += 1;
-            b.queue_wait_ns += c.queue_wait().as_nanos() as u128;
-            b.device_service_ns += c.device_service().as_nanos() as u128;
-            b.delivery_ns += c.delivery().as_nanos() as u128;
         }
         if let Some(work) = continuation {
             self.enqueue_work(core, WorkClass::Task, work);
@@ -747,6 +747,11 @@ impl Machine {
             events_processed: self.events_processed,
             core_busy_frac,
         };
+        // Harvest the span trace (oldest first) out of the device-output
+        // sink; the dropped counter tells consumers whether the ring
+        // wrapped mid-run.
+        let sink = std::mem::take(&mut self.dev_out.trace);
+        let trace_dropped = sink.dropped();
         RunOutput {
             summary,
             series: self
@@ -754,11 +759,8 @@ impl Machine {
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
-            breakdown: self
-                .breakdown
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            trace: sink.into_events(),
+            trace_dropped,
             stack_stats: self.stack.stats(),
             op_latencies: self.op_lat,
             flash_queue_delay: self.device.flash().avg_queue_delay(),

@@ -7,44 +7,6 @@ use dd_metrics::{LatencyHistogram, RunSummary, TimeSeries};
 use dd_workload::OpKind;
 use simkit::SimDuration;
 
-/// Per-class accumulated latency phases (where time is spent end to end).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct PhaseBreakdown {
-    /// Completions accumulated.
-    pub count: u64,
-    /// Total in-NSQ wait (issue → controller fetch) in nanoseconds.
-    pub queue_wait_ns: u128,
-    /// Total device service (fetch → flash done) in nanoseconds.
-    pub device_service_ns: u128,
-    /// Total completion delivery (flash done → signalled) in nanoseconds.
-    pub delivery_ns: u128,
-}
-
-impl PhaseBreakdown {
-    /// Mean in-NSQ wait in milliseconds.
-    pub fn avg_queue_wait_ms(&self) -> f64 {
-        self.avg_ms(self.queue_wait_ns)
-    }
-
-    /// Mean device service in milliseconds.
-    pub fn avg_device_service_ms(&self) -> f64 {
-        self.avg_ms(self.device_service_ns)
-    }
-
-    /// Mean delivery in milliseconds.
-    pub fn avg_delivery_ms(&self) -> f64 {
-        self.avg_ms(self.delivery_ns)
-    }
-
-    fn avg_ms(&self, sum_ns: u128) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            sum_ns as f64 / self.count as f64 / 1e6
-        }
-    }
-}
-
 /// Per-class time series (Fig. 8 curves).
 #[derive(Clone, Debug)]
 pub struct ClassSeries {
@@ -61,8 +23,12 @@ pub struct RunOutput {
     pub summary: RunSummary,
     /// Per-class time series, keyed by class label.
     pub series: HashMap<String, ClassSeries>,
-    /// Per-class latency-phase breakdown, keyed by class label.
-    pub breakdown: HashMap<String, PhaseBreakdown>,
+    /// Structured span-trace events harvested from the run's sink, oldest
+    /// first (empty unless the scenario enabled tracing). Stitch with
+    /// `dd_metrics::SpanTable`.
+    pub trace: Vec<simkit::TraceEvent>,
+    /// Trace events evicted because the ring wrapped (0 = trace complete).
+    pub trace_dropped: u64,
     /// Storage-stack counters (lock waits, remote completions, steering…).
     pub stack_stats: StackStats,
     /// Application op-latency histograms merged across app tenants.

@@ -243,6 +243,10 @@ pub struct Scenario {
     pub sample_width: SimDuration,
     /// Stop as soon as all application tenants finish their ops.
     pub stop_when_apps_done: bool,
+    /// Structured span tracing: `Some(spec)` installs an enabled
+    /// [`simkit::TraceSink`] into the machine for the run; `None` (default)
+    /// keeps tracing off (one dead branch per instrumentation point).
+    pub trace: Option<simkit::TraceSpec>,
 }
 
 impl Scenario {
@@ -262,6 +266,7 @@ impl Scenario {
             core_pool: preset.topology().nr_cores(),
             sample_width: SimDuration::from_millis(100),
             stop_when_apps_done: false,
+            trace: None,
         }
     }
 
@@ -359,6 +364,12 @@ impl Scenario {
     /// Overrides the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables structured span tracing for the run.
+    pub fn with_trace(mut self, spec: simkit::TraceSpec) -> Self {
+        self.trace = Some(spec);
         self
     }
 

@@ -45,9 +45,16 @@ echo "== verify: parallel sweep determinism (jobs=1 vs jobs=N) =="
 # the parallel run's BENCH_sweep.json), then parallel, then diff.
 JOBS_N="${DD_JOBS:-$(nproc 2>/dev/null || echo 4)}"
 [ "$JOBS_N" -lt 2 ] && JOBS_N=4
+# Committed tracing-off throughput baseline, read before the fresh runs
+# overwrite the artifact (used by the trace-overhead check below).
+BASE_EPS="$(sed -n 's/^  "events_per_s": \([0-9.]*\),$/\1/p' BENCH_sweep.json | head -1)"
 SERIAL_OUT="$(mktemp)"
 PAR_OUT="$(mktemp)"
-trap 'rm -f "$SERIAL_OUT" "$PAR_OUT" BENCH_sweep_serial.json' EXIT
+TRACE_1="$(mktemp)"
+TRACE_N="$(mktemp)"
+EXT_1="$(mktemp)"
+EXT_N="$(mktemp)"
+trap 'rm -f "$SERIAL_OUT" "$PAR_OUT" "$TRACE_1" "$TRACE_N" "$EXT_1" "$EXT_N" BENCH_sweep_serial.json' EXIT
 DD_BENCH_SWEEP=BENCH_sweep_serial.json \
     ./target/release/all_figures --quick --csv --jobs 1 >"$SERIAL_OUT" 2>/dev/null
 BASE_WALL="$(sed -n 's/.*"total_wall_s": \([0-9.]*\),.*/\1/p' BENCH_sweep_serial.json)"
@@ -75,6 +82,58 @@ if ! diff -q tests/golden/all_figures_quick.csv "$SERIAL_OUT" >/dev/null; then
     exit 1
 fi
 echo "  all 14 figures byte-identical to the golden capture"
+
+echo "== verify: traced ext_breakdown (span CSV determinism + golden) =="
+# The structured trace API's end-to-end gate: a traced figure run must (a)
+# produce the committed SpanTable-derived table, and (b) dump per-request
+# span CSVs that are byte-identical for any worker count (events are
+# written post-collection in original cell order, never completion order).
+BREAKDOWN_PHASES="submit,device_fetch,flash_done,complete"
+./target/release/ext_breakdown --quick \
+    --trace "$BREAKDOWN_PHASES" --trace-out "$TRACE_1" --jobs 1 >"$EXT_1"
+./target/release/ext_breakdown --quick \
+    --trace "$BREAKDOWN_PHASES" --trace-out "$TRACE_N" --jobs "$JOBS_N" >"$EXT_N"
+if ! diff -q "$EXT_1" "$EXT_N" >/dev/null; then
+    echo "verify: FAILED — traced ext_breakdown stdout diverges across --jobs:" >&2
+    diff "$EXT_1" "$EXT_N" | head -40 >&2
+    exit 1
+fi
+if ! diff -q "$TRACE_1" "$TRACE_N" >/dev/null; then
+    echo "verify: FAILED — span trace CSV diverges between --jobs 1 and --jobs $JOBS_N:" >&2
+    diff "$TRACE_1" "$TRACE_N" | head -40 >&2
+    exit 1
+fi
+if ! diff -q tests/golden/ext_breakdown_quick.txt "$EXT_1" >/dev/null; then
+    echo "verify: FAILED — SpanTable breakdown diverges from tests/golden/ext_breakdown_quick.txt:" >&2
+    diff tests/golden/ext_breakdown_quick.txt "$EXT_1" | head -40 >&2
+    echo "(if the divergence is an intended semantic change, regenerate with:" >&2
+    echo " ./target/release/ext_breakdown --quick --trace $BREAKDOWN_PHASES \\" >&2
+    echo "     --trace-out /dev/null --jobs 1 > tests/golden/ext_breakdown_quick.txt)" >&2
+    exit 1
+fi
+TRACE_ROWS="$(( $(wc -l < "$TRACE_1") - 1 ))"
+echo "  SpanTable golden matched; $TRACE_ROWS span events byte-identical across jobs=1/$JOBS_N"
+
+echo "== verify: tracing-off sweep throughput within noise of BENCH_sweep.json =="
+# The disabled sink must cost one predictable branch (see
+# trace/off_guarded_record in benches/micro.rs). Gate the end-to-end
+# claim loosely: the fresh tracing-off sweep must clear a conservative
+# fraction of the committed baseline's events/s — enough headroom for
+# host variance, but a hot path that grew real tracing work fails.
+FRESH_EPS="$(sed -n 's/^  "events_per_s": \([0-9.]*\),$/\1/p' BENCH_sweep_serial.json | head -1)"
+PERF_FLOOR="${DD_PERF_FLOOR:-0.5}"
+if [ -n "$BASE_EPS" ] && [ -n "$FRESH_EPS" ]; then
+    if ! awk -v f="$FRESH_EPS" -v b="$BASE_EPS" -v floor="$PERF_FLOOR" \
+        'BEGIN { exit !(f >= b * floor) }'; then
+        echo "verify: FAILED — tracing-off sweep at $FRESH_EPS events/s," >&2
+        echo "below ${PERF_FLOOR}x the committed baseline ($BASE_EPS events/s)." >&2
+        echo "(override the floor with DD_PERF_FLOOR, or investigate the hot path)" >&2
+        exit 1
+    fi
+    echo "  $FRESH_EPS events/s vs committed $BASE_EPS (floor ${PERF_FLOOR}x): ok"
+else
+    echo "  baseline or fresh events/s missing; skipping throughput floor" >&2
+fi
 
 echo "== verify: hot-path maps stay slab/dense (no std hash maps) =="
 # The request-lifecycle hot path must not regress to allocating hash maps.

@@ -9,7 +9,9 @@
 
 use daredevil_repro::blkstack::iosched::SchedKind;
 use daredevil_repro::metrics::table::fmt_ms;
+use daredevil_repro::metrics::SpanTable;
 use daredevil_repro::prelude::*;
+use daredevil_repro::simkit::{Phase, SimTime, TraceSpec, MASK_ALL};
 
 const STACKS: &[&str] = &[
     "vanilla",
@@ -149,6 +151,16 @@ fn main() {
         std::process::exit(2);
     }
     scenario.name = format!("ddsim-{}", args.stack);
+    // Trace the four phase-breakdown anchors so the report below can
+    // stitch per-request spans (SpanTable) into the latency phase table.
+    let breakdown_mask = Phase::Submit.bit()
+        | Phase::DeviceFetch.bit()
+        | Phase::FlashDone.bit()
+        | Phase::Complete.bit();
+    scenario = scenario.with_trace(TraceSpec {
+        cap: 1 << 20,
+        mask: breakdown_mask & MASK_ALL,
+    });
 
     let out = daredevil_repro::testbed::run(scenario);
     println!("{}", out.summary.headline());
@@ -167,16 +179,33 @@ fn main() {
         );
     }
     println!("\nlatency phases (avg ms: in-NSQ wait / device service / delivery):");
+    let spans = SpanTable::build(&out.trace);
+    let window_start = SimTime::from_millis(args.warmup_ms);
     for class in out.summary.classes() {
-        if let Some(b) = out.breakdown.get(&class) {
-            println!(
-                "{:>4}: {:.3} / {:.3} / {:.3}",
-                class,
-                b.avg_queue_wait_ms(),
-                b.avg_device_service_ms(),
-                b.avg_delivery_ms()
-            );
+        let in_class = |s: &daredevil_repro::metrics::Span| {
+            s.sla.name() == class && s.completed_at().is_some_and(|t| t >= window_start)
+        };
+        let wait = spans.segment_stats(Phase::Submit, Phase::DeviceFetch, in_class);
+        if wait.count == 0 {
+            continue;
         }
+        println!(
+            "{:>4}: {:.3} / {:.3} / {:.3}",
+            class,
+            wait.avg_ms(),
+            spans
+                .segment_stats(Phase::DeviceFetch, Phase::FlashDone, in_class)
+                .avg_ms(),
+            spans
+                .segment_stats(Phase::FlashDone, Phase::Complete, in_class)
+                .avg_ms(),
+        );
+    }
+    if out.trace_dropped > 0 {
+        println!(
+            "(trace ring wrapped: {} events evicted; phase averages are partial)",
+            out.trace_dropped
+        );
     }
     let st = &out.stack_stats;
     println!(

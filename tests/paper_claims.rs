@@ -205,32 +205,65 @@ fn fig13_cross_core_overheads_bounded() {
 /// across stacks. Daredevil removes the queue wait, not the flash physics.
 #[test]
 fn latency_inflation_is_in_queue_wait() {
-    let vanilla = quick(StackSpec::vanilla(), 4, 16, 4);
-    let dare = quick(StackSpec::daredevil(), 4, 16, 4);
-    let vb = vanilla.breakdown.get("L").copied().unwrap_or_default();
-    let db = dare.breakdown.get("L").copied().unwrap_or_default();
+    use daredevil_repro::metrics::span::Span;
+    use daredevil_repro::metrics::SpanTable;
+    use daredevil_repro::simkit::{Phase, SimTime, Sla, TraceSpec};
+
+    // Trace the four breakdown anchors and stitch spans (the structured
+    // replacement for the old bespoke per-completion phase plumbing).
+    let traced = |stack: StackSpec| {
+        let mask = Phase::Submit.bit()
+            | Phase::DeviceFetch.bit()
+            | Phase::FlashDone.bit()
+            | Phase::Complete.bit();
+        let s = Scenario::multi_tenant_fio(stack, 4, 16, 4, MachinePreset::SvM)
+            .with_durations(SimDuration::from_millis(10), SimDuration::from_millis(120))
+            .with_trace(TraceSpec { cap: 1 << 20, mask });
+        daredevil_repro::testbed::run(s)
+    };
+    let window_start = SimTime::from_millis(10);
+    let l_in_window =
+        |s: &Span| s.sla == Sla::L && s.completed_at().is_some_and(|t| t >= window_start);
+    // (queue wait, device service, delivery) averages in ms for L spans.
+    let breakdown = |out: &RunOutput| {
+        let spans = SpanTable::build(&out.trace);
+        assert_eq!(out.trace_dropped, 0, "trace ring must not wrap");
+        (
+            spans
+                .segment_stats(Phase::Submit, Phase::DeviceFetch, l_in_window)
+                .avg_ms(),
+            spans
+                .segment_stats(Phase::DeviceFetch, Phase::FlashDone, l_in_window)
+                .avg_ms(),
+            spans
+                .segment_stats(Phase::FlashDone, Phase::Complete, l_in_window)
+                .avg_ms(),
+        )
+    };
+    let vanilla = traced(StackSpec::vanilla());
+    let dare = traced(StackSpec::daredevil());
+    let (v_wait, v_service, v_delivery) = breakdown(&vanilla);
+    let (d_wait, d_service, _) = breakdown(&dare);
     // Vanilla: queue wait dominates end-to-end latency.
     assert!(
-        vb.avg_queue_wait_ms() > vanilla.l_avg_ms() * 0.8,
+        v_wait > vanilla.l_avg_ms() * 0.8,
         "vanilla's inflation must be in-queue: wait={} total={}",
-        vb.avg_queue_wait_ms(),
+        v_wait,
         vanilla.l_avg_ms()
     );
     // Daredevil: queue wait collapses by >10x.
     assert!(
-        db.avg_queue_wait_ms() * 10.0 < vb.avg_queue_wait_ms(),
-        "daredevil must remove the queue wait: {} vs {}",
-        db.avg_queue_wait_ms(),
-        vb.avg_queue_wait_ms()
+        d_wait * 10.0 < v_wait,
+        "daredevil must remove the queue wait: {d_wait} vs {v_wait}"
     );
     // Device service is a property of the flash, not the stack: within 30%.
-    let ratio = db.avg_device_service_ms() / vb.avg_device_service_ms().max(1e-9);
+    let ratio = d_service / v_service.max(1e-9);
     assert!(
         (0.7..1.3).contains(&ratio),
         "device service must be stack-independent: ratio {ratio:.2}"
     );
     // Phases partition the total (within the batching-delivery slack).
-    let sum = vb.avg_queue_wait_ms() + vb.avg_device_service_ms() + vb.avg_delivery_ms();
+    let sum = v_wait + v_service + v_delivery;
     assert!(
         (sum - vanilla.l_avg_ms()).abs() / vanilla.l_avg_ms() < 0.05,
         "phases must partition the total: {sum} vs {}",
