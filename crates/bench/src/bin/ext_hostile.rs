@@ -1,0 +1,6 @@
+//! Extension: hostile-scenario family (fault injection).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::ext_hostile::run_figure(&opts);
+}

@@ -1,0 +1,6 @@
+//! Fig. 6 GC-on variant (aged drive).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::fig6_gc::run_figure(&opts);
+}

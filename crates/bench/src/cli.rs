@@ -17,6 +17,13 @@
 //!                    irq_fire,complete,debug)
 //! --trace-out PATH   trace CSV destination (default trace.csv)
 //! --trace-cap N      trace ring capacity in events (default 1048576)
+//! --faults SPEC      inject device faults into every scenario; SPEC is a
+//!                    comma-separated subset of: spikes (die latency
+//!                    spikes), irqloss (lost IRQ raises), stalls (NSQ
+//!                    fetch stalls), or all / none
+//! --fault-seed N     fault-schedule seed (default 221; independent of
+//!                    the workload seed so the same schedule can replay
+//!                    against different traffic)
 //! ```
 //!
 //! # Trace CSV
@@ -48,6 +55,7 @@ use testbed::RunOutput;
 
 const USAGE: &str = "usage: <bin> [--quick] [--csv] [--jobs N] [--seed N]\n\
   \x20           [--trace [PHASES]] [--trace-out PATH] [--trace-cap N]\n\
+  \x20           [--faults SPEC] [--fault-seed N]\n\
   --quick          reduced durations (CI/smoke scale)\n\
   --csv            also print CSV after each table\n\
   --jobs N         sweep worker threads (default: available parallelism,\n\
@@ -58,7 +66,11 @@ const USAGE: &str = "usage: <bin> [--quick] [--csv] [--jobs N] [--seed N]\n\
                    device_fetch,flash_done,cqe_posted,irq_fire,complete,\n\
                    debug (default: all)\n\
   --trace-out PATH trace CSV destination (default: trace.csv)\n\
-  --trace-cap N    trace ring capacity in events (default: 1048576)";
+  --trace-cap N    trace ring capacity in events (default: 1048576)\n\
+  --faults SPEC    inject device faults into every scenario; SPEC is a\n\
+                   comma-separated subset of: spikes,irqloss,stalls, or\n\
+                   all / none\n\
+  --fault-seed N   fault-schedule seed (default: 221)";
 
 /// Default trace ring capacity in events (per run).
 pub const DEFAULT_TRACE_CAP: usize = 1 << 20;
@@ -81,7 +93,16 @@ pub struct Opts {
     pub trace_out: String,
     /// Trace ring capacity in events (`--trace-cap`).
     pub trace_cap: usize,
+    /// Fault classes to inject into every scenario (`--faults`); `None`
+    /// (and the explicit `none` spec) keeps fault injection off.
+    pub faults: Option<simkit::FaultClasses>,
+    /// Fault-schedule seed (`--fault-seed`), independent of `--seed`.
+    pub fault_seed: Option<u64>,
 }
+
+/// Default fault-schedule seed (`0xDD` — arbitrary but fixed, so fault
+/// runs are reproducible without passing `--fault-seed`).
+pub const DEFAULT_FAULT_SEED: u64 = 0xDD;
 
 impl Opts {
     /// Options for embedded use (bench harnesses, tests): no tracing, no
@@ -95,7 +116,20 @@ impl Opts {
             trace: None,
             trace_out: "trace.csv".to_string(),
             trace_cap: DEFAULT_TRACE_CAP,
+            faults: None,
+            fault_seed: None,
         }
+    }
+
+    /// The fault-injection request implied by `--faults`/`--fault-seed`:
+    /// `Some` only when at least one fault class was enabled (an explicit
+    /// `--faults none` stays off, keeping fault-free runs byte-identical).
+    pub fn fault_spec(&self) -> Option<simkit::FaultSpec> {
+        let classes = self.faults.filter(|c| c.any())?;
+        Some(simkit::FaultSpec::new(
+            classes,
+            self.fault_seed.unwrap_or(DEFAULT_FAULT_SEED),
+        ))
     }
 
     /// The default worker count: `DD_JOBS` if set and valid, otherwise the
@@ -184,6 +218,19 @@ impl Opts {
                             ))
                         }),
                     });
+                }
+                "--faults" => {
+                    let v = value("--faults", &mut i);
+                    opts.faults = Some(
+                        simkit::FaultClasses::from_list(&v)
+                            .unwrap_or_else(|e| bad(format!("invalid --faults value: {e}"))),
+                    );
+                }
+                "--fault-seed" => {
+                    let v = value("--fault-seed", &mut i);
+                    opts.fault_seed = Some(v.trim().parse::<u64>().unwrap_or_else(|_| {
+                        bad(format!("invalid --fault-seed value {v:?} (want an integer)"))
+                    }));
                 }
                 "--trace-out" => opts.trace_out = value("--trace-out", &mut i),
                 "--trace-cap" => {
@@ -380,6 +427,26 @@ mod tests {
         assert_eq!(o.trace, Some(MASK_ALL));
         let o = Opts::parse(&args(&["--trace=all", "--jobs", "1"]));
         assert_eq!(o.trace, Some(MASK_ALL));
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let o = Opts::parse(&args(&["--faults", "spikes,stalls", "--fault-seed", "9", "--jobs", "1"]));
+        let classes = o.faults.unwrap();
+        assert!(classes.die_spikes && classes.nsq_stalls && !classes.irq_loss);
+        assert_eq!(o.fault_seed, Some(9));
+        let spec = o.fault_spec().unwrap();
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.classes, classes);
+        let o = Opts::parse(&args(&["--faults=all", "--jobs", "1"]));
+        assert_eq!(o.faults, Some(simkit::FaultClasses::ALL));
+        assert_eq!(o.fault_spec().unwrap().seed, DEFAULT_FAULT_SEED);
+        // `none` parses but arms nothing: fault-free runs stay identical.
+        let o = Opts::parse(&args(&["--faults", "none", "--jobs", "1"]));
+        assert_eq!(o.faults, Some(simkit::FaultClasses::NONE));
+        assert!(o.fault_spec().is_none());
+        // No flag at all: off.
+        assert!(Opts::parse(&args(&["--jobs", "1"])).fault_spec().is_none());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 pub mod ext_baselines;
 pub mod ext_breakdown;
+pub mod ext_hostile;
 pub mod ext_virtio;
 pub mod fig10;
 pub mod fig11;
@@ -14,6 +15,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig2;
 pub mod fig6;
+pub mod fig6_gc;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;

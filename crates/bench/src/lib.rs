@@ -43,6 +43,9 @@ pub fn scaled(opts: &Opts, s: Scenario) -> Scenario {
             mask,
         });
     }
+    if let Some(spec) = opts.fault_spec() {
+        s = s.with_faults(spec);
+    }
     s
 }
 

@@ -24,7 +24,7 @@ use crate::nsqlock::NsqLockTable;
 use crate::reqmap::RequestMap;
 use crate::split::{split_extents, SplitConfig};
 use crate::stack::{
-    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, StackEnv,
+    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, RedriveGuard, StackEnv,
     StackStats, StorageStack,
 };
 use crate::tenant::{Pid, TaskStruct};
@@ -81,6 +81,7 @@ pub struct VanillaBlkMq {
     locks: NsqLockTable,
     reqmap: RequestMap,
     parked: ParkedCommands,
+    redrive: RedriveGuard,
     split: SplitConfig,
     stats: StackStats,
     /// Per-NSQ elevator instance (None = direct dispatch).
@@ -117,6 +118,7 @@ impl VanillaBlkMq {
             locks: NsqLockTable::new(device_sqs),
             reqmap: RequestMap::new(),
             parked: ParkedCommands::new(),
+            redrive: RedriveGuard::new(),
             split: SplitConfig::default(),
             stats: StackStats::default(),
             scheds: (0..device_sqs).map(|_| cfg.scheduler.build()).collect(),
@@ -381,6 +383,17 @@ impl StorageStack for VanillaBlkMq {
                 .flush(env.device, env.now, env.dev_out, &mut self.stats);
         }
         cost
+    }
+
+    fn on_watchdog(&mut self, env: &mut StackEnv<'_>) {
+        // Fault recovery: completion-starved parked commands first, then
+        // stalled-NSQ doorbell redrive with bounded retry.
+        if !self.parked.is_empty() {
+            self.parked
+                .flush(env.device, env.now, env.dev_out, &mut self.stats);
+        }
+        self.redrive
+            .redrive(env.device, env.now, env.dev_out, &mut self.stats);
     }
 
     fn stats(&self) -> StackStats {

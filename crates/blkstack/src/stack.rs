@@ -70,6 +70,9 @@ pub struct StackStats {
     pub doorbells: u64,
     /// Cross-core scheduling actions (blk-switch steering; 0 elsewhere).
     pub steering_actions: u64,
+    /// Doorbell redrives issued by the stall watchdog (fault recovery;
+    /// 0 on runs without faults).
+    pub watchdog_redrives: u64,
 }
 
 /// A kernel storage stack under test.
@@ -112,6 +115,13 @@ pub trait StorageStack {
     fn on_tick(&mut self, _env: &mut StackEnv<'_>) -> Option<SimDuration> {
         None
     }
+
+    /// Fault-recovery watchdog tick (only called on runs with fault
+    /// injection enabled). Stacks flush parked commands and redrive NSQs
+    /// whose published backlog stopped being fetched ([`RedriveGuard`]);
+    /// the default does nothing, so well-behaved-device runs are
+    /// untouched.
+    fn on_watchdog(&mut self, _env: &mut StackEnv<'_>) {}
 
     /// Statistics snapshot.
     fn stats(&self) -> StackStats;
@@ -318,6 +328,88 @@ impl ParkedCommands {
     }
 }
 
+/// NSQ stall detection with bounded retry/backoff (fault recovery).
+///
+/// A faulted controller can stop fetching from an NSQ for a while
+/// (`simkit::fault` NSQ stalls). If every tenant routed to that NSQ is
+/// blocked waiting for completions, nothing will ever ring its doorbell
+/// again and the stack hangs. The guard watches each SQ's *fetch progress*
+/// between watchdog ticks: a queue with published backlog and no progress
+/// gets its doorbell re-rung — eagerly for the first few ticks, then at a
+/// backed-off cadence so a long-dead queue is not hammered forever. Any
+/// progress resets the queue to the eager lane.
+#[derive(Debug, Default)]
+pub struct RedriveGuard {
+    /// Last observed per-SQ fetched count (`submitted_total - occupancy`).
+    fetched: Vec<u64>,
+    /// Consecutive no-progress ticks with backlog, per SQ.
+    stalled_ticks: Vec<u32>,
+}
+
+/// No-progress ticks redriven eagerly before backing off.
+const REDRIVE_EAGER_TICKS: u32 = 4;
+/// Backed-off redrive cadence (every Nth tick) after the eager window.
+const REDRIVE_BACKOFF_TICKS: u32 = 8;
+
+impl RedriveGuard {
+    /// Creates an idle guard (allocates lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One watchdog tick: re-rings the doorbell of every SQ with published
+    /// backlog and no fetch progress since the previous tick, subject to
+    /// the retry bound. Returns how many SQs were redriven.
+    ///
+    /// Gated on [`NvmeDevice::fetch_starved`]: a busy fetch engine (or an
+    /// exhausted page budget) explains any amount of per-SQ waiting on a
+    /// healthy device, and the arbiter will revisit the queue on its own —
+    /// only an idle engine ignoring published work needs the poke. This
+    /// keeps the guard a strict no-op on fault-free runs.
+    pub fn redrive(
+        &mut self,
+        device: &mut NvmeDevice,
+        now: SimTime,
+        dev_out: &mut DeviceOutput,
+        stats: &mut StackStats,
+    ) -> usize {
+        let nr = device.nr_sqs() as usize;
+        if self.fetched.len() < nr {
+            self.fetched.resize(nr, 0);
+            self.stalled_ticks.resize(nr, 0);
+        }
+        if !device.fetch_starved() {
+            for i in 0..nr {
+                let st = device.sq_stats(SqId(i as u16));
+                self.fetched[i] = st.submitted_total - st.occupancy as u64;
+                self.stalled_ticks[i] = 0;
+            }
+            return 0;
+        }
+        let mut redriven = 0;
+        for i in 0..nr {
+            let sq = SqId(i as u16);
+            let st = device.sq_stats(sq);
+            let fetched = st.submitted_total - st.occupancy as u64;
+            if fetched != self.fetched[i] || device.sq_backlog(sq) == 0 {
+                self.fetched[i] = fetched;
+                self.stalled_ticks[i] = 0;
+                continue;
+            }
+            self.stalled_ticks[i] += 1;
+            let t = self.stalled_ticks[i];
+            if t > REDRIVE_EAGER_TICKS && !t.is_multiple_of(REDRIVE_BACKOFF_TICKS) {
+                continue;
+            }
+            device.ring_doorbell(sq, now, dev_out);
+            stats.doorbells += 1;
+            stats.watchdog_redrives += 1;
+            redriven += 1;
+        }
+        redriven
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +574,83 @@ mod tests {
             &mut TraceSink::disabled(),
         );
         assert_eq!(completions.len(), 1);
+    }
+
+    #[test]
+    fn redrive_guard_backs_off_and_resets_on_progress() {
+        use dd_nvme::NvmeConfig;
+        use simkit::fault::{FaultEvent, FaultGeometry, FaultKind, FaultPlan};
+        use simkit::SimDuration;
+        let mut cfg = NvmeConfig::sv_m();
+        cfg.nr_sqs = 1;
+        cfg.nr_cqs = 1;
+        cfg.sq_depth = 8;
+        let mut dev = NvmeDevice::new(cfg, 1);
+        // Stall the only NSQ for 1 ms from t=0: the arbiter skips it, the
+        // fetch engine idles over published work — the exact lost-wakeup
+        // state `fetch_starved` reports and the guard exists to break.
+        dev.install_faults(FaultPlan::from_events(
+            vec![FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::NsqStall {
+                    sq: 0,
+                    dur: SimDuration::from_millis(1),
+                },
+            }],
+            FaultGeometry {
+                dies: 1,
+                sqs: 1,
+                cqs: 1,
+            },
+        ));
+        let mk = |cid: u64| NvmeCommand {
+            cid: CommandId(cid),
+            nsid: NamespaceId(1),
+            opcode: IoOpcode::Read,
+            slba: 0,
+            nlb: 1,
+            host: HostTag::default(),
+        };
+        let mut out = DeviceOutput::new();
+        for i in 0..4 {
+            dev.push_command(SqId(0), mk(i)).unwrap();
+        }
+        dev.ring_doorbell(SqId(0), SimTime::ZERO, &mut out);
+        // The stall swallowed the doorbell: nothing fetched, engine idle.
+        assert_eq!(dev.sq_backlog(SqId(0)), 4);
+        assert!(dev.fetch_starved());
+        let mut guard = RedriveGuard::new();
+        let mut stats = StackStats::default();
+        let mut redrives = 0;
+        for tick in 0..REDRIVE_EAGER_TICKS + 2 * REDRIVE_BACKOFF_TICKS {
+            let t = SimTime::from_micros(u64::from(tick) * 50);
+            redrives += guard.redrive(&mut dev, t, &mut out, &mut stats);
+        }
+        // 20 no-progress ticks inside the stall window: the eager lane
+        // fires on the first 4, the backoff lane twice in the remaining 16.
+        assert_eq!(redrives, REDRIVE_EAGER_TICKS as usize + 2);
+        assert_eq!(stats.watchdog_redrives, redrives as u64);
+        assert_eq!(stats.doorbells, redrives as u64);
+        assert_eq!(dev.sq_backlog(SqId(0)), 4, "stalled SQ must not fetch");
+        // Past the stall window the next backed-off redrive (tick count 24,
+        // a multiple of the backoff cadence) revives the queue…
+        let mut late = 0;
+        for tick in 20u32..24 {
+            let t = SimTime::from_micros(u64::from(tick) * 50);
+            late += guard.redrive(&mut dev, t, &mut out, &mut stats);
+        }
+        assert_eq!(late, 1, "exactly the backed-off retry fires");
+        assert_eq!(dev.sq_backlog(SqId(0)), 3, "revived SQ fetched a command");
+        // …and the observed progress resets the guard to quiescent.
+        assert_eq!(
+            guard.redrive(
+                &mut dev,
+                SimTime::from_micros(24 * 50),
+                &mut out,
+                &mut stats
+            ),
+            0
+        );
     }
 
     #[test]

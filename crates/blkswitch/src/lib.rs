@@ -36,7 +36,7 @@ use blkstack::nsqlock::NsqLockTable;
 use blkstack::reqmap::RequestMap;
 use blkstack::split::{split_extents, SplitConfig};
 use blkstack::stack::{
-    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, StackEnv,
+    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, RedriveGuard, StackEnv,
     StackStats, StorageStack,
 };
 use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
@@ -88,6 +88,7 @@ pub struct BlkSwitchStack {
     locks: NsqLockTable,
     reqmap: RequestMap,
     parked: ParkedCommands,
+    redrive: RedriveGuard,
     split: SplitConfig,
     stats: StackStats,
     /// Recycled submit staging buffer (drained back to empty every call).
@@ -109,6 +110,7 @@ impl BlkSwitchStack {
             locks: NsqLockTable::new(device_sqs),
             reqmap: RequestMap::new(),
             parked: ParkedCommands::new(),
+            redrive: RedriveGuard::new(),
             split: SplitConfig::default(),
             stats: StackStats::default(),
             cmd_scratch: Vec::new(),
@@ -473,6 +475,17 @@ impl StorageStack for BlkSwitchStack {
             t.window_bytes = 0;
         }
         Some(self.cfg.steer_interval)
+    }
+
+    fn on_watchdog(&mut self, env: &mut StackEnv<'_>) {
+        // Fault recovery: completion-starved parked commands first, then
+        // stalled-NSQ doorbell redrive with bounded retry.
+        if !self.parked.is_empty() {
+            self.parked
+                .flush(env.device, env.now, env.dev_out, &mut self.stats);
+        }
+        self.redrive
+            .redrive(env.device, env.now, env.dev_out, &mut self.stats);
     }
 
     fn stats(&self) -> StackStats {

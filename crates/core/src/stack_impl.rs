@@ -22,7 +22,7 @@ use blkstack::nsqlock::NsqLockTable;
 use blkstack::reqmap::RequestMap;
 use blkstack::split::{split_extents, SplitConfig};
 use blkstack::stack::{
-    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, StackEnv,
+    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, RedriveGuard, StackEnv,
     StackStats, StorageStack,
 };
 use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
@@ -41,6 +41,7 @@ pub struct DaredevilStack {
     locks: NsqLockTable,
     reqmap: RequestMap,
     parked: ParkedCommands,
+    redrive: RedriveGuard,
     split: SplitConfig,
     stats: StackStats,
     irq_policy_configured: bool,
@@ -89,6 +90,7 @@ impl DaredevilStack {
             locks: NsqLockTable::new(nr_sqs),
             reqmap: RequestMap::new(),
             parked: ParkedCommands::new(),
+            redrive: RedriveGuard::new(),
             split: SplitConfig::default(),
             stats: StackStats::default(),
             irq_policy_configured: false,
@@ -351,6 +353,17 @@ impl StorageStack for DaredevilStack {
                 .flush(env.device, env.now, env.dev_out, &mut self.stats);
         }
         cost
+    }
+
+    fn on_watchdog(&mut self, env: &mut StackEnv<'_>) {
+        // Fault recovery: completion-starved parked commands first, then
+        // stalled-NSQ doorbell redrive with bounded retry.
+        if !self.parked.is_empty() {
+            self.parked
+                .flush(env.device, env.now, env.dev_out, &mut self.stats);
+        }
+        self.redrive
+            .redrive(env.device, env.now, env.dev_out, &mut self.stats);
     }
 
     fn stats(&self) -> StackStats {

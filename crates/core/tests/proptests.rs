@@ -178,6 +178,118 @@ fn troute_claims_balance_on_deregister() {
     });
 }
 
+/// Ionice-storm hardening: under priority flapping at syscall cadence
+/// (Fig. 14's `ionice` storm, re-registrations every ~10 µs) interleaved
+/// with request traffic, every routing decision follows the tenant's
+/// *current* SLA — never a stale pre-flip route — and the claim
+/// accounting survives arbitrarily many re-registrations.
+#[test]
+fn troute_never_routes_against_stale_sla_under_flapping() {
+    check("troute_never_routes_against_stale_sla_under_flapping", |c| {
+        let nr_queues = 2 * c.u16_in(2, 9);
+        let mut f = fixture(nr_queues);
+        let n = c.usize_in(1, 8);
+        // Current SLA per tenant, updated as the storm flips it.
+        let mut ionice: Vec<IoPriorityClass> = Vec::new();
+        for i in 0..n {
+            let io = if c.bool_with(0.5) {
+                IoPriorityClass::RealTime
+            } else {
+                IoPriorityClass::BestEffort
+            };
+            ionice.push(io);
+            let task = TaskStruct::new(Pid(i as u64), c.u16_in(0, 4), io, NamespaceId(1), "p");
+            f.troute
+                .register(&task, &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
+        }
+        // A storm of interleaved flips and requests: each step is either an
+        // ionice update (the 10 µs flapper firing) or an I/O arriving
+        // between two flips.
+        for _ in 0..c.usize_in(50, 400) {
+            let pid = c.usize_in(0, n);
+            if c.bool_with(0.4) {
+                // Flip this tenant's SLA.
+                let io = if c.bool_with(0.5) {
+                    IoPriorityClass::RealTime
+                } else {
+                    IoPriorityClass::BestEffort
+                };
+                ionice[pid] = io;
+                f.troute.update_ionice(
+                    Pid(pid as u64),
+                    io,
+                    &mut f.nqreg,
+                    &f.device,
+                    &f.locks,
+                    &mut f.proxies,
+                );
+                // The re-registered route must reflect the new SLA at once.
+                let route = f.troute.route_of(Pid(pid as u64)).unwrap();
+                prop_assert_eq!(
+                    f.proxies.get(route.default_sq).prio,
+                    Troute::base_priority(io),
+                    "default NSQ priority is stale after the flip"
+                );
+                if io.is_latency_sensitive() {
+                    prop_assert!(
+                        route.outlier_sq.is_none(),
+                        "L-tenant kept a stale outlier NSQ"
+                    );
+                }
+            } else {
+                let flags = match c.u8_in(0, 4) {
+                    0 => ReqFlags::SYNC,
+                    1 => ReqFlags::META,
+                    _ => ReqFlags::NONE,
+                };
+                let sq = f.troute.route(
+                    &bio(pid as u64, flags),
+                    &mut f.nqreg,
+                    &f.device,
+                    &f.locks,
+                    &mut f.proxies,
+                );
+                let target_prio = f.proxies.get(sq).prio;
+                // Judged against the *current* SLA, not the registration-
+                // time one: the L-invariant must hold mid-storm.
+                if ionice[pid].is_latency_sensitive() {
+                    prop_assert_eq!(
+                        target_prio,
+                        Priority::High,
+                        "L-request routed against a stale (low) SLA"
+                    );
+                    prop_assert_eq!(
+                        sq,
+                        f.troute.route_of(Pid(pid as u64)).unwrap().default_sq
+                    );
+                } else if flags.is_outlier() {
+                    prop_assert_eq!(
+                        target_prio,
+                        Priority::High,
+                        "outlier routed to low priority mid-storm"
+                    );
+                } else {
+                    prop_assert_eq!(
+                        sq,
+                        f.troute.route_of(Pid(pid as u64)).unwrap().default_sq
+                    );
+                    prop_assert_eq!(target_prio, Priority::Low);
+                }
+            }
+        }
+        // However many re-registrations happened, claims balance.
+        for i in 0..n {
+            f.troute.deregister(Pid(i as u64), &mut f.proxies);
+        }
+        prop_assert!(f.troute.is_empty());
+        for p in f.proxies.iter() {
+            prop_assert_eq!(p.assignments(), 0, "storm leaked assignments on {:?}", p.sq);
+            prop_assert_eq!(p.nr_claimed_cores(), 0, "storm leaked core bits on {:?}", p.sq);
+        }
+        Ok(())
+    });
+}
+
 /// `divide_priorities` always yields a balanced, high-first partition.
 #[test]
 fn divide_priorities_partitions() {

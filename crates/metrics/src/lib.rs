@@ -17,12 +17,14 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod recovery;
 pub mod series;
 pub mod span;
 pub mod summary;
 pub mod table;
 
 pub use hist::LatencyHistogram;
+pub use recovery::FaultRecovery;
 pub use series::TimeSeries;
 pub use span::{SegmentStats, Span, SpanTable};
 pub use summary::{ClassSummary, RunSummary, TenantSummary};

@@ -1,0 +1,66 @@
+//! Fault-injection and recovery counters for one run.
+//!
+//! When a scenario schedules device faults (`simkit::fault`), the figures
+//! and property tests need to assert both that the faults actually engaged
+//! *and* that the host's recovery machinery fired. [`FaultRecovery`]
+//! aggregates the device-side injection counters with the host-side
+//! recovery counters into one value carried by the testbed's run output.
+
+/// Injection + recovery counters of one simulation run.
+///
+/// All zeros on a run without faults — the struct is cheap enough to carry
+/// unconditionally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultRecovery {
+    /// Page operations whose die service latency was spiked (device).
+    pub spikes_applied: u64,
+    /// IRQ raises silently swallowed by a loss window (device).
+    pub vectors_lost: u64,
+    /// NSQ stall windows that became active (device).
+    pub stalls_engaged: u64,
+    /// Polling-fallback ISRs fired by the host watchdog for CQs whose
+    /// vector was stuck raised without drain progress.
+    pub polls_fired: u64,
+    /// Doorbell redrives issued by the stacks' stall watchdog (bounded
+    /// retry against NSQs whose published backlog stopped being fetched).
+    pub watchdog_redrives: u64,
+    /// ISRs that found an empty CQ (a watchdog poll raced a real
+    /// delivery; the spurious run is tolerated, like `IRQ_NONE`).
+    pub spurious_isrs: u64,
+    /// Total interrupts raised across all device vectors (includes raises
+    /// whose delivery was then lost).
+    pub irq_raised_total: u64,
+}
+
+impl FaultRecovery {
+    /// Total device-side fault activations across all classes.
+    pub fn total_injected(&self) -> u64 {
+        self.spikes_applied + self.vectors_lost + self.stalls_engaged
+    }
+
+    /// Total host-side recovery actions.
+    pub fn total_recovered(&self) -> u64 {
+        self.polls_fired + self.watchdog_redrives
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_their_sides() {
+        let r = FaultRecovery {
+            spikes_applied: 3,
+            vectors_lost: 2,
+            stalls_engaged: 1,
+            polls_fired: 2,
+            watchdog_redrives: 5,
+            spurious_isrs: 1,
+            irq_raised_total: 40,
+        };
+        assert_eq!(r.total_injected(), 6);
+        assert_eq!(r.total_recovered(), 7);
+        assert_eq!(FaultRecovery::default().total_injected(), 0);
+    }
+}

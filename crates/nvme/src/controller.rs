@@ -30,8 +30,20 @@ impl NvmeDevice {
         if self.inflight_pages >= self.config.max_inflight_pages as u64 {
             return;
         }
-        let sqs = &self.sqs;
-        let Some(sq_id) = self.arbiter.next(|sq| sqs[sq.index()].visible_len() > 0) else {
+        let pick = if self.faults.enabled() {
+            // A stalled NSQ is invisible to the arbiter for the duration of
+            // its fault window: its published work sits unfetched exactly as
+            // if the controller's per-queue fetch engine wedged.
+            self.faults.advance(now);
+            let sqs = &self.sqs;
+            let faults = &self.faults;
+            self.arbiter
+                .next(|sq| sqs[sq.index()].visible_len() > 0 && !faults.sq_stalled(now, sq.0))
+        } else {
+            let sqs = &self.sqs;
+            self.arbiter.next(|sq| sqs[sq.index()].visible_len() > 0)
+        };
+        let Some(sq_id) = pick else {
             return;
         };
         let cmd = self.sqs[sq_id.index()]
@@ -64,10 +76,13 @@ impl NvmeDevice {
             IoOpcode::Flush => now + self.config.perf.flush_latency,
             IoOpcode::Read | IoOpcode::Write => {
                 match self.namespaces.translate(cmd.nsid, cmd.slba, cmd.nlb) {
-                    Ok(dev_lba) => {
-                        self.flash
-                            .dispatch_command(now, dev_lba, cmd.pages(), cmd.opcode)
-                    }
+                    Ok(dev_lba) => self.flash.dispatch_command(
+                        now,
+                        dev_lba,
+                        cmd.pages(),
+                        cmd.opcode,
+                        &mut self.faults,
+                    ),
                     Err(_) => now, // Error completion posts immediately.
                 }
             }
@@ -166,6 +181,13 @@ impl NvmeDevice {
     fn raise_now(&mut self, cq: CqId, now: SimTime, out: &mut DeviceOutput) {
         if self.vectors[cq.index()].try_raise() {
             self.cqs[cq.index()].note_irq();
+            if self.faults.enabled() && self.faults.loses_irq(now, cq.0) {
+                // The assertion is swallowed in flight: the vector latches
+                // `Raised` so the device will never re-raise for this CQ on
+                // its own — only the host's ISR watchdog (polling fallback)
+                // can drain the orphaned CQ and re-arm the vector.
+                return;
+            }
             out.irqs.push(IrqRaise {
                 cq,
                 core: self.vectors[cq.index()].core,

@@ -16,6 +16,7 @@
 //! event loop, and interrupts to deliver to cores. This keeps the device a
 //! pure state machine that the unit tests can single-step.
 
+use simkit::fault::{FaultGeometry, FaultPlan, FaultStats};
 use simkit::{SimTime, TraceSink};
 
 use crate::arbiter::{RoundRobinArbiter, SqPriorityClass, WrrArbiter};
@@ -154,6 +155,9 @@ pub struct NvmeDevice {
     /// Per-CQ coalescing state: (enabled, aggregation timer armed).
     pub(crate) coalesce: Vec<(bool, bool)>,
     pub(crate) stats: DeviceStats,
+    /// Fault-injection schedule (disabled unless installed; every hook is
+    /// behind a single `enabled()` branch, mirroring the trace sink).
+    pub(crate) faults: FaultPlan,
 }
 
 impl NvmeDevice {
@@ -199,8 +203,29 @@ impl NvmeDevice {
             inflight_pages: 0,
             coalesce: vec![(true, false); config.nr_cqs as usize],
             stats: DeviceStats::default(),
+            faults: FaultPlan::disabled(),
             config,
         }
+    }
+
+    /// The fault geometry of this device (targets a fault plan can hit).
+    pub fn fault_geometry(&self) -> FaultGeometry {
+        FaultGeometry {
+            dies: self.config.flash.total_dies() as u32,
+            sqs: self.config.nr_sqs,
+            cqs: self.config.nr_cqs,
+        }
+    }
+
+    /// Installs a fault-injection plan (typically generated against
+    /// [`NvmeDevice::fault_geometry`]). Replaces any previous plan.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Counters of faults that took effect so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
     }
 
     /// The device configuration.
@@ -277,6 +302,48 @@ impl NvmeDevice {
     /// Pending (posted, unpopped) CQEs on a CQ.
     pub fn cq_pending(&self, cq: CqId) -> usize {
         self.cqs[cq.index()].pending()
+    }
+
+    /// True when the fetch engine is sitting idle with page-budget room
+    /// while published work waits in some NSQ. On a healthy device this
+    /// state is resolved synchronously at every doorbell/fetch/budget
+    /// transition, so it can only persist when the arbiter is skipping
+    /// stalled queues (fault injection) — the stall watchdog's redrive
+    /// trigger.
+    pub fn fetch_starved(&self) -> bool {
+        !self.fetch_busy
+            && self.inflight_pages < self.config.max_inflight_pages as u64
+            && self.sqs.iter().any(|q| q.visible_len() > 0)
+    }
+
+    /// Cumulative CQ entries the host has reaped from one CQ (posts minus
+    /// still-pending). Monotone; the ISR watchdog compares snapshots to
+    /// detect a CQ whose drain has stopped dead while its vector is stuck.
+    pub fn cq_reaped(&self, cq: CqId) -> u64 {
+        let q = &self.cqs[cq.index()];
+        q.stats().complete_rqs - q.pending() as u64
+    }
+
+    /// True while a CQ's vector is asserted (an ISR is owed or in flight).
+    /// The ISR watchdog uses this to spot vectors whose raise was lost.
+    pub fn irq_raised(&self, cq: CqId) -> bool {
+        self.vectors[cq.index()].state() == crate::irq::IrqState::Raised
+    }
+
+    /// Total interrupts raised on one CQ's vector.
+    pub fn irq_raised_on(&self, cq: CqId) -> u64 {
+        self.vectors[cq.index()].raised_total()
+    }
+
+    /// Total interrupts raised across all vectors.
+    pub fn irq_raised_total(&self) -> u64 {
+        self.vectors.iter().map(|v| v.raised_total()).sum()
+    }
+
+    /// Published-but-unfetched commands on an SQ (the stall watchdog's
+    /// notion of backlog the controller should be draining).
+    pub fn sq_backlog(&self, sq: SqId) -> usize {
+        self.sqs[sq.index()].visible_len()
     }
 
     /// Device-wide counters.

@@ -11,7 +11,7 @@
 //! under heavy T-pressure even with perfect NQ-level separation — the
 //! internal interference the paper's §8.1 names as Daredevil's limitation.
 
-use simkit::{SimDuration, SimTime};
+use simkit::{FaultPlan, SimDuration, SimTime};
 
 use crate::command::IoOpcode;
 
@@ -149,13 +149,29 @@ impl FlashBackend {
     /// Calls must be made in non-decreasing `now` order (the event loop
     /// guarantees this); the greedy FIFO computation is exact under that
     /// ordering.
-    pub fn dispatch_page(&mut self, now: SimTime, lba: u64, op: IoOpcode) -> SimTime {
+    ///
+    /// An active die-spike window in `faults` multiplies the die-occupancy
+    /// part of the service (sense for reads, program for writes) — the bus
+    /// is unaffected, matching a die that has gone slow rather than a
+    /// controller fault.
+    pub fn dispatch_page(
+        &mut self,
+        now: SimTime,
+        lba: u64,
+        op: IoOpcode,
+        faults: &mut FaultPlan,
+    ) -> SimTime {
         let (ch, die) = self.locate(lba);
+        let spike = if faults.enabled() {
+            faults.die_spike(now, die as u32).unwrap_or(1) as u64
+        } else {
+            1
+        };
         let done = match op {
             IoOpcode::Read => {
                 // Die sense, then bus transfer out.
                 let die_start = now.max(self.die_free_at[die]);
-                let die_done = die_start + self.config.read_latency;
+                let die_done = die_start + self.config.read_latency * spike;
                 self.die_free_at[die] = die_done;
                 let xfer_start = die_done.max(self.channel_free_at[ch]);
                 let xfer_done = xfer_start + self.config.transfer_latency;
@@ -169,7 +185,7 @@ impl FlashBackend {
                 let xfer_done = xfer_start + self.config.transfer_latency;
                 self.channel_free_at[ch] = xfer_done;
                 let die_start = xfer_done.max(self.die_free_at[die]);
-                let die_done = die_start + self.config.program_latency;
+                let die_done = die_start + self.config.program_latency * spike;
                 self.die_free_at[die] = die_done;
                 self.total_queue_delay += (xfer_start - now) + (die_start - xfer_done);
                 self.maybe_collect(now);
@@ -189,11 +205,12 @@ impl FlashBackend {
         start_lba: u64,
         pages: u32,
         op: IoOpcode,
+        faults: &mut FaultPlan,
     ) -> SimTime {
         debug_assert!(pages > 0);
         let mut last = now;
         for i in 0..pages {
-            let done = self.dispatch_page(now, start_lba + i as u64, op);
+            let done = self.dispatch_page(now, start_lba + i as u64, op, faults);
             last = last.max(done);
         }
         last
@@ -259,7 +276,7 @@ mod tests {
     #[test]
     fn idle_read_takes_tr_plus_transfer() {
         let mut f = backend();
-        let done = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Read);
+        let done = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Read, &mut FaultPlan::disabled());
         assert_eq!(done, SimTime::from_micros(60));
         assert_eq!(f.avg_queue_delay(), SimDuration::ZERO);
     }
@@ -267,7 +284,7 @@ mod tests {
     #[test]
     fn idle_write_takes_transfer_plus_tprog() {
         let mut f = backend();
-        let done = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Write);
+        let done = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Write, &mut FaultPlan::disabled());
         assert_eq!(done, SimTime::from_micros(510));
     }
 
@@ -276,8 +293,8 @@ mod tests {
         let mut f = backend();
         // LBA 0 and LBA 4 map to channel 0; with 2 channels and 2
         // dies/channel the die index repeats every channels*dies = 4 LBAs.
-        let d1 = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Read);
-        let d2 = f.dispatch_page(SimTime::ZERO, 4, IoOpcode::Read);
+        let d1 = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Read, &mut FaultPlan::disabled());
+        let d2 = f.dispatch_page(SimTime::ZERO, 4, IoOpcode::Read, &mut FaultPlan::disabled());
         assert!(d2 > d1, "second op on same die must queue");
         assert!(f.avg_queue_delay() > SimDuration::ZERO);
     }
@@ -285,8 +302,8 @@ mod tests {
     #[test]
     fn different_channels_parallel() {
         let mut f = backend();
-        let d1 = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Read);
-        let d2 = f.dispatch_page(SimTime::ZERO, 1, IoOpcode::Read);
+        let d1 = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Read, &mut FaultPlan::disabled());
+        let d2 = f.dispatch_page(SimTime::ZERO, 1, IoOpcode::Read, &mut FaultPlan::disabled());
         assert_eq!(d1, d2, "independent channels serve in parallel");
     }
 
@@ -295,15 +312,15 @@ mod tests {
         let mut f = backend();
         // LBA 0 → (ch0, die0); LBA 2 → (ch0, die1): senses overlap, only the
         // bus transfer serializes.
-        let d1 = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Read);
-        let d2 = f.dispatch_page(SimTime::ZERO, 2, IoOpcode::Read);
+        let d1 = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Read, &mut FaultPlan::disabled());
+        let d2 = f.dispatch_page(SimTime::ZERO, 2, IoOpcode::Read, &mut FaultPlan::disabled());
         assert_eq!(d2 - d1, SimDuration::from_micros(10));
     }
 
     #[test]
     fn command_completion_is_max_of_pages() {
         let mut f = backend();
-        let done = f.dispatch_command(SimTime::ZERO, 0, 8, IoOpcode::Read);
+        let done = f.dispatch_command(SimTime::ZERO, 0, 8, IoOpcode::Read, &mut FaultPlan::disabled());
         // 8 pages over 4 dies: 2 rounds of sensing on each die plus queued
         // transfers; must exceed a single idle read.
         assert!(done > SimTime::from_micros(60));
@@ -314,7 +331,7 @@ mod tests {
     fn gc_disabled_by_default() {
         let mut f = backend();
         for i in 0..1000 {
-            f.dispatch_page(SimTime::from_micros(i), i, IoOpcode::Write);
+            f.dispatch_page(SimTime::from_micros(i), i, IoOpcode::Write, &mut FaultPlan::disabled());
         }
         assert_eq!(f.gc_erases(), 0);
     }
@@ -335,7 +352,7 @@ mod tests {
         });
         let mut f = FlashBackend::new(cfg);
         for i in 0..24u64 {
-            f.dispatch_page(SimTime::from_millis(i), i, IoOpcode::Write);
+            f.dispatch_page(SimTime::from_millis(i), i, IoOpcode::Write, &mut FaultPlan::disabled());
         }
         assert_eq!(f.gc_erases(), 3, "one erase per 8 programmed pages");
     }
@@ -356,10 +373,10 @@ mod tests {
         });
         let mut f = FlashBackend::new(cfg);
         // The write triggers an immediate erase on the single die.
-        let w_done = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Write);
+        let w_done = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Write, &mut FaultPlan::disabled());
         assert_eq!(f.gc_erases(), 1);
         // A read right after the write waits behind program + erase.
-        let r_done = f.dispatch_page(SimTime::from_micros(1), 0, IoOpcode::Read);
+        let r_done = f.dispatch_page(SimTime::from_micros(1), 0, IoOpcode::Read, &mut FaultPlan::disabled());
         assert!(
             r_done > w_done + SimDuration::from_millis(2),
             "erase must postpone the read: read done {r_done}, write done {w_done}"
@@ -367,12 +384,46 @@ mod tests {
     }
 
     #[test]
+    fn die_spike_multiplies_sense_latency() {
+        use simkit::fault::{FaultEvent, FaultGeometry, FaultKind};
+        let mut f = backend();
+        let geo = FaultGeometry {
+            dies: 4,
+            sqs: 1,
+            cqs: 1,
+        };
+        let mut plan = FaultPlan::from_events(
+            vec![FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::DieSpike {
+                    die: 0, // LBA 0 → (ch0, die0)
+                    mult: 8,
+                    dur: SimDuration::from_micros(200),
+                },
+            }],
+            geo,
+        );
+        // Inside the window: sense is 8× (400 µs) + 10 µs transfer.
+        let spiked = f.dispatch_page(SimTime::ZERO, 0, IoOpcode::Read, &mut plan);
+        assert_eq!(spiked, SimTime::from_micros(410));
+        assert_eq!(plan.stats().spikes_applied, 1);
+        // Another die in the same window is unaffected (modulo queueing).
+        let clean = f.dispatch_page(SimTime::ZERO, 1, IoOpcode::Read, &mut plan);
+        assert_eq!(clean, SimTime::from_micros(60));
+        // After the window the spiked die serves at normal speed again.
+        let mut idle = backend();
+        let after = idle.dispatch_page(SimTime::from_micros(300), 0, IoOpcode::Read, &mut plan);
+        assert_eq!(after, SimTime::from_micros(360));
+        assert_eq!(plan.stats().spikes_applied, 1);
+    }
+
+    #[test]
     fn big_command_floods_backend_for_later_reader() {
         let mut f = backend();
         // A 32-page bulk op at t=0...
-        f.dispatch_command(SimTime::ZERO, 0, 32, IoOpcode::Read);
+        f.dispatch_command(SimTime::ZERO, 0, 32, IoOpcode::Read, &mut FaultPlan::disabled());
         // ...delays a single-page read arriving shortly after.
-        let done = f.dispatch_page(SimTime::from_micros(1), 0, IoOpcode::Read);
+        let done = f.dispatch_page(SimTime::from_micros(1), 0, IoOpcode::Read, &mut FaultPlan::disabled());
         let idle_equiv = SimTime::from_micros(1) + SimDuration::from_micros(60);
         assert!(
             done > idle_equiv + SimDuration::from_micros(100),

@@ -65,8 +65,15 @@ impl IrqVector {
 
     /// Host signals the ISR finished. `more_pending` is whether CQEs remain
     /// unprocessed; returns true when the vector must immediately re-raise.
+    ///
+    /// Tolerates completion of an *idle* vector: a polled ISR (the
+    /// fault-recovery watchdog) can race a real delivery, in which case the
+    /// second ISR finds nothing to acknowledge — the hardware equivalent of
+    /// returning `IRQ_NONE` from a shared handler.
     pub fn complete(&mut self, more_pending: bool) -> bool {
-        debug_assert_eq!(self.state, IrqState::Raised, "completing idle vector");
+        if self.state == IrqState::Idle {
+            return false;
+        }
         if more_pending {
             self.raised_total += 1;
             true // Stay raised; a fresh delivery is needed.
@@ -109,5 +116,15 @@ mod tests {
         assert_eq!(v.raised_total(), 2);
         // Still won't double-raise while raised.
         assert!(!v.try_raise());
+    }
+
+    #[test]
+    fn spurious_complete_is_harmless() {
+        let mut v = IrqVector::new(CqId(0), 0);
+        assert!(!v.complete(false), "idle completion must not re-raise");
+        assert!(!v.complete(true), "idle completion ignores backlog hint");
+        assert_eq!(v.state(), IrqState::Idle);
+        assert_eq!(v.raised_total(), 0);
+        assert!(v.try_raise(), "vector still usable afterwards");
     }
 }

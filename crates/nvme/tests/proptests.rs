@@ -8,7 +8,7 @@ use dd_nvme::namespace::NamespaceTable;
 use dd_nvme::queue::SubmissionQueue;
 use dd_nvme::spec::{CommandId, CqId, NamespaceId, SqId};
 use dd_nvme::{DeviceOutput, NvmeCommand, NvmeConfig, NvmeDevice};
-use simkit::{EventQueue, SimTime};
+use simkit::{EventQueue, FaultPlan, SimTime};
 
 fn cmd(cid: u64, nlb: u32, slba: u64) -> NvmeCommand {
     NvmeCommand {
@@ -95,7 +95,7 @@ fn flash_completions_causal() {
         let mut last_done_per_lba_class = std::collections::HashMap::new();
         for (i, &lba) in lbas.iter().enumerate() {
             let now = SimTime::from_micros(i as u64); // Non-decreasing dispatch.
-            let done = f.dispatch_page(now, lba, IoOpcode::Read);
+            let done = f.dispatch_page(now, lba, IoOpcode::Read, &mut FaultPlan::disabled());
             prop_assert!(done > now);
             // Same (channel, die) ops complete in dispatch order.
             let class = (lba % 8, (lba / 8) % 4);

@@ -31,7 +31,7 @@ use blkstack::nsqlock::NsqLockTable;
 use blkstack::reqmap::RequestMap;
 use blkstack::split::{split_extents, SplitConfig};
 use blkstack::stack::{
-    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, StackEnv,
+    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, RedriveGuard, StackEnv,
     StackStats, StorageStack,
 };
 use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
@@ -49,6 +49,7 @@ pub struct OverprovStack {
     locks: NsqLockTable,
     reqmap: RequestMap,
     parked: ParkedCommands,
+    redrive: RedriveGuard,
     split: SplitConfig,
     stats: StackStats,
     /// Whether the device's queues have been WRR-classified yet.
@@ -78,6 +79,7 @@ impl OverprovStack {
             locks: NsqLockTable::new(device_sqs),
             reqmap: RequestMap::new(),
             parked: ParkedCommands::new(),
+            redrive: RedriveGuard::new(),
             split: SplitConfig::default(),
             stats: StackStats::default(),
             classified: false,
@@ -265,6 +267,17 @@ impl StorageStack for OverprovStack {
                 .flush(env.device, env.now, env.dev_out, &mut self.stats);
         }
         cost
+    }
+
+    fn on_watchdog(&mut self, env: &mut StackEnv<'_>) {
+        // Fault recovery: completion-starved parked commands first, then
+        // stalled-NSQ doorbell redrive with bounded retry.
+        if !self.parked.is_empty() {
+            self.parked
+                .flush(env.device, env.now, env.dev_out, &mut self.stats);
+        }
+        self.redrive
+            .redrive(env.device, env.now, env.dev_out, &mut self.stats);
     }
 
     fn stats(&self) -> StackStats {

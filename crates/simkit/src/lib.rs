@@ -17,6 +17,7 @@
 
 pub mod event;
 pub mod ewma;
+pub mod fault;
 pub mod keyed_heap;
 pub mod rng;
 pub mod slab;
@@ -25,6 +26,7 @@ pub mod trace;
 
 pub use event::{EventQueue, HeapQueue};
 pub use ewma::Ewma;
+pub use fault::{FaultClasses, FaultEvent, FaultGeometry, FaultKind, FaultPlan, FaultSpec, FaultStats};
 pub use keyed_heap::KeyedMinHeap;
 pub use rng::{SimRng, Zipfian};
 pub use slab::{DenseMap, Key, Slab, SlotId};

@@ -56,6 +56,9 @@ enum Event {
     WakeResubmit(Pid),
     /// Measurement window opens.
     EndWarmup,
+    /// Fault-recovery scan: poll orphaned CQs, redrive stalled NSQs.
+    /// Scheduled only when the scenario injects faults.
+    FaultWatchdog,
     /// Run ends.
     Stop,
 }
@@ -184,6 +187,14 @@ pub struct Machine {
     op_lat: HashMap<OpKind, LatencyHistogram>,
     active_apps: usize,
     events_processed: u64,
+    /// Per-CQ cumulative-reap snapshot at the previous watchdog tick
+    /// (`u64::MAX` = not under observation). A raised vector whose CQ
+    /// reaped nothing across a full tick gets a polling-fallback ISR.
+    wd_reaped: Vec<u64>,
+    /// Polling-fallback ISRs fired by the watchdog.
+    polls_fired: u64,
+    /// ISRs that found an empty CQ (poll raced a real delivery).
+    spurious_isrs: u64,
 }
 
 /// Builds a bio from an I/O descriptor on behalf of a tenant.
@@ -239,7 +250,18 @@ impl Machine {
             // machine configures it the way a FlashShare deployment would.
             nvme_cfg = nvme_cfg.with_wrr(dd_nvme::WrrWeights::default());
         }
-        let device = NvmeDevice::new(nvme_cfg, nr_cores);
+        let mut device = NvmeDevice::new(nvme_cfg, nr_cores);
+        // Fault injection: generate the whole schedule up front from the
+        // spec seed and the device geometry — purely virtual-time, so runs
+        // with faults stay exactly as deterministic as runs without.
+        if let Some(spec) = scenario.faults {
+            let horizon = scenario.warmup + scenario.measure;
+            device.install_faults(simkit::FaultPlan::generate(
+                &spec,
+                device.fault_geometry(),
+                horizon,
+            ));
+        }
         let mut stack = build_stack(&scenario.stack, nr_cores, &device);
         // Pre-size the stack's slab request maps and recycled scratch from
         // the same shape hint the event queue uses, so the steady state
@@ -326,6 +348,9 @@ impl Machine {
             op_lat: HashMap::new(),
             active_apps,
             events_processed: 0,
+            wd_reaped: Vec::new(),
+            polls_fired: 0,
+            spurious_isrs: 0,
             scenario,
         }
     }
@@ -429,7 +454,12 @@ impl Machine {
                 self.bio_scratch = bios;
                 self.costs.reap_per_rq + cost
             }
-            Work::Isr { cq } => self.with_env(|stack, env| stack.on_irq(cq, core, env)),
+            Work::Isr { cq } => {
+                if self.scenario.faults.is_some() && self.device.cq_pending(cq) == 0 {
+                    self.spurious_isrs += 1;
+                }
+                self.with_env(|stack, env| stack.on_irq(cq, core, env))
+            }
             Work::AppStep { pid } => self.app_step(pid),
             Work::IoniceUpdate { pid, class } => {
                 if let Some(t) = self.tenants.get_mut(&pid) {
@@ -641,6 +671,44 @@ impl Machine {
             self.queue
                 .push(SimTime::ZERO + interval, Event::MigrateStorm);
         }
+        if let Some(spec) = self.scenario.faults {
+            self.wd_reaped = vec![u64::MAX; self.device.nr_cqs() as usize];
+            self.queue
+                .push(SimTime::ZERO + spec.watchdog_period, Event::FaultWatchdog);
+        }
+    }
+
+    /// One fault-recovery watchdog tick (only scheduled under fault
+    /// injection).
+    ///
+    /// Device side: a CQ whose vector is stuck `Raised` with pending CQEs
+    /// and no drain progress since the previous tick has lost its raise
+    /// (or its delivery wedged) — fall back to polling by queuing an ISR
+    /// on the vector's core. The ISR drains the orphaned CQ and its
+    /// `isr_done` re-arms the vector; if it races a real delivery, the
+    /// second run finds an empty CQ and is tolerated as spurious.
+    ///
+    /// Host side: let the stack flush parked commands and redrive stalled
+    /// NSQs ([`StorageStack::on_watchdog`], bounded retry/backoff).
+    fn fault_watchdog(&mut self) {
+        for i in 0..self.wd_reaped.len() {
+            let cq = CqId(i as u16);
+            if self.device.cq_pending(cq) == 0 || !self.device.irq_raised(cq) {
+                self.wd_reaped[i] = u64::MAX;
+                continue;
+            }
+            let reaped = self.device.cq_reaped(cq);
+            let last = std::mem::replace(&mut self.wd_reaped[i], reaped);
+            if last != u64::MAX && reaped == last {
+                // Stuck raised with zero reap progress across a full
+                // period: the raise was lost — poll.
+                self.wd_reaped[i] = u64::MAX;
+                self.polls_fired += 1;
+                let core = self.device.irq_core(cq);
+                self.enqueue_work(core, WorkClass::HardIrq, Work::Isr { cq });
+            }
+        }
+        self.with_env(|stack, env| stack.on_watchdog(env));
     }
 
     /// Runs the scenario to completion.
@@ -658,6 +726,22 @@ impl Machine {
                 }
                 Event::EndWarmup => {
                     self.cpu_baseline = self.cpu.busy_snapshot(self.now);
+                }
+                Event::FaultWatchdog => {
+                    self.fault_watchdog();
+                    let period = self
+                        .scenario
+                        .faults
+                        .expect("watchdog only scheduled with faults")
+                        .watchdog_period;
+                    // Keep scanning to the end of the run: the watchdog
+                    // must outlive the last fault window even if every
+                    // tenant is blocked (its event also keeps the queue
+                    // non-empty, so a faulted lull cannot end the run
+                    // early).
+                    if self.now < self.stop_at {
+                        self.queue.push(self.now + period, Event::FaultWatchdog);
+                    }
                 }
                 Event::Dev(dev_ev) => {
                     let now = self.now;
@@ -752,6 +836,17 @@ impl Machine {
         // wrapped mid-run.
         let sink = std::mem::take(&mut self.dev_out.trace);
         let trace_dropped = sink.dropped();
+        let stack_stats = self.stack.stats();
+        let dev_faults = self.device.fault_stats();
+        let fault = dd_metrics::FaultRecovery {
+            spikes_applied: dev_faults.spikes_applied,
+            vectors_lost: dev_faults.vectors_lost,
+            stalls_engaged: dev_faults.stalls_engaged,
+            polls_fired: self.polls_fired,
+            watchdog_redrives: stack_stats.watchdog_redrives,
+            spurious_isrs: self.spurious_isrs,
+            irq_raised_total: self.device.irq_raised_total(),
+        };
         RunOutput {
             summary,
             series: self
@@ -761,11 +856,12 @@ impl Machine {
                 .collect(),
             trace: sink.into_events(),
             trace_dropped,
-            stack_stats: self.stack.stats(),
+            stack_stats,
             op_latencies: self.op_lat,
             flash_queue_delay: self.device.flash().avg_queue_delay(),
             events_processed: self.events_processed,
             troute_reassignments: self.stack.troute_reassignments(),
+            fault,
         }
     }
 }
@@ -811,6 +907,57 @@ mod tests {
         let s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, 2, MachinePreset::Small)
             .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(40));
         crate::run(s)
+    }
+
+    /// Satellite of the fault-injection issue: an aged drive (GC on)
+    /// raises the L-latency floor for every stack — erase-after-write is
+    /// device-internal blocking no amount of per-SLA queueing removes.
+    #[test]
+    fn gc_raises_the_latency_floor_for_every_stack() {
+        for stack in [StackSpec::vanilla(), StackSpec::daredevil()] {
+            let write_t = |mut s: Scenario| {
+                for t in &mut s.tenants {
+                    if t.class_label == "T" {
+                        t.kind = crate::scenario::TenantKind::Fio(
+                            dd_workload::tenants::t_tenant_write_job(),
+                        );
+                    }
+                }
+                s
+            };
+            let base = |stack: StackSpec| {
+                write_t(
+                    Scenario::multi_tenant_fio(stack, 4, 2, 4, MachinePreset::Small)
+                        .with_durations(
+                            SimDuration::from_millis(5),
+                            SimDuration::from_millis(40),
+                        ),
+                )
+            };
+            // Heavy aging: one 3 ms erase per two 128 KiB writes. Erases
+            // throttle the T-writers (the *mean* can even improve), but
+            // any L-read landing on an erasing die eats milliseconds —
+            // the floor shows in the tail.
+            let gc = dd_nvme::flash::GcConfig {
+                write_threshold_pages: 64,
+                ..Default::default()
+            };
+            let name = stack.name();
+            let clean = crate::run(base(stack.clone()));
+            let aged = crate::run(base(stack).with_gc(gc));
+            assert!(
+                aged.summary.class("L").ios_completed > 0,
+                "{name}: aged drive starved L entirely"
+            );
+            let clean_p999 = clean.summary.class("L").latency.p999();
+            let aged_p999 = aged.summary.class("L").latency.p999();
+            assert!(
+                aged_p999 > clean_p999 + SimDuration::from_millis(1),
+                "{name}: GC must lift the L tail by erase-scale: {:?} -> {:?}",
+                clean_p999,
+                aged_p999
+            );
+        }
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub struct RunOutput {
     pub events_processed: u64,
     /// troute reassignment count (Fig. 14; 0 for non-Daredevil stacks).
     pub troute_reassignments: u64,
+    /// Fault-injection and recovery counters (all zero without faults).
+    pub fault: dd_metrics::FaultRecovery,
 }
 
 impl RunOutput {

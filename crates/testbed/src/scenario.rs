@@ -247,6 +247,12 @@ pub struct Scenario {
     /// [`simkit::TraceSink`] into the machine for the run; `None` (default)
     /// keeps tracing off (one dead branch per instrumentation point).
     pub trace: Option<simkit::TraceSpec>,
+    /// Deterministic fault injection: `Some(spec)` generates a
+    /// [`simkit::FaultPlan`] over the device geometry for the run's
+    /// horizon, installs it into the device, and arms the host-side
+    /// recovery watchdog; `None` (default) keeps faults off (one dead
+    /// branch per injection point).
+    pub faults: Option<simkit::FaultSpec>,
 }
 
 impl Scenario {
@@ -267,6 +273,7 @@ impl Scenario {
             sample_width: SimDuration::from_millis(100),
             stop_when_apps_done: false,
             trace: None,
+            faults: None,
         }
     }
 
@@ -370,6 +377,19 @@ impl Scenario {
     /// Enables structured span tracing for the run.
     pub fn with_trace(mut self, spec: simkit::TraceSpec) -> Self {
         self.trace = Some(spec);
+        self
+    }
+
+    /// Enables deterministic fault injection for the run.
+    pub fn with_faults(mut self, spec: simkit::FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Enables flash garbage collection (an aged drive; Fig. 6 GC
+    /// variant).
+    pub fn with_gc(mut self, gc: dd_nvme::flash::GcConfig) -> Self {
+        self.nvme.flash = self.nvme.flash.with_gc(gc);
         self
     }
 

@@ -217,6 +217,12 @@ impl StorageStack for VirtioBlk {
         self.inner.on_tick(env)
     }
 
+    fn on_watchdog(&mut self, env: &mut StackEnv<'_>) {
+        // The guest stack owns the recovery machinery; the vq crossing adds
+        // no state of its own to redrive.
+        self.inner.on_watchdog(env);
+    }
+
     fn stats(&self) -> StackStats {
         self.inner.stats()
     }

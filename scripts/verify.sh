@@ -54,7 +54,9 @@ TRACE_1="$(mktemp)"
 TRACE_N="$(mktemp)"
 EXT_1="$(mktemp)"
 EXT_N="$(mktemp)"
-trap 'rm -f "$SERIAL_OUT" "$PAR_OUT" "$TRACE_1" "$TRACE_N" "$EXT_1" "$EXT_N" BENCH_sweep_serial.json' EXIT
+HOS_1="$(mktemp)"
+HOS_N="$(mktemp)"
+trap 'rm -f "$SERIAL_OUT" "$PAR_OUT" "$TRACE_1" "$TRACE_N" "$EXT_1" "$EXT_N" "$HOS_1" "$HOS_N" BENCH_sweep_serial.json' EXIT
 DD_BENCH_SWEEP=BENCH_sweep_serial.json \
     ./target/release/all_figures --quick --csv --jobs 1 >"$SERIAL_OUT" 2>/dev/null
 BASE_WALL="$(sed -n 's/.*"total_wall_s": \([0-9.]*\),.*/\1/p' BENCH_sweep_serial.json)"
@@ -113,6 +115,35 @@ if ! diff -q tests/golden/ext_breakdown_quick.txt "$EXT_1" >/dev/null; then
 fi
 TRACE_ROWS="$(( $(wc -l < "$TRACE_1") - 1 ))"
 echo "  SpanTable golden matched; $TRACE_ROWS span events byte-identical across jobs=1/$JOBS_N"
+
+echo "== verify: hostile-scenario figure (fault schedules deterministic + golden) =="
+# The fault-injection gate: the ext_hostile sweep (every stack under every
+# fault class) must be byte-identical for any worker count — fault
+# schedules, recovery watchdogs and all — and match the committed capture.
+./target/release/ext_hostile --quick --jobs 1 >"$HOS_1"
+./target/release/ext_hostile --quick --jobs "$JOBS_N" >"$HOS_N"
+if ! diff -q "$HOS_1" "$HOS_N" >/dev/null; then
+    echo "verify: FAILED — ext_hostile stdout diverges across --jobs:" >&2
+    diff "$HOS_1" "$HOS_N" | head -40 >&2
+    exit 1
+fi
+if ! diff -q tests/golden/ext_hostile_quick.txt "$HOS_1" >/dev/null; then
+    echo "verify: FAILED — hostile table diverges from tests/golden/ext_hostile_quick.txt:" >&2
+    diff tests/golden/ext_hostile_quick.txt "$HOS_1" | head -40 >&2
+    echo "(if the divergence is an intended semantic change, regenerate with:" >&2
+    echo " ./target/release/ext_hostile --quick --jobs 1 > tests/golden/ext_hostile_quick.txt)" >&2
+    exit 1
+fi
+echo "  hostile table byte-identical across jobs=1/$JOBS_N and vs the golden capture"
+
+echo "== verify: no request lost under an aggressive fault schedule =="
+# Request-conservation property (crates/testbed/tests/fault_props.rs):
+# random stacks x random fault classes, zero warmup, aggressive schedule —
+# every issued I/O is completed or within the tenant's queue depth, no
+# double completions, progress to the end of the window. A reduced case
+# count keeps the gate fast; the full corpus runs in `cargo test`.
+DD_CHECK_CASES=8 cargo test -q --release -p testbed --test fault_props
+echo "  fault conservation properties: ok"
 
 echo "== verify: tracing-off sweep throughput within noise of BENCH_sweep.json =="
 # The disabled sink must cost one predictable branch (see
