@@ -54,5 +54,6 @@ fn main() {
     bench::figures::ext_baselines::run_figure(&opts);
     bench::figures::ext_virtio::run_figure(&opts);
     bench::figures::ext_breakdown::run_figure(&opts);
+    bench::figures::ext_policy::run_figure(&opts);
     println!("Done. Full-scale: cargo run --release -p bench --bin all_figures");
 }

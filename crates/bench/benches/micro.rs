@@ -14,6 +14,7 @@ use std::hint::black_box;
 use blkstack::bio::{Bio, BioId, ReqFlags};
 use blkstack::nsqlock::NsqLockTable;
 use blkstack::{IoPriorityClass, Pid, TaskStruct};
+use daredevil::policy::DefaultPolicy;
 use daredevil::{DaredevilConfig, NqReg, Priority, ProxyTable, Troute};
 use dd_check::bench::BenchSet;
 use dd_metrics::LatencyHistogram;
@@ -43,16 +44,17 @@ fn bench_nq_scheduling(set: &mut BenchSet) {
     let prox = proxies(&dev);
 
     let mut reg = NqReg::new(0.8, 1024, true, 128, 24, |i| i % 24);
+    let mut pol = DefaultPolicy::default();
     set.bench("nqreg/schedule_mru_hit", || {
-        black_box(reg.schedule(Priority::High, 1, &dev, &locks, &prox))
+        black_box(reg.schedule(&mut pol, Priority::High, 1, &dev, &locks, &prox))
     });
     let mut reg = NqReg::new(0.8, 1, true, 128, 24, |i| i % 24);
     set.bench("nqreg/schedule_with_resort", || {
-        black_box(reg.schedule(Priority::High, 1, &dev, &locks, &prox))
+        black_box(reg.schedule(&mut pol, Priority::High, 1, &dev, &locks, &prox))
     });
     let mut reg = NqReg::new(0.8, 1024, false, 128, 24, |i| i % 24);
     set.bench("nqreg/schedule_round_robin", || {
-        black_box(reg.schedule(Priority::Low, 1, &dev, &locks, &prox))
+        black_box(reg.schedule(&mut pol, Priority::Low, 1, &dev, &locks, &prox))
     });
 }
 
@@ -64,8 +66,10 @@ fn bench_troute(set: &mut BenchSet) {
         let mut prox = proxies(&dev);
         let mut reg = NqReg::new(0.8, 1024, true, 64, 64, |i| i);
         let mut tr = Troute::new(1024, 64);
+        let mut pol = DefaultPolicy::default();
         tr.register(
             &TaskStruct::new(Pid(1), 0, IoPriorityClass::RealTime, NamespaceId(1), "L"),
+            &mut pol,
             &mut reg,
             &dev,
             &locks,
@@ -83,15 +87,17 @@ fn bench_troute(set: &mut BenchSet) {
             issued_at: SimTime::ZERO,
         };
         set.bench("troute/route_default", || {
-            black_box(tr.route(&bio, &mut reg, &dev, &locks, &mut prox))
+            black_box(tr.route(&bio, SimTime::ZERO, &mut pol, &mut reg, &dev, &locks, &mut prox))
         });
     }
     {
         let mut prox = proxies(&dev);
         let mut reg = NqReg::new(0.8, 1024, true, 64, 64, |i| i);
         let mut tr = Troute::new(1024, u64::MAX);
+        let mut pol = DefaultPolicy::default();
         tr.register(
             &TaskStruct::new(Pid(2), 0, IoPriorityClass::BestEffort, NamespaceId(1), "T"),
+            &mut pol,
             &mut reg,
             &dev,
             &locks,
@@ -109,7 +115,7 @@ fn bench_troute(set: &mut BenchSet) {
             issued_at: SimTime::ZERO,
         };
         set.bench("troute/route_outlier_per_request", || {
-            black_box(tr.route(&bio, &mut reg, &dev, &locks, &mut prox))
+            black_box(tr.route(&bio, SimTime::ZERO, &mut pol, &mut reg, &dev, &locks, &mut prox))
         });
     }
 }
@@ -143,12 +149,13 @@ fn bench_substrate(set: &mut BenchSet) {
     }
     {
         let mut dev = dd_nvme::flash::FlashBackend::new(dd_nvme::flash::FlashConfig::enterprise());
+        let mut faults = simkit::fault::FaultPlan::disabled();
         let mut now = SimTime::ZERO;
         let mut lba = 0u64;
         set.bench("substrate/flash_dispatch_4k", || {
             now += SimDuration::from_nanos(500);
             lba = lba.wrapping_add(97);
-            black_box(dev.dispatch_page(now, lba, IoOpcode::Read))
+            black_box(dev.dispatch_page(now, lba, IoOpcode::Read, &mut faults))
         });
     }
     {

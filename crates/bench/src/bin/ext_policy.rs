@@ -1,0 +1,6 @@
+//! Extension: policy A/B (built-in scheduling policies head-to-head).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::ext_policy::run_figure(&opts);
+}

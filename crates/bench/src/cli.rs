@@ -24,6 +24,9 @@
 //! --fault-seed N     fault-schedule seed (default 221; independent of
 //!                    the workload seed so the same schedule can replay
 //!                    against different traffic)
+//! --policy NAME      Daredevil scheduling policy for every scenario:
+//!                    default (Algorithm 1/2), deadline, sizeclass, or
+//!                    fairshare; no-op for non-Daredevil stacks
 //! ```
 //!
 //! # Trace CSV
@@ -55,7 +58,7 @@ use testbed::RunOutput;
 
 const USAGE: &str = "usage: <bin> [--quick] [--csv] [--jobs N] [--seed N]\n\
   \x20           [--trace [PHASES]] [--trace-out PATH] [--trace-cap N]\n\
-  \x20           [--faults SPEC] [--fault-seed N]\n\
+  \x20           [--faults SPEC] [--fault-seed N] [--policy NAME]\n\
   --quick          reduced durations (CI/smoke scale)\n\
   --csv            also print CSV after each table\n\
   --jobs N         sweep worker threads (default: available parallelism,\n\
@@ -70,7 +73,10 @@ const USAGE: &str = "usage: <bin> [--quick] [--csv] [--jobs N] [--seed N]\n\
   --faults SPEC    inject device faults into every scenario; SPEC is a\n\
                    comma-separated subset of: spikes,irqloss,stalls, or\n\
                    all / none\n\
-  --fault-seed N   fault-schedule seed (default: 221)";
+  --fault-seed N   fault-schedule seed (default: 221)\n\
+  --policy NAME    Daredevil scheduling policy applied to every scenario:\n\
+                   default, deadline, sizeclass, or fairshare (no-op for\n\
+                   stacks without a policy layer)";
 
 /// Default trace ring capacity in events (per run).
 pub const DEFAULT_TRACE_CAP: usize = 1 << 20;
@@ -98,6 +104,9 @@ pub struct Opts {
     pub faults: Option<simkit::FaultClasses>,
     /// Fault-schedule seed (`--fault-seed`), independent of `--seed`.
     pub fault_seed: Option<u64>,
+    /// Daredevil policy override applied to every scenario (`--policy`);
+    /// `None` keeps each scenario's configured policy (the default one).
+    pub policy: Option<daredevil::PolicySpec>,
 }
 
 /// Default fault-schedule seed (`0xDD` — arbitrary but fixed, so fault
@@ -118,6 +127,7 @@ impl Opts {
             trace_cap: DEFAULT_TRACE_CAP,
             faults: None,
             fault_seed: None,
+            policy: None,
         }
     }
 
@@ -231,6 +241,16 @@ impl Opts {
                     opts.fault_seed = Some(v.trim().parse::<u64>().unwrap_or_else(|_| {
                         bad(format!("invalid --fault-seed value {v:?} (want an integer)"))
                     }));
+                }
+                "--policy" => {
+                    let v = value("--policy", &mut i);
+                    opts.policy =
+                        Some(daredevil::PolicySpec::parse(v.trim()).unwrap_or_else(|| {
+                            bad(format!(
+                                "unknown --policy {v:?} (known: {})",
+                                daredevil::PolicySpec::ALL.map(|p| p.name()).join(", ")
+                            ))
+                        }));
                 }
                 "--trace-out" => opts.trace_out = value("--trace-out", &mut i),
                 "--trace-cap" => {
@@ -447,6 +467,15 @@ mod tests {
         assert!(o.fault_spec().is_none());
         // No flag at all: off.
         assert!(Opts::parse(&args(&["--jobs", "1"])).fault_spec().is_none());
+    }
+
+    #[test]
+    fn parses_policy_flag() {
+        let o = Opts::parse(&args(&["--policy", "deadline", "--jobs", "1"]));
+        assert_eq!(o.policy, Some(daredevil::PolicySpec::Deadline));
+        let o = Opts::parse(&args(&["--policy=fairshare", "--jobs", "1"]));
+        assert_eq!(o.policy, Some(daredevil::PolicySpec::FairShare));
+        assert_eq!(Opts::parse(&args(&["--jobs", "1"])).policy, None);
     }
 
     #[test]

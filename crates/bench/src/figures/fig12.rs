@@ -18,7 +18,7 @@ use testbed::scenario::{AppKind, MachinePreset, Scenario, StackSpec, TenantKind,
 
 use crate::{Opts, Sweep};
 
-fn app_scenario(stack: StackSpec, app: AppKind, label: &'static str) -> Scenario {
+pub(crate) fn app_scenario(stack: StackSpec, app: AppKind, label: &'static str) -> Scenario {
     let mut s = Scenario::new(
         format!("{}-{label}", stack.name()),
         MachinePreset::SvM,

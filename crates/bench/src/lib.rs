@@ -46,6 +46,9 @@ pub fn scaled(opts: &Opts, s: Scenario) -> Scenario {
     if let Some(spec) = opts.fault_spec() {
         s = s.with_faults(spec);
     }
+    if let Some(policy) = opts.policy {
+        s = s.with_policy(policy);
+    }
     s
 }
 

@@ -207,6 +207,15 @@ impl VanillaBlkMq {
             }
         }
     }
+
+    /// The fixed I/O service dispatching of vanilla blk-mq: every CQ is
+    /// reaped batched (and every NSQ doorbell covers a batch,
+    /// [`crate::stack::DoorbellMode::Batched`]), SLA-blind — the two
+    /// decisions the Daredevil stack makes pluggable per NCQ/batch through
+    /// `daredevil::policy::Policy`.
+    fn completion_mode(&self) -> CompletionMode {
+        CompletionMode::Batched
+    }
 }
 
 impl StorageStack for VanillaBlkMq {
@@ -349,7 +358,7 @@ impl StorageStack for VanillaBlkMq {
         }
         let mut cost = process_cqes(
             &entries,
-            CompletionMode::Batched,
+            self.completion_mode(),
             core,
             env.now,
             env.costs,

@@ -152,6 +152,26 @@ pub fn trace_enqueued(trace: &mut TraceSink, now: SimTime, host: HostTag, sq: Sq
     }
 }
 
+/// When a submission path rings the NSQ doorbell.
+///
+/// The submission-side half of the I/O service dispatching vocabulary
+/// (completion side: [`CompletionMode`]). The vanilla stacks in this
+/// workspace — blk-mq, blk-switch, overprov — hardcode [`Batched`]
+/// (one MMIO write per enqueued batch, the kernel default); the Daredevil
+/// stack makes the choice per-batch through its policy layer
+/// (`daredevil::policy::Policy::doorbell`).
+///
+/// [`Batched`]: DoorbellMode::Batched
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DoorbellMode {
+    /// One doorbell write per enqueued batch — amortised MMIO, but a
+    /// latency-sensitive command waits for the whole batch to stage.
+    Batched,
+    /// One doorbell write per command — the device sees each request the
+    /// instant it is enqueued, at one MMIO write of CPU cost each.
+    Immediate,
+}
+
 /// How an ISR turns CQEs into bio completions.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CompletionMode {

@@ -216,6 +216,15 @@ impl BlkSwitchStack {
         }
         loads
     }
+
+    /// The fixed I/O service dispatching of blk-switch: batched reaps and
+    /// batched doorbells on every queue. blk-switch separates traffic by
+    /// *steering* requests between per-core queues, not by changing the
+    /// service routines — the completion-side decision the Daredevil stack
+    /// makes pluggable per NCQ through `daredevil::policy::Policy`.
+    fn completion_mode(&self) -> CompletionMode {
+        CompletionMode::Batched
+    }
 }
 
 impl StorageStack for BlkSwitchStack {
@@ -350,7 +359,7 @@ impl StorageStack for BlkSwitchStack {
         }
         let cost = process_cqes(
             &entries,
-            CompletionMode::Batched,
+            self.completion_mode(),
             core,
             env.now,
             env.costs,

@@ -65,7 +65,7 @@
 //! (`harness = false` targets): warmup, then N timed samples of K
 //! iterations each, reporting median / p95 / min ns-per-iteration. Accepts
 //! `--smoke` (reduced sample counts for CI), `--bench` (ignored, passed by
-//! cargo), and a positional substring filter. See [`bench`].
+//! cargo), and a positional substring filter. See [`mod@bench`].
 //!
 //! # Porting note (from proptest)
 //!

@@ -1,5 +1,7 @@
 //! Daredevil configuration and ablation variants.
 
+use crate::policy::PolicySpec;
+
 /// Which subset of Daredevil's techniques is active (the §7.3 ablation).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Variant {
@@ -28,6 +30,11 @@ pub struct DaredevilConfig {
     /// Profiling window: outlier-tendency tags are re-evaluated every this
     /// many requests of a T-tenant.
     pub profile_window: u64,
+    /// Which built-in scheduling policy drives routing, merit, and batching
+    /// decisions (`--policy NAME` on the figure binaries; see
+    /// [`crate::policy`]). The default is the paper's Algorithm 1/2 +
+    /// SLA-aware dispatching.
+    pub policy: PolicySpec,
 }
 
 impl Default for DaredevilConfig {
@@ -37,6 +44,7 @@ impl Default for DaredevilConfig {
             mru: 1024,
             variant: Variant::Full,
             profile_window: 64,
+            policy: PolicySpec::Default,
         }
     }
 }
@@ -83,6 +91,7 @@ mod tests {
         assert_eq!(c.alpha, 0.8);
         assert_eq!(c.mru, 1024);
         assert_eq!(c.variant, Variant::Full);
+        assert_eq!(c.policy, PolicySpec::Default);
         c.validate().unwrap();
     }
 

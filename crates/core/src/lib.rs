@@ -17,7 +17,12 @@
 //!   routines (§5.3);
 //! * [`stack_impl`] — [`stack_impl::DaredevilStack`], wiring the three
 //!   components into a [`blkstack::StorageStack`], with the `dare-base` /
-//!   `dare-sched` / `dare-full` ablation variants of the paper's §7.3.
+//!   `dare-sched` / `dare-full` ablation variants of the paper's §7.3;
+//! * [`policy`] — the programmable policy layer: the routing, merit, and
+//!   batching decisions of Algorithms 1/2 and §5.3 behind one documented
+//!   [`policy::Policy`] trait, with the paper's behaviour as
+//!   [`policy::DefaultPolicy`] and three pluggable alternatives
+//!   (`deadline`, `sizeclass`, `fairshare`).
 //!
 //! # Quick start
 //!
@@ -34,11 +39,13 @@
 pub mod config;
 pub mod nproxy;
 pub mod nqreg;
+pub mod policy;
 pub mod stack_impl;
 pub mod troute;
 
 pub use config::{DaredevilConfig, Variant};
 pub use nproxy::{Nproxy, Priority, ProxyTable};
-pub use nqreg::NqReg;
+pub use nqreg::{ncq_merit_k, nsq_merit_k, NqReg};
+pub use policy::{CompletionMode, DoorbellMode, Policy, PolicyKind, PolicySpec};
 pub use stack_impl::DaredevilStack;
-pub use troute::Troute;
+pub use troute::{RouteStats, Troute};

@@ -26,6 +26,7 @@
 //! | [`ncq_merit_k`] | `MeritCalc` NCQ step — IRQ balancing criterion, Algorithm 2 line 4 |
 //! | [`nsq_merit_k`] | `MeritCalc` NSQ step — contention-avoidance criterion, Algorithm 2 line 6 |
 //! | [`NqReg::schedule`] | the two-step heap query serving troute, Algorithm 2 lines 1–8 |
+//! | the policy's merit hooks | Algorithm 2's criteria as [`crate::policy::Policy::ncq_merit`] / [`nsq_merit`](crate::policy::Policy::nsq_merit); [`crate::policy::DefaultPolicy`] delegates to the two `*_merit_k` functions above bit-for-bit |
 //! | the `α` smoothing parameter | exponential merit smoothing with `α ∈ (0.5, 1)`, §5.3 |
 //! | the MRU budget | bounded heap re-sorts on the critical path (`m` decrements, resort at 0), §5.3 |
 //! | SLA-aware dispatch flags | immediate vs batched doorbells / per-request vs batched completions, §5.3 |
@@ -40,6 +41,7 @@ use simkit::{Ewma, KeyedMinHeap, SimDuration};
 use blkstack::nsqlock::NsqLockTable;
 
 use crate::nproxy::{Priority, ProxyTable};
+use crate::policy::{NcqMeritCtx, NsqMeritCtx, Policy};
 
 /// Equal division of NCQs into priorities: first half high, second half low
 /// (nqreg cannot foresee the tenant mix at init, §5.3). A single-CQ device
@@ -237,8 +239,14 @@ impl NqReg {
     /// that best satisfies the criteria. `m` is the MRU decrement set by
     /// troute's calling context (MRU for tenant-based and tagged-outlier
     /// contexts, 1 for per-request outlier queries).
-    pub fn schedule(
+    ///
+    /// `policy` supplies the merit functions when a re-sort fires
+    /// ([`Policy::ncq_merit`] / [`Policy::nsq_merit`]); the EWMA smoothing,
+    /// assignment tie-breaker, and MRU budgeting are nqreg mechanism and
+    /// apply under every policy.
+    pub fn schedule<P: Policy>(
         &mut self,
+        policy: &mut P,
         prio: Priority,
         m: u32,
         device: &NvmeDevice,
@@ -263,7 +271,7 @@ impl NqReg {
         let group_idx = prio.index();
         self.groups[group_idx].mru -= m as i64;
         if self.groups[group_idx].mru <= 0 {
-            self.resort_ncq_heap(group_idx, device, proxies);
+            self.resort_ncq_heap(policy, group_idx, device, proxies);
         }
         let ncq = self.groups[group_idx]
             .ncq_heap
@@ -279,7 +287,7 @@ impl NqReg {
         let node = &mut self.ncq_nodes[ncq.index()];
         node.mru -= m as i64;
         if node.mru <= 0 {
-            self.resort_nsq_heap(ncq, locks, device, proxies);
+            self.resort_nsq_heap(policy, ncq, locks, device, proxies);
         }
         self.ncq_nodes[ncq.index()]
             .nsq_heap
@@ -292,33 +300,41 @@ impl NqReg {
     /// hint keeps the resort body out of `schedule`'s hot icache lines.
     #[cold]
     #[inline(never)]
-    fn resort_ncq_heap(&mut self, group_idx: usize, device: &NvmeDevice, proxies: &ProxyTable) {
+    fn resort_ncq_heap<P: Policy>(
+        &mut self,
+        policy: &mut P,
+        group_idx: usize,
+        device: &NvmeDevice,
+        proxies: &ProxyTable,
+    ) {
         self.resorts += 1;
         let ncq_state = &mut self.ncq_state;
         let ncq_nodes = &self.ncq_nodes;
         self.groups[group_idx].ncq_heap.resort_with(|cq| {
             // Window-delta bookkeeping is straight-line: unconditional
             // loads/stores, with `max(1)` saturations (not `if`s) guarding
-            // the divisions inside `ncq_merit_k`.
+            // the divisions inside the merit functions.
             let st = device.cq_stats(cq);
             let state = &mut ncq_state[cq.index()];
             let complete_delta = st.complete_rqs - state.last_complete;
             let irq_delta = st.irqs - state.last_irqs;
             state.last_complete = st.complete_rqs;
             state.last_irqs = st.irqs;
-            let merit_k = ncq_merit_k(
-                st.in_flight_rqs,
-                device.cq_depth(cq),
-                complete_delta,
-                irq_delta,
-            );
-            let tie: f64 = ncq_nodes[cq.index()]
+            let assignments: f64 = ncq_nodes[cq.index()]
                 .nsq_heap
                 .iter()
                 .map(|(sq, _)| proxies.get(sq).assignments() as f64)
-                .sum::<f64>()
-                * ASSIGNMENT_TIE_WEIGHT;
-            state.ewma.observe(merit_k + tie)
+                .sum::<f64>();
+            let merit_k = policy.ncq_merit(&NcqMeritCtx {
+                in_flight: st.in_flight_rqs,
+                depth: device.cq_depth(cq),
+                complete_delta,
+                irq_delta,
+                assignments,
+            });
+            state
+                .ewma
+                .observe(merit_k + assignments * ASSIGNMENT_TIE_WEIGHT)
         });
         self.groups[group_idx].mru = self.mru_init as i64;
     }
@@ -327,8 +343,9 @@ impl NqReg {
     /// [`Self::resort_ncq_heap`].
     #[cold]
     #[inline(never)]
-    fn resort_nsq_heap(
+    fn resort_nsq_heap<P: Policy>(
         &mut self,
+        policy: &mut P,
         ncq: CqId,
         locks: &NsqLockTable,
         device: &NvmeDevice,
@@ -339,7 +356,7 @@ impl NqReg {
         let node = &mut self.ncq_nodes[ncq.index()];
         node.nsq_heap.resort_with(|sq| {
             // Branch-free like the NCQ pass: `saturating_sub` instead of an
-            // underflow check, `max(1)` saturations inside `nsq_merit_k`.
+            // underflow check, `max(1)` saturations inside the merit fn.
             let state = &mut nsq_state[sq.index()];
             let lock_total = locks.in_lock_total(sq);
             let submitted = device.sq_stats(sq).submitted_total;
@@ -348,9 +365,15 @@ impl NqReg {
             state.last_lock_wait = lock_total;
             state.last_submitted = submitted;
             let proxy = proxies.get(sq);
-            let merit_k = nsq_merit_k(lock_delta, submitted_delta, proxy.nr_claimed_cores());
-            let tie = proxy.assignments() as f64 * ASSIGNMENT_TIE_WEIGHT;
-            state.ewma.observe(merit_k + tie)
+            let merit_k = policy.nsq_merit(&NsqMeritCtx {
+                lock_wait: lock_delta,
+                submitted_delta,
+                claimed_cores: proxy.nr_claimed_cores(),
+                assignments: proxy.assignments(),
+            });
+            state
+                .ewma
+                .observe(merit_k + proxy.assignments() as f64 * ASSIGNMENT_TIE_WEIGHT)
         });
         node.mru = self.mru_init as i64;
     }
@@ -379,6 +402,7 @@ impl NqReg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::DefaultPolicy;
     use dd_nvme::NvmeConfig;
 
     fn device(sqs: u16, cqs: u16) -> NvmeDevice {
@@ -407,6 +431,7 @@ mod tests {
 
     #[test]
     fn single_cq_degenerates_to_shared() {
+        let mut pol = DefaultPolicy::default();
         let p = divide_priorities(1);
         assert_eq!(p, vec![Priority::High]);
         let dev = device(2, 1);
@@ -414,7 +439,7 @@ mod tests {
         let prox = proxies(&dev);
         let mut reg = NqReg::new(0.8, 16, true, 2, 1, |_| 0);
         // Low-priority scheduling still returns a queue.
-        let sq = reg.schedule(Priority::Low, 16, &dev, &locks, &prox);
+        let sq = reg.schedule(&mut pol, Priority::Low, 16, &dev, &locks, &prox);
         assert!(sq.0 < 2);
     }
 
@@ -436,20 +461,22 @@ mod tests {
 
     #[test]
     fn schedule_respects_priority_groups() {
+        let mut pol = DefaultPolicy::default();
         let dev = device(8, 8);
         let locks = NsqLockTable::new(8);
         let prox = proxies(&dev);
         let mut reg = NqReg::new(0.8, 4, true, 8, 8, |i| i);
         for _ in 0..32 {
-            let h = reg.schedule(Priority::High, 4, &dev, &locks, &prox);
+            let h = reg.schedule(&mut pol, Priority::High, 4, &dev, &locks, &prox);
             assert!(h.0 < 4, "high-priority NSQ expected, got {h}");
-            let l = reg.schedule(Priority::Low, 4, &dev, &locks, &prox);
+            let l = reg.schedule(&mut pol, Priority::Low, 4, &dev, &locks, &prox);
             assert!(l.0 >= 4, "low-priority NSQ expected, got {l}");
         }
     }
 
     #[test]
     fn assignments_spread_tenants() {
+        let mut pol = DefaultPolicy::default();
         // Registering tenants (schedule + claim) must not pile everyone on
         // one NSQ: the assignment tie-breaker rotates the heap.
         let dev = device(8, 8);
@@ -458,7 +485,7 @@ mod tests {
         let mut reg = NqReg::new(0.8, 1, true, 8, 8, |i| i);
         let mut used = std::collections::HashSet::new();
         for core in 0..4u16 {
-            let sq = reg.schedule(Priority::High, 1, &dev, &locks, &prox);
+            let sq = reg.schedule(&mut pol, Priority::High, 1, &dev, &locks, &prox);
             prox.get_mut(sq).claim(core);
             used.insert(sq.0);
         }
@@ -467,36 +494,39 @@ mod tests {
 
     #[test]
     fn mru_bounds_resorts() {
+        let mut pol = DefaultPolicy::default();
         let dev = device(8, 8);
         let locks = NsqLockTable::new(8);
         let prox = proxies(&dev);
         let mut reg = NqReg::new(0.8, 1000, true, 8, 8, |i| i);
         for _ in 0..100 {
-            reg.schedule(Priority::High, 1, &dev, &locks, &prox);
+            reg.schedule(&mut pol, Priority::High, 1, &dev, &locks, &prox);
         }
         assert_eq!(reg.queries(), 100);
         assert_eq!(reg.resorts(), 0, "MRU=1000 must suppress resorts");
         let mut reg = NqReg::new(0.8, 1, true, 8, 8, |i| i);
         for _ in 0..100 {
-            reg.schedule(Priority::High, 1, &dev, &locks, &prox);
+            reg.schedule(&mut pol, Priority::High, 1, &dev, &locks, &prox);
         }
         assert!(reg.resorts() >= 100, "MRU=1 must resort every query");
     }
 
     #[test]
     fn round_robin_fallback_cycles() {
+        let mut pol = DefaultPolicy::default();
         let dev = device(8, 8);
         let locks = NsqLockTable::new(8);
         let prox = proxies(&dev);
         let mut reg = NqReg::new(0.8, 4, false, 8, 8, |i| i);
         let picks: Vec<u16> = (0..8)
-            .map(|_| reg.schedule(Priority::High, 4, &dev, &locks, &prox).0)
+            .map(|_| reg.schedule(&mut pol, Priority::High, 4, &dev, &locks, &prox).0)
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
     }
 
     #[test]
     fn contended_nsq_avoided_after_resort() {
+        let mut pol = DefaultPolicy::default();
         // WS-M-like fan-out: 8 NSQs on 2 NCQs → NSQ step is non-degenerate.
         let dev = device(8, 2);
         let mut locks = NsqLockTable::new(8);
@@ -511,9 +541,9 @@ mod tests {
         prox.get_mut(SqId(0)).claim(1);
         // First schedule may still return the stale top; after the forced
         // resort (mru = 1) the contended queue must stop being chosen.
-        let _ = reg.schedule(Priority::High, 1, &dev, &locks, &prox);
+        let _ = reg.schedule(&mut pol, Priority::High, 1, &dev, &locks, &prox);
         for _ in 0..8 {
-            let sq = reg.schedule(Priority::High, 1, &dev, &locks, &prox);
+            let sq = reg.schedule(&mut pol, Priority::High, 1, &dev, &locks, &prox);
             assert_ne!(sq, SqId(0), "contended NSQ must be avoided");
             assert_eq!(sq.0 % 2, 0, "must stay within the high group");
         }

@@ -22,7 +22,7 @@ use blkstack::nsqlock::NsqLockTable;
 use blkstack::reqmap::RequestMap;
 use blkstack::split::{split_extents, SplitConfig};
 use blkstack::stack::{
-    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, RedriveGuard, StackEnv,
+    process_cqes, trace_enqueued, trace_routed, ParkedCommands, RedriveGuard, StackEnv,
     StackStats, StorageStack,
 };
 use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
@@ -30,11 +30,19 @@ use blkstack::{Bio, Capabilities, IoPriorityClass, Pid, TaskStruct};
 use crate::config::{DaredevilConfig, Variant};
 use crate::nproxy::{Priority, ProxyTable};
 use crate::nqreg::{divide_priorities, NqReg};
+use crate::policy::{DoorbellCtx, DoorbellMode, Policy, PolicyKind, ReapCtx};
 use crate::troute::{RouteStats, Troute};
 
 /// The Daredevil kernel storage stack.
-pub struct DaredevilStack {
+///
+/// Generic over the scheduling [`Policy`] (static dispatch — the policy's
+/// decision hooks inline into the hot path). The default type parameter is
+/// [`PolicyKind`], the enum of built-in policies, so plain `DaredevilStack`
+/// holds whatever `cfg.policy` selects; custom policies plug in through
+/// [`DaredevilStack::with_policy`].
+pub struct DaredevilStack<P: Policy = PolicyKind> {
     cfg: DaredevilConfig,
+    policy: P,
     nqreg: NqReg,
     troute: Troute,
     proxies: ProxyTable,
@@ -56,16 +64,46 @@ pub struct DaredevilStack {
     cqe_scratch: Vec<dd_nvme::CqEntry>,
 }
 
-impl DaredevilStack {
+impl DaredevilStack<PolicyKind> {
     /// Builds the stack over a device with `nr_sqs` NSQs and `nr_cqs` NCQs
     /// where NSQ `i` pairs NCQ `cq_of(i)`. `nr_cores` is accepted for parity
     /// with the other stacks (Daredevil's routing is core-count independent).
+    /// The policy is the built-in one `cfg.policy` names.
     ///
     /// # Panics
     ///
     /// Panics on an invalid [`DaredevilConfig`].
     pub fn new(
         cfg: DaredevilConfig,
+        nr_cores: u16,
+        nr_sqs: u16,
+        nr_cqs: u16,
+        cq_of: impl FnMut(u16) -> u16,
+    ) -> Self {
+        let policy = PolicyKind::from_config(&cfg);
+        Self::with_policy(cfg, policy, nr_cores, nr_sqs, nr_cqs, cq_of)
+    }
+
+    /// Convenience constructor from a device handle.
+    pub fn for_device(cfg: DaredevilConfig, nr_cores: u16, device: &dd_nvme::NvmeDevice) -> Self {
+        let nr_cqs = device.nr_cqs();
+        Self::new(cfg, nr_cores, device.nr_sqs(), nr_cqs, move |sq| {
+            sq % nr_cqs
+        })
+    }
+}
+
+impl<P: Policy> DaredevilStack<P> {
+    /// Builds the stack with an explicit (possibly custom) policy — the
+    /// static-dispatch entry point of the policy layer; see the
+    /// [`crate::policy`] module docs for a worked example.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`DaredevilConfig`].
+    pub fn with_policy(
+        cfg: DaredevilConfig,
+        policy: P,
         _nr_cores: u16,
         nr_sqs: u16,
         nr_cqs: u16,
@@ -87,6 +125,7 @@ impl DaredevilStack {
             troute: Troute::new(cfg.mru, cfg.profile_window),
             nqreg,
             proxies,
+            policy,
             locks: NsqLockTable::new(nr_sqs),
             reqmap: RequestMap::new(),
             parked: ParkedCommands::new(),
@@ -101,12 +140,23 @@ impl DaredevilStack {
         }
     }
 
-    /// Convenience constructor from a device handle.
-    pub fn for_device(cfg: DaredevilConfig, nr_cores: u16, device: &dd_nvme::NvmeDevice) -> Self {
+    /// Convenience constructor from a device handle, with an explicit
+    /// policy.
+    pub fn with_policy_for_device(
+        cfg: DaredevilConfig,
+        policy: P,
+        nr_cores: u16,
+        device: &dd_nvme::NvmeDevice,
+    ) -> Self {
         let nr_cqs = device.nr_cqs();
-        Self::new(cfg, nr_cores, device.nr_sqs(), nr_cqs, move |sq| {
+        Self::with_policy(cfg, policy, nr_cores, device.nr_sqs(), nr_cqs, move |sq| {
             sq % nr_cqs
         })
+    }
+
+    /// The active policy (read-only introspection).
+    pub fn policy(&self) -> &P {
+        &self.policy
     }
 
     /// The ablation variant in use.
@@ -154,12 +204,18 @@ impl DaredevilStack {
     }
 }
 
-impl StorageStack for DaredevilStack {
+impl<P: Policy> StorageStack for DaredevilStack<P> {
     fn name(&self) -> &'static str {
-        match self.cfg.variant {
-            Variant::Base => "dare-base",
-            Variant::Sched => "dare-sched",
-            Variant::Full => "daredevil",
+        // The paper's policy keeps the established variant names; an
+        // alternative policy names the stack after itself.
+        match (self.policy.name(), self.cfg.variant) {
+            ("default", Variant::Base) => "dare-base",
+            ("default", Variant::Sched) => "dare-sched",
+            ("default", Variant::Full) => "daredevil",
+            ("deadline", _) => "dare-deadline",
+            ("sizeclass", _) => "dare-sizeclass",
+            ("fairshare", _) => "dare-fairshare",
+            (other, _) => other,
         }
     }
 
@@ -171,6 +227,7 @@ impl StorageStack for DaredevilStack {
         self.configure_irq_policy(env.device);
         self.troute.register(
             task,
+            &mut self.policy,
             &mut self.nqreg,
             env.device,
             &self.locks,
@@ -186,6 +243,7 @@ impl StorageStack for DaredevilStack {
         self.troute.update_ionice(
             pid,
             class,
+            &mut self.policy,
             &mut self.nqreg,
             env.device,
             &self.locks,
@@ -235,11 +293,19 @@ impl StorageStack for DaredevilStack {
                 } else {
                     base
                 };
-                self.nqreg
-                    .schedule(prio, 1, env.device, &self.locks, &self.proxies)
+                self.nqreg.schedule(
+                    &mut self.policy,
+                    prio,
+                    1,
+                    env.device,
+                    &self.locks,
+                    &self.proxies,
+                )
             } else {
                 self.troute.route(
                     bio,
+                    env.now,
+                    &mut self.policy,
                     &mut self.nqreg,
                     env.device,
                     &self.locks,
@@ -280,7 +346,6 @@ impl StorageStack for DaredevilStack {
         }
 
         let mut cost = env.costs.submit_cost(total_rqs);
-        let full_dispatch = self.cfg.variant == Variant::Full;
         let mut active_sqs = std::mem::take(&mut self.active_sqs);
         for &sq in &active_sqs {
             let mut cmds = std::mem::take(&mut self.sq_bufs[sq.index()]);
@@ -292,7 +357,14 @@ impl StorageStack for DaredevilStack {
                 // Contended tail: the cache line bounced between cores.
                 cost += env.costs.remote_submission * n;
             }
-            let high_prio = self.proxies.get(sq).prio == Priority::High;
+            // Submission half of the I/O service dispatching: the policy
+            // picks the doorbell discipline per NSQ batch (the default
+            // policy rings per request for high-priority NSQs under the
+            // full variant, §5.3).
+            let immediate = self.policy.doorbell(&DoorbellCtx {
+                prio: self.proxies.get(sq).prio,
+                commands: n,
+            }) == DoorbellMode::Immediate;
             let mut pushed = 0u64;
             for cmd in cmds.drain(..) {
                 if env.device.sq_has_room(sq) {
@@ -302,8 +374,8 @@ impl StorageStack for DaredevilStack {
                     trace_enqueued(&mut env.dev_out.trace, env.now, cmd.host, sq);
                     pushed += 1;
                     self.stats.submitted_rqs += 1;
-                    if full_dispatch && high_prio {
-                        // Immediate notification per L-request.
+                    if immediate {
+                        // Immediate notification per request.
                         env.device.ring_doorbell(sq, env.now, env.dev_out);
                         self.stats.doorbells += 1;
                         cost += env.costs.doorbell;
@@ -313,7 +385,7 @@ impl StorageStack for DaredevilStack {
                     self.stats.requeues += 1;
                 }
             }
-            if pushed > 0 && !(full_dispatch && high_prio) {
+            if pushed > 0 && !immediate {
                 // Postponed notification: one doorbell per enqueued batch.
                 env.device.ring_doorbell(sq, env.now, env.dev_out);
                 self.stats.doorbells += 1;
@@ -329,12 +401,13 @@ impl StorageStack for DaredevilStack {
     fn on_irq(&mut self, cq: CqId, core: u16, env: &mut StackEnv<'_>) -> SimDuration {
         let mut entries = std::mem::take(&mut self.cqe_scratch);
         env.device.isr_pop_into(cq, usize::MAX, &mut entries);
-        let mode =
-            if self.cfg.variant == Variant::Full && self.nqreg.cq_priority(cq) == Priority::High {
-                CompletionMode::PerRequest
-            } else {
-                CompletionMode::Batched
-            };
+        // Completion half of the I/O service dispatching: per-request vs
+        // batched reap is the policy's call (default: per-request for
+        // high-priority NCQs under the full variant, §5.3).
+        let mode = self.policy.reap(&ReapCtx {
+            prio: self.nqreg.cq_priority(cq),
+            entries: entries.len() as u64,
+        });
         let cost = process_cqes(
             &entries,
             mode,

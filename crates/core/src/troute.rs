@@ -17,7 +17,7 @@
 //! |---|---|
 //! | [`Troute::base_priority`] | SLA assessment from `ionice` (real-time ⇒ L), §5.2 |
 //! | [`Troute::register`] | tenant registration: default-NSQ assignment via a tenant-based nqreg query (`m = MRU`) |
-//! | [`Troute::route`] | Algorithm 1 — lines 1–2 (L default), line 3 (T normal), lines 4–9 (T outlier) |
+//! | [`Troute::route`] | Algorithm 1's *mechanism* — tenant lookup, profiling, path resolution; the lines 1–9 *decision* itself is [`crate::policy::Policy::route`], with [`crate::policy::DefaultPolicy`] reproducing the paper's exact branches |
 //! | [`TenantRoute::outlier_tag`]/`outlier_sq` | the outlier-tendency tag and dedicated outlier NSQ, §5.2 |
 //! | [`QueryContext`] | tenant-based (`m = MRU`) vs request-specific (`m = 1`) query contexts, §5.2 |
 //! | [`Troute::update_ionice`] | runtime ionice updates re-scheduling the default NSQ (Fig. 14's storm path) |
@@ -28,14 +28,15 @@
 //! ever routed to a low-priority NSQ* — is property-tested in
 //! `tests/proptests.rs` (`troute_l_requests_never_low_priority`).
 
-use dd_nvme::{NvmeDevice, SqId};
-use simkit::DenseMap;
+use dd_nvme::{IoOpcode, NvmeDevice, SqId};
+use simkit::{DenseMap, SimTime};
 
 use blkstack::nsqlock::NsqLockTable;
 use blkstack::{Bio, IoPriorityClass, Pid, TaskStruct};
 
 use crate::nproxy::{Priority, ProxyTable};
 use crate::nqreg::NqReg;
+use crate::policy::{Policy, RouteCtx, RouteDecision};
 
 /// Per-tenant routing state.
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +68,7 @@ pub enum QueryContext {
 }
 
 /// Routing statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct RouteStats {
     /// Requests routed via the default NSQ.
     pub default_routes: u64,
@@ -79,6 +80,10 @@ pub struct RouteStats {
     pub tag_changes: u64,
     /// Default-NSQ re-assignments due to ionice updates.
     pub reassignments: u64,
+    /// Requests routed via an explicit policy query
+    /// ([`RouteDecision::Query`]) — always 0 under the default policy,
+    /// which only uses the Algorithm 1 paths above.
+    pub policy_queries: u64,
 }
 
 /// The request router.
@@ -114,16 +119,17 @@ impl Troute {
 
     /// Registers a tenant: assigns its default NSQ with a tenant-based
     /// query and claims its core on the proxy.
-    pub fn register(
+    pub fn register<P: Policy>(
         &mut self,
         task: &TaskStruct,
+        policy: &mut P,
         nqreg: &mut NqReg,
         device: &NvmeDevice,
         locks: &NsqLockTable,
         proxies: &mut ProxyTable,
     ) {
         let base_prio = Self::base_priority(task.ionice);
-        let default_sq = nqreg.schedule(base_prio, self.mru, device, locks, proxies);
+        let default_sq = nqreg.schedule(policy, base_prio, self.mru, device, locks, proxies);
         proxies.get_mut(default_sq).claim(task.core);
         self.tenants.insert(
             task.pid,
@@ -170,10 +176,11 @@ impl Troute {
     /// Handles a runtime ionice change: if the base priority flips, the
     /// default NSQ is re-scheduled (asynchronously to the I/O path in the
     /// kernel; one extra nqreg query here, §5.2).
-    pub fn update_ionice(
+    pub fn update_ionice<P: Policy>(
         &mut self,
         pid: Pid,
         ionice: IoPriorityClass,
+        policy: &mut P,
         nqreg: &mut NqReg,
         device: &NvmeDevice,
         locks: &NsqLockTable,
@@ -186,7 +193,7 @@ impl Troute {
         if route.base_prio == new_prio {
             return;
         }
-        let new_sq = nqreg.schedule(new_prio, self.mru, device, locks, proxies);
+        let new_sq = nqreg.schedule(policy, new_prio, self.mru, device, locks, proxies);
         // Swap claims: remove the tenant's entry view first so the
         // still-used check does not see the stale route.
         let r = self.tenants.remove(pid).expect("checked above");
@@ -228,13 +235,20 @@ impl Troute {
         self.tenants.insert(pid, r);
     }
 
-    /// Algorithm 1: routes one request, returning the target NSQ.
+    /// Routes one request, returning the target NSQ.
     ///
-    /// Also feeds the outlier-tendency profiler for T-tenants; crossing the
-    /// tendency threshold assigns (or drops) the tenant's outlier NSQ.
-    pub fn route(
+    /// The *decision* — which of the three paths the request takes — comes
+    /// from [`Policy::route`] (Algorithm 1 under
+    /// [`crate::policy::DefaultPolicy`]); troute resolves it against the
+    /// tenant table. The outlier-tendency profiler runs for every T-tenant
+    /// request regardless of the decision, so the tenant's tag state stays
+    /// policy-independent: crossing the tendency threshold assigns (or
+    /// drops) the tenant's outlier NSQ.
+    pub fn route<P: Policy>(
         &mut self,
         bio: &Bio,
+        now: SimTime,
+        policy: &mut P,
         nqreg: &mut NqReg,
         device: &NvmeDevice,
         locks: &NsqLockTable,
@@ -244,45 +258,63 @@ impl Troute {
             .tenants
             .get_mut(bio.tenant)
             .expect("routing for unregistered tenant");
-        // Line 1-2: high-priority tenants always use their default NSQ.
-        if route.base_prio == Priority::High {
-            self.stats.default_routes += 1;
-            return route.default_sq;
-        }
-        // T-tenant: profile the request mix.
         let is_outlier = bio.flags.is_outlier();
-        if is_outlier {
-            route.outlier_count += 1;
-        } else {
-            route.normal_count += 1;
-        }
-        let total = route.outlier_count + route.normal_count;
-        if total.is_multiple_of(self.profile_window) {
-            self.reevaluate_tag(bio.tenant, nqreg, device, locks, proxies);
+        let decision = policy.route(&RouteCtx {
+            base_prio: route.base_prio,
+            outlier: is_outlier,
+            write: bio.op != IoOpcode::Read,
+            bytes: bio.bytes,
+            issued_at: bio.issued_at,
+            now,
+        });
+        // T-tenant: profile the request mix (mechanism — runs under every
+        // policy; L-tenants are never tagged, matching Algorithm 1's
+        // lines 1-2 early exit).
+        if route.base_prio == Priority::Low {
+            if is_outlier {
+                route.outlier_count += 1;
+            } else {
+                route.normal_count += 1;
+            }
+            let total = route.outlier_count + route.normal_count;
+            if total.is_multiple_of(self.profile_window) {
+                self.reevaluate_tag(bio.tenant, policy, nqreg, device, locks, proxies);
+            }
         }
         let route = self.tenants.get(bio.tenant).expect("still registered");
-        if !is_outlier {
-            // Line 3 fallthrough: normal T-requests use the default NSQ.
-            self.stats.default_routes += 1;
-            return route.default_sq;
-        }
-        // Line 4-9: outlier request.
-        if let (true, Some(osq)) = (route.outlier_tag, route.outlier_sq) {
-            self.stats.outlier_routes += 1;
-            osq
-        } else {
-            // Request-specific context: one-off high-priority query, m = 1.
-            self.stats.per_request_queries += 1;
-            nqreg.schedule(Priority::High, 1, device, locks, proxies)
+        match decision {
+            // Lines 1-3: the table-lookup fast path.
+            RouteDecision::Default => {
+                self.stats.default_routes += 1;
+                route.default_sq
+            }
+            // Lines 4-9: outlier path — dedicated NSQ when tagged, else a
+            // request-specific high-priority query (m = 1).
+            RouteDecision::Outlier => {
+                if let (true, Some(osq)) = (route.outlier_tag, route.outlier_sq) {
+                    self.stats.outlier_routes += 1;
+                    osq
+                } else {
+                    self.stats.per_request_queries += 1;
+                    nqreg.schedule(policy, Priority::High, 1, device, locks, proxies)
+                }
+            }
+            // Beyond Algorithm 1: an alternative policy asked for a fresh
+            // nqreg query with its own priority and MRU decrement.
+            RouteDecision::Query { prio, m } => {
+                self.stats.policy_queries += 1;
+                nqreg.schedule(policy, prio, m, device, locks, proxies)
+            }
         }
     }
 
     /// Re-evaluates a T-tenant's outlier tendency: tagged when outlier
     /// requests are within the same order of magnitude as normal ones
     /// (outliers × 10 ≥ normals, §5.2).
-    fn reevaluate_tag(
+    fn reevaluate_tag<P: Policy>(
         &mut self,
         pid: Pid,
+        policy: &mut P,
         nqreg: &mut NqReg,
         device: &NvmeDevice,
         locks: &NsqLockTable,
@@ -300,7 +332,7 @@ impl Troute {
         self.stats.tag_changes += 1;
         if tendency {
             // Tag on: assign an outlier NSQ (tenant-based context).
-            let osq = nqreg.schedule(Priority::High, self.mru, device, locks, proxies);
+            let osq = nqreg.schedule(policy, Priority::High, self.mru, device, locks, proxies);
             proxies.get_mut(osq).claim(route.core);
             let r = self.tenants.get_mut(pid).expect("registered");
             r.outlier_tag = true;
@@ -340,6 +372,7 @@ impl Troute {
 mod tests {
     use super::*;
     use crate::nqreg::divide_priorities;
+    use crate::policy::DefaultPolicy;
     use blkstack::bio::{BioId, ReqFlags};
     use dd_nvme::{IoOpcode, NamespaceId, NvmeConfig};
     use simkit::SimTime;
@@ -350,6 +383,7 @@ mod tests {
         proxies: ProxyTable,
         nqreg: NqReg,
         troute: Troute,
+        pol: DefaultPolicy,
     }
 
     fn fixture() -> Fixture {
@@ -371,6 +405,7 @@ mod tests {
             proxies,
             nqreg,
             troute: Troute::new(4, 8),
+            pol: DefaultPolicy::default(),
         }
     }
 
@@ -397,6 +432,7 @@ mod tests {
         let mut f = fixture();
         f.troute.register(
             &task(1, 0, IoPriorityClass::RealTime),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -413,6 +449,7 @@ mod tests {
         let mut f = fixture();
         f.troute.register(
             &task(2, 1, IoPriorityClass::BestEffort),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -428,6 +465,7 @@ mod tests {
         let mut f = fixture();
         f.troute.register(
             &task(1, 0, IoPriorityClass::RealTime),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -437,6 +475,8 @@ mod tests {
         for flags in [ReqFlags::NONE, ReqFlags::SYNC, ReqFlags::META] {
             let sq = f.troute.route(
                 &bio(1, flags),
+                SimTime::ZERO,
+                &mut f.pol,
                 &mut f.nqreg,
                 &f.device,
                 &f.locks,
@@ -451,6 +491,7 @@ mod tests {
         let mut f = fixture();
         f.troute.register(
             &task(2, 0, IoPriorityClass::BestEffort),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -459,6 +500,8 @@ mod tests {
         // Untagged tenant's sync request: per-request high-priority query.
         let sq = f.troute.route(
             &bio(2, ReqFlags::SYNC),
+            SimTime::ZERO,
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -469,6 +512,8 @@ mod tests {
         // Normal request: default (low) NSQ.
         let sq = f.troute.route(
             &bio(2, ReqFlags::NONE),
+            SimTime::ZERO,
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -482,6 +527,7 @@ mod tests {
         let mut f = fixture();
         f.troute.register(
             &task(2, 0, IoPriorityClass::BestEffort),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -496,6 +542,8 @@ mod tests {
             };
             f.troute.route(
                 &bio(2, flags),
+                SimTime::ZERO,
+                &mut f.pol,
                 &mut f.nqreg,
                 &f.device,
                 &f.locks,
@@ -510,6 +558,8 @@ mod tests {
         let before = f.troute.stats().per_request_queries;
         let sq = f.troute.route(
             &bio(2, ReqFlags::META),
+            SimTime::ZERO,
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -524,6 +574,7 @@ mod tests {
         let mut f = fixture();
         f.troute.register(
             &task(2, 0, IoPriorityClass::BestEffort),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -538,6 +589,8 @@ mod tests {
             };
             f.troute.route(
                 &bio(2, flags),
+                SimTime::ZERO,
+                &mut f.pol,
                 &mut f.nqreg,
                 &f.device,
                 &f.locks,
@@ -552,6 +605,7 @@ mod tests {
         let mut f = fixture();
         f.troute.register(
             &task(2, 0, IoPriorityClass::BestEffort),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -561,6 +615,7 @@ mod tests {
         f.troute.update_ionice(
             Pid(2),
             IoPriorityClass::RealTime,
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -576,6 +631,7 @@ mod tests {
         f.troute.update_ionice(
             Pid(2),
             IoPriorityClass::RealTime,
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -589,6 +645,7 @@ mod tests {
         let mut f = fixture();
         f.troute.register(
             &task(1, 0, IoPriorityClass::RealTime),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -606,6 +663,7 @@ mod tests {
         let mut f = fixture();
         f.troute.register(
             &task(2, 0, IoPriorityClass::BestEffort),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -624,6 +682,7 @@ mod tests {
         // must keep the core bit set.
         f.troute.register(
             &task(1, 0, IoPriorityClass::RealTime),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,
@@ -631,6 +690,7 @@ mod tests {
         );
         f.troute.register(
             &task(2, 0, IoPriorityClass::RealTime),
+            &mut f.pol,
             &mut f.nqreg,
             &f.device,
             &f.locks,

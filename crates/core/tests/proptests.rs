@@ -1,6 +1,6 @@
 //! Property-based tests of Daredevil's routing layer (dd-check harness).
 //!
-//! DESIGN §6 names the "troute never routes an L-request to a low-priority
+//! DESIGN §7 names the "troute never routes an L-request to a low-priority
 //! NSQ" invariant: Algorithm 1's whole point is that latency-sensitive
 //! requests — and T-tenants' outlier requests — always land in the
 //! high-priority NQGroup, whatever the tenant mix and request history.
@@ -11,6 +11,7 @@ use blkstack::bio::{Bio, BioId, ReqFlags};
 use blkstack::nsqlock::NsqLockTable;
 use blkstack::{IoPriorityClass, Pid, TaskStruct};
 use daredevil::nqreg::divide_priorities;
+use daredevil::policy::DefaultPolicy;
 use daredevil::{NqReg, Priority, ProxyTable, Troute};
 use dd_nvme::{IoOpcode, NamespaceId, NvmeConfig, NvmeDevice, SqId};
 use simkit::SimTime;
@@ -21,6 +22,7 @@ struct Fixture {
     proxies: ProxyTable,
     nqreg: NqReg,
     troute: Troute,
+    pol: DefaultPolicy,
 }
 
 fn fixture(nr_queues: u16) -> Fixture {
@@ -42,6 +44,7 @@ fn fixture(nr_queues: u16) -> Fixture {
         proxies,
         nqreg,
         troute: Troute::new(4, 8),
+        pol: DefaultPolicy::default(),
     }
 }
 
@@ -81,7 +84,7 @@ fn troute_l_requests_never_low_priority() {
         for (i, &(ionice, core)) in tenants.iter().enumerate() {
             let task = TaskStruct::new(Pid(i as u64), core, ionice, NamespaceId(1), "p");
             f.troute
-                .register(&task, &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
+                .register(&task, &mut f.pol, &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
         }
         // Drive a random request stream and check every routing decision.
         let requests = c.vec_of(1, 200, |c| {
@@ -97,6 +100,8 @@ fn troute_l_requests_never_low_priority() {
             let (ionice, _) = tenants[pid];
             let sq = f.troute.route(
                 &bio(pid as u64, flags),
+                SimTime::ZERO,
+                &mut f.pol,
                 &mut f.nqreg,
                 &f.device,
                 &f.locks,
@@ -147,7 +152,7 @@ fn troute_claims_balance_on_deregister() {
             };
             let task = TaskStruct::new(Pid(i as u64), c.u16_in(0, 4), ionice, NamespaceId(1), "p");
             f.troute
-                .register(&task, &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
+                .register(&task, &mut f.pol, &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
         }
         // Random request traffic (may create outlier NSQ claims)...
         for _ in 0..c.usize_in(0, 100) {
@@ -159,6 +164,8 @@ fn troute_claims_balance_on_deregister() {
             };
             f.troute.route(
                 &bio(pid, flags),
+                SimTime::ZERO,
+                &mut f.pol,
                 &mut f.nqreg,
                 &f.device,
                 &f.locks,
@@ -200,7 +207,7 @@ fn troute_never_routes_against_stale_sla_under_flapping() {
             ionice.push(io);
             let task = TaskStruct::new(Pid(i as u64), c.u16_in(0, 4), io, NamespaceId(1), "p");
             f.troute
-                .register(&task, &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
+                .register(&task, &mut f.pol, &mut f.nqreg, &f.device, &f.locks, &mut f.proxies);
         }
         // A storm of interleaved flips and requests: each step is either an
         // ionice update (the 10 µs flapper firing) or an I/O arriving
@@ -218,6 +225,7 @@ fn troute_never_routes_against_stale_sla_under_flapping() {
                 f.troute.update_ionice(
                     Pid(pid as u64),
                     io,
+                    &mut f.pol,
                     &mut f.nqreg,
                     &f.device,
                     &f.locks,
@@ -244,6 +252,8 @@ fn troute_never_routes_against_stale_sla_under_flapping() {
                 };
                 let sq = f.troute.route(
                     &bio(pid as u64, flags),
+                    SimTime::ZERO,
+                    &mut f.pol,
                     &mut f.nqreg,
                     &f.device,
                     &f.locks,
@@ -307,6 +317,69 @@ fn divide_priorities_partitions() {
         } else {
             prop_assert!(prios.iter().all(|p| *p == Priority::High));
         }
+        Ok(())
+    });
+}
+
+/// The extracted [`DefaultPolicy`] *is* Algorithm 1 and Algorithm 2: over
+/// arbitrary request contexts its route decision matches the pre-refactor
+/// inline logic (High or non-outlier → default NSQ, Low outlier → outlier
+/// path), and its merits are exactly the published `ncq_merit_k` /
+/// `nsq_merit_k` kernels. This is the unit-level half of the
+/// refactor-equivalence argument; `testbed/tests/policy_props.rs` checks
+/// the live-run half.
+#[test]
+fn default_policy_matches_algorithms_1_and_2() {
+    use daredevil::policy::{NcqMeritCtx, NsqMeritCtx, Policy, RouteCtx, RouteDecision};
+    use daredevil::{ncq_merit_k, nsq_merit_k};
+    use simkit::SimDuration;
+
+    check("default_policy_matches_algorithms_1_and_2", |c| {
+        let mut pol = DefaultPolicy::default();
+        let base_prio = if c.u8_in(0, 2) == 1 {
+            Priority::High
+        } else {
+            Priority::Low
+        };
+        let outlier = c.u8_in(0, 2) == 1;
+        let route = pol.route(&RouteCtx {
+            base_prio,
+            outlier,
+            write: c.u8_in(0, 2) == 1,
+            bytes: c.u64_in(512, 1 << 20),
+            issued_at: SimTime::ZERO,
+            now: SimTime::ZERO,
+        });
+        let expected = if base_prio == Priority::Low && outlier {
+            RouteDecision::Outlier
+        } else {
+            RouteDecision::Default
+        };
+        prop_assert_eq!(route, expected, "Algorithm 1 decision diverged");
+
+        let ncq = NcqMeritCtx {
+            in_flight: c.u64_in(0, 4096),
+            depth: c.u16_in(1, 1024),
+            complete_delta: c.u64_in(0, 10_000),
+            irq_delta: c.u64_in(0, 1_000),
+            assignments: c.u64_in(0, 64) as f64,
+        };
+        prop_assert_eq!(
+            pol.ncq_merit(&ncq),
+            ncq_merit_k(ncq.in_flight, ncq.depth, ncq.complete_delta, ncq.irq_delta),
+            "NCQ merit diverged from Algorithm 2"
+        );
+        let nsq = NsqMeritCtx {
+            lock_wait: SimDuration::from_micros(c.u64_in(0, 100_000)),
+            submitted_delta: c.u64_in(0, 10_000),
+            claimed_cores: c.u16_in(0, 64) as u32,
+            assignments: c.u16_in(0, 64) as u32,
+        };
+        prop_assert_eq!(
+            pol.nsq_merit(&nsq),
+            nsq_merit_k(nsq.lock_wait, nsq.submitted_delta, nsq.claimed_cores),
+            "NSQ merit diverged from Algorithm 2"
+        );
         Ok(())
     });
 }

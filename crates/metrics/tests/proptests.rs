@@ -1,6 +1,6 @@
 //! Property-based tests of the measurement layer (dd-check harness).
 //!
-//! DESIGN §6 names "histogram percentile monotonicity" as a workspace
+//! DESIGN §7 names "histogram percentile monotonicity" as a workspace
 //! invariant: tail-latency claims (p99/p99.9 tables in every figure) are
 //! only trustworthy if the percentile estimator is ordered and bounded.
 

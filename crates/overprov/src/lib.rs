@@ -117,6 +117,16 @@ impl OverprovStack {
         }
         self.classified = true;
     }
+
+    /// The fixed I/O service dispatching of the overprovision baseline:
+    /// batched reaps and batched doorbells everywhere. Its isolation comes
+    /// from device-side WRR arbitration between the static queue classes,
+    /// so the host service routines stay kernel-default — the decision the
+    /// Daredevil stack makes pluggable per NCQ through
+    /// `daredevil::policy::Policy`.
+    fn completion_mode(&self) -> CompletionMode {
+        CompletionMode::Batched
+    }
 }
 
 impl StorageStack for OverprovStack {
@@ -251,7 +261,7 @@ impl StorageStack for OverprovStack {
         env.device.isr_pop_into(cq, usize::MAX, &mut entries);
         let cost = process_cqes(
             &entries,
-            CompletionMode::Batched,
+            self.completion_mode(),
             core,
             env.now,
             env.costs,

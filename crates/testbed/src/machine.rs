@@ -153,9 +153,13 @@ impl StackHolder {
     }
 
     fn troute_reassignments(&self) -> u64 {
+        self.route_stats().reassignments
+    }
+
+    fn route_stats(&self) -> daredevil::RouteStats {
         match self {
-            StackHolder::Daredevil(s) => s.troute_stats().reassignments,
-            _ => 0,
+            StackHolder::Daredevil(s) => s.troute_stats(),
+            _ => daredevil::RouteStats::default(),
         }
     }
 }
@@ -861,6 +865,7 @@ impl Machine {
             flash_queue_delay: self.device.flash().avg_queue_delay(),
             events_processed: self.events_processed,
             troute_reassignments: self.stack.troute_reassignments(),
+            route_stats: self.stack.route_stats(),
             fault,
         }
     }

@@ -114,12 +114,29 @@ impl StackSpec {
                     "virtio-naive"
                 }
             }
-            StackSpec::Daredevil(c) => match c.variant {
-                daredevil::Variant::Base => "dare-base",
-                daredevil::Variant::Sched => "dare-sched",
-                daredevil::Variant::Full => "daredevil",
+            StackSpec::Daredevil(c) => match (c.policy, c.variant) {
+                (daredevil::PolicySpec::Default, daredevil::Variant::Base) => "dare-base",
+                (daredevil::PolicySpec::Default, daredevil::Variant::Sched) => "dare-sched",
+                (daredevil::PolicySpec::Default, daredevil::Variant::Full) => "daredevil",
+                (daredevil::PolicySpec::Deadline, _) => "dare-deadline",
+                (daredevil::PolicySpec::SizeClass, _) => "dare-sizeclass",
+                (daredevil::PolicySpec::FairShare, _) => "dare-fairshare",
             },
         }
+    }
+
+    /// Applies a built-in Daredevil scheduling policy. No-op for stacks
+    /// without a policy layer; a virtio spec forwards to its host stack.
+    pub fn with_policy(mut self, policy: daredevil::PolicySpec) -> Self {
+        match &mut self {
+            StackSpec::Daredevil(c) => c.policy = policy,
+            StackSpec::Virtio { inner, .. } => {
+                let host = std::mem::replace(inner.as_mut(), StackSpec::Overprov);
+                *inner.as_mut() = host.with_policy(policy);
+            }
+            _ => {}
+        }
+        self
     }
 }
 
@@ -383,6 +400,14 @@ impl Scenario {
     /// Enables deterministic fault injection for the run.
     pub fn with_faults(mut self, spec: simkit::FaultSpec) -> Self {
         self.faults = Some(spec);
+        self
+    }
+
+    /// Overrides the Daredevil scheduling policy (`--policy NAME` on the
+    /// figure binaries). No-op when the scenario's stack has no policy
+    /// layer.
+    pub fn with_policy(mut self, policy: daredevil::PolicySpec) -> Self {
+        self.stack = self.stack.with_policy(policy);
         self
     }
 

@@ -3,7 +3,7 @@
 #
 # Runs tier-1 (release build + full test suite) plus the smoke-scale bench
 # sweep, all with network access forbidden: the workspace has zero external
-# dependencies (see dd-check, DESIGN.md §5), so an empty cargo registry
+# dependencies (see dd-check, DESIGN.md §6), so an empty cargo registry
 # cache must suffice. Any attempt to hit the network is a regression and
 # fails the run.
 #
@@ -31,6 +31,13 @@ cargo test -q
 echo "== verify: workspace test suite (all crates, incl. dd-check self-tests) =="
 cargo test -q --workspace
 
+echo "== verify: rustdoc builds warning-free (docs are a gated layer) =="
+# The policy layer ships as documentation (trait docs, the "Writing a
+# policy" walkthrough, paper-mapping tables): broken intra-doc links or
+# malformed doc markup are build failures, not noise.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+echo "  cargo doc --no-deps: clean under -D warnings"
+
 if [ "$FULL" = "1" ]; then
     echo "== verify: full quick-scale bench sweep =="
     cargo bench -p bench
@@ -56,7 +63,9 @@ EXT_1="$(mktemp)"
 EXT_N="$(mktemp)"
 HOS_1="$(mktemp)"
 HOS_N="$(mktemp)"
-trap 'rm -f "$SERIAL_OUT" "$PAR_OUT" "$TRACE_1" "$TRACE_N" "$EXT_1" "$EXT_N" "$HOS_1" "$HOS_N" BENCH_sweep_serial.json' EXIT
+POL_1="$(mktemp)"
+POL_N="$(mktemp)"
+trap 'rm -f "$SERIAL_OUT" "$PAR_OUT" "$TRACE_1" "$TRACE_N" "$EXT_1" "$EXT_N" "$HOS_1" "$HOS_N" "$POL_1" "$POL_N" BENCH_sweep_serial.json' EXIT
 DD_BENCH_SWEEP=BENCH_sweep_serial.json \
     ./target/release/all_figures --quick --csv --jobs 1 >"$SERIAL_OUT" 2>/dev/null
 BASE_WALL="$(sed -n 's/.*"total_wall_s": \([0-9.]*\),.*/\1/p' BENCH_sweep_serial.json)"
@@ -136,6 +145,28 @@ if ! diff -q tests/golden/ext_hostile_quick.txt "$HOS_1" >/dev/null; then
 fi
 echo "  hostile table byte-identical across jobs=1/$JOBS_N and vs the golden capture"
 
+echo "== verify: policy A/B figure (pluggable policies deterministic + golden) =="
+# The policy layer's gate: the ext_policy sweep (both app mixes under all
+# four built-in policies) must be byte-identical for any worker count —
+# including the stateful fairshare quota counter — and match the committed
+# capture. Implicitly also proves the DefaultPolicy columns still behave:
+# the figure shares its scenarios with Fig. 12.
+./target/release/ext_policy --quick --jobs 1 >"$POL_1" 2>/dev/null
+./target/release/ext_policy --quick --jobs "$JOBS_N" >"$POL_N" 2>/dev/null
+if ! diff -q "$POL_1" "$POL_N" >/dev/null; then
+    echo "verify: FAILED — ext_policy stdout diverges across --jobs:" >&2
+    diff "$POL_1" "$POL_N" | head -40 >&2
+    exit 1
+fi
+if ! diff -q tests/golden/ext_policy_quick.txt "$POL_1" >/dev/null; then
+    echo "verify: FAILED — policy table diverges from tests/golden/ext_policy_quick.txt:" >&2
+    diff tests/golden/ext_policy_quick.txt "$POL_1" | head -40 >&2
+    echo "(if the divergence is an intended semantic change, regenerate with:" >&2
+    echo " ./target/release/ext_policy --quick --jobs 1 > tests/golden/ext_policy_quick.txt)" >&2
+    exit 1
+fi
+echo "  policy table byte-identical across jobs=1/$JOBS_N and vs the golden capture"
+
 echo "== verify: no request lost under an aggressive fault schedule =="
 # Request-conservation property (crates/testbed/tests/fault_props.rs):
 # random stacks x random fault classes, zero warmup, aggressive schedule —
@@ -170,7 +201,7 @@ echo "== verify: hot-path maps stay slab/dense (no std hash maps) =="
 # The request-lifecycle hot path must not regress to allocating hash maps.
 # A file may opt out with an explicit `dd-alloc-allowlist:` comment
 # justifying the exception.
-HOT_FILES="crates/blkstack/src/reqmap.rs crates/blkstack/src/blkmq.rs crates/core/src/troute.rs"
+HOT_FILES="crates/blkstack/src/reqmap.rs crates/blkstack/src/blkmq.rs crates/core/src/troute.rs crates/core/src/policy.rs"
 for f in $HOT_FILES; do
     if grep -qE 'use std::collections::.*(HashMap|BTreeMap)' "$f" \
         && ! grep -q 'dd-alloc-allowlist:' "$f"; then
