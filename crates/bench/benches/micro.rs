@@ -228,6 +228,174 @@ fn bench_event_queues(set: &mut BenchSet) {
     }
     drain!("event_queue/drain_bucketed", EventQueue);
     drain!("event_queue/drain_heap", HeapQueue);
+
+    // Batched insertion vs a loop of singleton pushes — the drain_effects
+    // shape: a burst of already-time-ordered device events entering the
+    // queue at once. `push_batch` hoists the cursor/seq loads out of the
+    // loop and hits the monotone-append fast path; the looped variant pays
+    // them per event. Same 512 sorted events either way.
+    {
+        fn sorted_burst() -> Vec<(SimTime, u32)> {
+            let mut rng = SimRng::new(11);
+            let mut burst: Vec<(SimTime, u32)> = (0..512)
+                .map(|i| (SimTime::from_nanos(rng.next_u64() % 64_000), i))
+                .collect();
+            burst.sort_by_key(|(at, _)| *at);
+            burst
+        }
+        let burst = sorted_burst();
+        set.bench_batched(
+            "event/push_batch_512_sorted",
+            move || (EventQueue::with_capacity(1024), burst.clone()),
+            |(mut q, burst)| {
+                q.push_batch(burst);
+                black_box(q.len());
+            },
+        );
+        let burst = sorted_burst();
+        set.bench_batched(
+            "event/push_looped_512_sorted",
+            move || (EventQueue::with_capacity(1024), burst.clone()),
+            |(mut q, burst)| {
+                for (at, e) in burst {
+                    q.push(at, e);
+                }
+                black_box(q.len());
+            },
+        );
+    }
+}
+
+/// `RunArena` recycling vs allocating fresh structures per run.
+///
+/// One iteration is one "machine teardown + next machine build" for a
+/// representative structure pair (event queue + scratch vector):
+///
+/// * `arena/recycle_roundtrip` — park (`put` runs `ArenaReset`: logical
+///   clears, capacity kept) then adopt (`take`: two hash probes), exactly
+///   the sweep worker's cell-to-cell path;
+/// * `arena/fresh_build` — the pre-arena path: allocate both structures
+///   from scratch, drop them at the end.
+///
+/// The gap is the tentpole's per-cell saving, isolated from simulation
+/// work. Both variants do the same 64 pushes so only the memory model
+/// differs.
+fn bench_arena(set: &mut BenchSet) {
+    use simkit::RunArena;
+
+    let mut arena = RunArena::new();
+    arena.put(0, EventQueue::<u32>::with_capacity(1024));
+    arena.put(0, Vec::<u64>::with_capacity(256));
+    set.bench("arena/recycle_roundtrip", move || {
+        let mut q: EventQueue<u32> = arena.take(0);
+        let mut scratch: Vec<u64> = arena.take(0);
+        for i in 0..64u32 {
+            q.push(SimTime::from_nanos(i as u64 * 100), i);
+            scratch.push(i as u64);
+        }
+        let n = q.len();
+        arena.put(0, q);
+        arena.put(0, scratch);
+        black_box(n)
+    });
+    set.bench("arena/fresh_build", move || {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(1024);
+        let mut scratch: Vec<u64> = Vec::with_capacity(256);
+        for i in 0..64u32 {
+            q.push(SimTime::from_nanos(i as u64 * 100), i);
+            scratch.push(i as u64);
+        }
+        black_box(q.len())
+    });
+}
+
+/// Struct-of-arrays vs array-of-structs for the per-core work queues.
+///
+/// One iteration is one scheduler step on an 8-core system: enqueue one
+/// item (mostly Task-class, so the two higher-priority classes are usually
+/// empty — the realistic skew) and dispatch one from the next core. The
+/// AoS variant reproduces the old `Vec<CpuCore>` layout and walks the
+/// class array per dispatch; the SoA variant is the shipped
+/// `CpuSystem` layout — class-major queue columns plus a per-core
+/// non-empty-class bitmask resolved with `trailing_zeros`.
+fn bench_workqueue_scan(set: &mut BenchSet) {
+    use std::collections::VecDeque;
+
+    const CORES: usize = 8;
+    const CLASSES: usize = 3;
+    // 0 = Irq, 1 = Dispatch, 2 = Task: 1/8, 1/8, 6/8 of traffic.
+    fn pick_class(rng: &mut SimRng) -> usize {
+        match rng.next_u64() % 8 {
+            0 => 0,
+            1 => 1,
+            _ => 2,
+        }
+    }
+
+    {
+        struct AosCore {
+            queues: [VecDeque<u32>; CLASSES],
+            pending: u32,
+        }
+        let mut cores: Vec<AosCore> = (0..CORES)
+            .map(|_| AosCore {
+                queues: Default::default(),
+                pending: 0,
+            })
+            .collect();
+        let mut rng = SimRng::new(21);
+        for i in 0..64u32 {
+            let c = (i as usize) % CORES;
+            cores[c].queues[2].push_back(i);
+            cores[c].pending += 1;
+        }
+        let mut turn = 0usize;
+        set.bench("workqueue/scan_aos", move || {
+            turn = (turn + 1) % CORES;
+            let class = pick_class(&mut rng);
+            cores[turn].queues[class].push_back(turn as u32);
+            cores[turn].pending += 1;
+            let core = &mut cores[turn];
+            for q in core.queues.iter_mut() {
+                if let Some(item) = q.pop_front() {
+                    core.pending -= 1;
+                    return black_box(item);
+                }
+            }
+            unreachable!("core always has pending work")
+        });
+    }
+    {
+        let mut queues: [Vec<VecDeque<u32>>; CLASSES] = Default::default();
+        for col in queues.iter_mut() {
+            col.resize_with(CORES, VecDeque::new);
+        }
+        let mut class_mask = vec![0u8; CORES];
+        let mut pending = vec![0u32; CORES];
+        for i in 0..64u32 {
+            let c = (i as usize) % CORES;
+            queues[2][c].push_back(i);
+            class_mask[c] |= 1 << 2;
+            pending[c] += 1;
+        }
+        let mut rng = SimRng::new(21);
+        let mut turn = 0usize;
+        set.bench("workqueue/scan_soa", move || {
+            turn = (turn + 1) % CORES;
+            let class = pick_class(&mut rng);
+            queues[class][turn].push_back(turn as u32);
+            class_mask[turn] |= 1 << class;
+            pending[turn] += 1;
+            let next = class_mask[turn].trailing_zeros() as usize;
+            let q = &mut queues[next][turn];
+            let item = q.pop_front().expect("mask bit set for empty queue");
+            if q.is_empty() {
+                class_mask[turn] &= !(1 << next);
+            }
+            pending[turn] -= 1;
+            black_box(item)
+        });
+    }
 }
 
 /// Request-map churn: the slab-backed [`RequestMap`] vs the HashMap shape
@@ -460,6 +628,8 @@ fn main() {
     bench_troute(&mut set);
     bench_substrate(&mut set);
     bench_event_queues(&mut set);
+    bench_arena(&mut set);
+    bench_workqueue_scan(&mut set);
     bench_reqmap(&mut set);
     bench_trace(&mut set);
     bench_daredevil_config(&mut set);

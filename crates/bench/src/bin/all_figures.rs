@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper in sequence, then
 //! writes `BENCH_sweep.json` — the harness's own performance artifact:
 //! wall-clock, runs, and simulation events/s per figure, plus the sweep
-//! worker count.
+//! worker count, per-figure speedup over a serial baseline, and
+//! (optionally) a per-jobs speedup curve from a fixed probe sweep.
 //!
 //! Environment:
 //!
@@ -10,12 +11,21 @@
 //!   to skip writing);
 //! * `DD_BASELINE_WALL_S` — a serial (`--jobs 1`) wall-clock measurement
 //!   in seconds; when present the artifact records `speedup_vs_serial`
-//!   (used by `scripts/verify.sh`).
+//!   (used by `scripts/verify.sh`);
+//! * `DD_BASELINE_ARTIFACT` — path to a previously written serial
+//!   artifact; when present each figure entry also records its own
+//!   `speedup_vs_serial` against the matching figure's serial wall-clock;
+//! * `DD_BENCH_CURVE` — comma-separated worker counts (e.g. `1,2,4`);
+//!   when present the artifact gains a `speedup_curve` array measured on
+//!   a fixed probe sweep re-run once per worker count (the figures
+//!   themselves are not re-run).
 //!
 //! Tables go to stdout only; timing chatter goes to stderr so stdout
 //! stays byte-identical across `--jobs` values.
 
 use std::time::Instant;
+
+use testbed::scenario::{MachinePreset, Scenario, StackSpec};
 
 struct FigStat {
     name: &'static str,
@@ -32,6 +42,13 @@ impl FigStat {
             0.0
         }
     }
+}
+
+/// One point of the per-jobs speedup curve.
+struct CurvePoint {
+    jobs: usize,
+    wall_s: f64,
+    events: u64,
 }
 
 fn main() {
@@ -68,12 +85,102 @@ fn main() {
             events: events1 - events0,
         });
     }
-    write_artifact(&opts, started.elapsed().as_secs_f64(), &stats);
+    let total_wall_s = started.elapsed().as_secs_f64();
+    // The curve runs *after* the figure timings are frozen, so its extra
+    // probe work never pollutes the per-figure numbers above.
+    let curve = measure_curve();
+    write_artifact(&opts, total_wall_s, &stats, &curve);
+}
+
+/// The fixed probe sweep used for the per-jobs curve: 3 stacks × 4
+/// T-pressure stages at quick scale — big enough (12 cells) to keep 4
+/// workers busy, small enough to re-run per worker count.
+fn probe_sweep() -> bench::Sweep {
+    let mut sweep = bench::Sweep::new();
+    for nr_t in [1u16, 4, 8, 16] {
+        for stack in [
+            StackSpec::vanilla(),
+            StackSpec::blk_switch(),
+            StackSpec::daredevil(),
+        ] {
+            sweep.add(
+                format!("T={nr_t}"),
+                Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM),
+            );
+        }
+    }
+    sweep
+}
+
+/// Runs the probe sweep once per `DD_BENCH_CURVE` worker count and
+/// returns wall-clock per point (empty when the variable is unset).
+/// Results are discarded; only timing is kept. Prints nothing to stdout.
+fn measure_curve() -> Vec<CurvePoint> {
+    let Ok(spec) = std::env::var("DD_BENCH_CURVE") else {
+        return Vec::new();
+    };
+    let jobs_list: Vec<usize> = spec
+        .split(',')
+        .filter_map(|j| j.trim().parse().ok())
+        .filter(|&j| j >= 1)
+        .collect();
+    let mut curve = Vec::with_capacity(jobs_list.len());
+    for jobs in jobs_list {
+        let o = bench::Opts::new(true, false, jobs);
+        let t0 = Instant::now();
+        let results = probe_sweep().run_with_jobs(&o, jobs);
+        let stats = results.stats();
+        curve.push(CurvePoint {
+            jobs,
+            wall_s: t0.elapsed().as_secs_f64(),
+            events: stats.events,
+        });
+        eprintln!(
+            "all_figures: curve probe jobs={jobs}: {:.3}s, {} events",
+            curve.last().expect("just pushed").wall_s,
+            stats.events
+        );
+    }
+    curve
+}
+
+/// Pulls `(name, wall_s)` pairs out of a previously written artifact (the
+/// flat schema this binary emits — parsed with string ops, not a JSON
+/// library, because the workspace is dependency-free).
+fn baseline_figure_walls() -> Vec<(String, f64)> {
+    let Ok(path) = std::env::var("DD_BASELINE_ARTIFACT") else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        eprintln!("all_figures: cannot read DD_BASELINE_ARTIFACT {path}; skipping per-figure speedups");
+        return Vec::new();
+    };
+    let mut walls = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(rest) = rest.split_once("\"wall_s\": ").map(|(_, r)| r) else {
+            continue;
+        };
+        let wall: f64 = rest
+            .split(',')
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0.0);
+        if wall > 0.0 {
+            walls.push((name.to_string(), wall));
+        }
+    }
+    walls
 }
 
 /// Writes the JSON artifact by hand (the repo is dependency-free; the
 /// schema is flat enough that a serializer would be overkill).
-fn write_artifact(opts: &bench::Opts, total_wall_s: f64, stats: &[FigStat]) {
+fn write_artifact(opts: &bench::Opts, total_wall_s: f64, stats: &[FigStat], curve: &[CurvePoint]) {
     let path = std::env::var("DD_BENCH_SWEEP").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
     if path.is_empty() {
         return;
@@ -82,6 +189,7 @@ fn write_artifact(opts: &bench::Opts, total_wall_s: f64, stats: &[FigStat]) {
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .filter(|s: &f64| *s > 0.0);
+    let fig_walls = baseline_figure_walls();
     let total_runs: u64 = stats.iter().map(|f| f.runs).sum();
     let total_events: u64 = stats.iter().map(|f| f.events).sum();
     let events_per_s = if total_wall_s > 0.0 {
@@ -105,15 +213,51 @@ fn write_artifact(opts: &bench::Opts, total_wall_s: f64, stats: &[FigStat]) {
             base / total_wall_s.max(1e-9)
         ));
     }
+    if !curve.is_empty() {
+        // Speedups are relative to the curve's own jobs=1 point (or its
+        // first point when 1 was not requested) — same probe, same host,
+        // so the ratio isolates worker scaling from figure composition.
+        let base_wall = curve
+            .iter()
+            .find(|p| p.jobs == 1)
+            .unwrap_or(&curve[0])
+            .wall_s;
+        s.push_str("  \"speedup_curve\": [\n");
+        for (i, p) in curve.iter().enumerate() {
+            let eps = if p.wall_s > 0.0 {
+                p.events as f64 / p.wall_s
+            } else {
+                0.0
+            };
+            s.push_str(&format!(
+                "    {{\"jobs\": {}, \"wall_s\": {:.6}, \"events_per_s\": {:.1}, \"speedup_vs_serial\": {:.3}}}{}\n",
+                p.jobs,
+                p.wall_s,
+                eps,
+                base_wall / p.wall_s.max(1e-9),
+                if i + 1 < curve.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+    }
     s.push_str("  \"figures\": [\n");
     for (i, f) in stats.iter().enumerate() {
+        let speedup = fig_walls
+            .iter()
+            .find(|(n, _)| n == f.name)
+            .map(|(_, base)| base / f.wall_s.max(1e-9));
+        let speedup_field = match speedup {
+            Some(x) => format!(", \"speedup_vs_serial\": {x:.3}"),
+            None => String::new(),
+        };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"runs\": {}, \"events\": {}, \"events_per_s\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"runs\": {}, \"events\": {}, \"events_per_s\": {:.1}{}}}{}\n",
             f.name,
             f.wall_s,
             f.runs,
             f.events,
             f.events_per_s(),
+            speedup_field,
             if i + 1 < stats.len() { "," } else { "" },
         ));
     }

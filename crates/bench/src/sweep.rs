@@ -116,13 +116,27 @@ impl Sweep {
             })
             .collect();
         let n = cells.len();
-        let jobs = jobs.max(1).min(n.max(1));
+        // A worker pool on a single-core host only adds contention and
+        // scheduling noise — degrade to the inline loop, which is also
+        // byte-identical (every consumer reads slots in cell order).
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let jobs = if cores <= 1 {
+            1
+        } else {
+            jobs.max(1).min(n.max(1))
+        };
         let mut slots: Vec<Option<(String, RunOutput)>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         if jobs <= 1 {
-            // Serial fast path: no pool, same code path the workers run.
+            // Serial fast path: no pool, no locks, and one `RunArena`
+            // threaded through every cell — each machine after the first
+            // adopts the previous cell's allocations instead of rebuilding
+            // them (`testbed::run_in` parks them again at teardown).
+            let mut arena = testbed::RunArena::new();
             for (i, label, scenario) in cells {
-                let out = testbed::run(scenario);
+                let out = testbed::run_in(scenario, &mut arena);
                 record_run(&out);
                 slots[i] = Some((label, out));
             }
@@ -130,25 +144,31 @@ impl Sweep {
             // Work-stealing by atomic index: workers grab the next undone
             // cell; results land in the cell's original slot, so the
             // completion *order* (which is timing-dependent) never leaks
-            // into the output.
+            // into the output. Each worker owns one arena for its whole
+            // claim stream — cell-to-cell machine recycling without any
+            // cross-thread sharing (arenas are deliberately not `Send`-
+            // bounded content-wise; they never leave their worker).
             let next = AtomicUsize::new(0);
             let cells = Mutex::new(cells.into_iter().map(Some).collect::<Vec<_>>());
             let done = Mutex::new(&mut slots);
             std::thread::scope(|scope| {
                 for _ in 0..jobs {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+                    scope.spawn(|| {
+                        let mut arena = testbed::RunArena::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let (idx, label, scenario) = {
+                                let mut cells = cells.lock().expect("cell list lock");
+                                cells[i].take().expect("each cell claimed once")
+                            };
+                            let out = testbed::run_in(scenario, &mut arena);
+                            record_run(&out);
+                            let mut done = done.lock().expect("result slot lock");
+                            done[idx] = Some((label, out));
                         }
-                        let (idx, label, scenario) = {
-                            let mut cells = cells.lock().expect("cell list lock");
-                            cells[i].take().expect("each cell claimed once")
-                        };
-                        let out = testbed::run(scenario);
-                        record_run(&out);
-                        let mut done = done.lock().expect("result slot lock");
-                        done[idx] = Some((label, out));
                     });
                 }
             });

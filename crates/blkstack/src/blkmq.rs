@@ -24,8 +24,8 @@ use crate::nsqlock::NsqLockTable;
 use crate::reqmap::RequestMap;
 use crate::split::{split_extents, SplitConfig};
 use crate::stack::{
-    process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands, RedriveGuard, StackEnv,
-    StackStats, StorageStack,
+    arena_tags, process_cqes, trace_enqueued, trace_routed, CompletionMode, ParkedCommands,
+    RedriveGuard, StackEnv, StackStats, StorageStack,
 };
 use crate::tenant::{Pid, TaskStruct};
 
@@ -256,6 +256,24 @@ impl StorageStack for VanillaBlkMq {
         for sched in self.scheds.iter_mut().flatten() {
             sched.reserve(hint);
         }
+    }
+
+    fn park_buffers(&mut self, arena: &mut simkit::RunArena) {
+        arena.put(arena_tags::REQMAP, std::mem::take(&mut self.reqmap));
+        arena.put(arena_tags::CMD_SCRATCH, std::mem::take(&mut self.cmd_scratch));
+        arena.put(arena_tags::CMD_SCRATCH_2, std::mem::take(&mut self.batch_scratch));
+        arena.put(arena_tags::CQE_SCRATCH, std::mem::take(&mut self.cqe_scratch));
+        arena.put(0, std::mem::take(&mut self.freed_scratch));
+        arena.put(0, std::mem::take(&mut self.touched_scratch));
+    }
+
+    fn adopt_buffers(&mut self, arena: &mut simkit::RunArena) {
+        self.reqmap = arena.take(arena_tags::REQMAP);
+        self.cmd_scratch = arena.take(arena_tags::CMD_SCRATCH);
+        self.batch_scratch = arena.take(arena_tags::CMD_SCRATCH_2);
+        self.cqe_scratch = arena.take(arena_tags::CQE_SCRATCH);
+        self.freed_scratch = arena.take(0);
+        self.touched_scratch = arena.take(0);
     }
 
     fn submit(&mut self, bios: &[Bio], env: &mut StackEnv<'_>) -> SimDuration {

@@ -56,6 +56,17 @@ pub struct RequestMap {
     peak_outstanding: usize,
 }
 
+impl simkit::ArenaReset for RequestMap {
+    /// Restarts both slabs (generations included — rq ids feed trace CSVs,
+    /// so a recycled map must hand out the same id sequence as a fresh one)
+    /// and zeroes the peak-outstanding statistic, which is reported per run.
+    fn arena_reset(&mut self) {
+        self.bios.clear();
+        self.rqs.clear();
+        self.peak_outstanding = 0;
+    }
+}
+
 impl RequestMap {
     /// Creates an empty map.
     pub fn new() -> Self {

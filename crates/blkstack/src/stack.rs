@@ -123,8 +123,43 @@ pub trait StorageStack {
     /// untouched.
     fn on_watchdog(&mut self, _env: &mut StackEnv<'_>) {}
 
+    /// Parks the stack's growable buffers (request map, dispatch scratch)
+    /// into `arena` at run teardown so the next run on this worker can
+    /// [`adopt`](StorageStack::adopt_buffers) the warm allocations. Buffers
+    /// are reset on the way in ([`simkit::ArenaReset`]); stacks use the
+    /// shared [`arena_tags`] so a map parked by one stack flavour is
+    /// adoptable by any other. The default parks nothing.
+    fn park_buffers(&mut self, _arena: &mut simkit::RunArena) {}
+
+    /// Adopts warm buffers parked by a previous run (the inverse of
+    /// [`StorageStack::park_buffers`]), swapping them in place of the empty
+    /// shells the constructor built. Called by the testbed right after
+    /// construction, before [`StorageStack::reserve`]. Behaviour must be
+    /// identical to a fresh stack — only capacity may differ. The default
+    /// adopts nothing.
+    fn adopt_buffers(&mut self, _arena: &mut simkit::RunArena) {}
+
     /// Statistics snapshot.
     fn stats(&self) -> StackStats;
+}
+
+/// Arena tags for buffers recycled across runs via
+/// [`StorageStack::park_buffers`] / [`StorageStack::adopt_buffers`].
+///
+/// Tags only disambiguate parked values of the *same type* (the arena keys
+/// on `(TypeId, tag)`), so the constants here matter only where one stack
+/// parks several buffers of one type. They are shared by every stack so a
+/// worker that runs `vanilla` in one sweep cell and `daredevil` in the next
+/// still reuses the request map and scratch allocations.
+pub mod arena_tags {
+    /// The [`RequestMap`](crate::reqmap::RequestMap).
+    pub const REQMAP: u32 = 0;
+    /// Primary command scratch (`Vec<NvmeCommand>`).
+    pub const CMD_SCRATCH: u32 = 0;
+    /// Secondary command scratch (per-batch staging).
+    pub const CMD_SCRATCH_2: u32 = 1;
+    /// CQE drain scratch (`Vec<CqEntry>`).
+    pub const CQE_SCRATCH: u32 = 0;
 }
 
 /// Records `Submit` + `Routed` span events for one request at its routing

@@ -383,6 +383,20 @@ impl StorageStack for BlkSwitchStack {
         self.cqe_scratch.reserve(hint);
     }
 
+    fn park_buffers(&mut self, arena: &mut simkit::RunArena) {
+        use blkstack::stack::arena_tags;
+        arena.put(arena_tags::REQMAP, std::mem::take(&mut self.reqmap));
+        arena.put(arena_tags::CMD_SCRATCH, std::mem::take(&mut self.cmd_scratch));
+        arena.put(arena_tags::CQE_SCRATCH, std::mem::take(&mut self.cqe_scratch));
+    }
+
+    fn adopt_buffers(&mut self, arena: &mut simkit::RunArena) {
+        use blkstack::stack::arena_tags;
+        self.reqmap = arena.take(arena_tags::REQMAP);
+        self.cmd_scratch = arena.take(arena_tags::CMD_SCRATCH);
+        self.cqe_scratch = arena.take(arena_tags::CQE_SCRATCH);
+    }
+
     fn on_tick(&mut self, env: &mut StackEnv<'_>) -> Option<SimDuration> {
         // Application steering. Two regimes:
         //

@@ -33,6 +33,21 @@ use crate::nqreg::{divide_priorities, NqReg};
 use crate::policy::{DoorbellCtx, DoorbellMode, Policy, PolicyKind, ReapCtx};
 use crate::troute::{RouteStats, Troute};
 
+/// Arena wrapper for the per-NSQ staging buffers: the blanket
+/// `ArenaReset for Vec<T>` would drop the inner `Vec`s (and their warm
+/// capacities) on park, so this reset empties each inner buffer while
+/// keeping both the outer spine and the inner allocations.
+#[derive(Default)]
+struct SqBufs(Vec<Vec<NvmeCommand>>);
+
+impl simkit::ArenaReset for SqBufs {
+    fn arena_reset(&mut self) {
+        for b in &mut self.0 {
+            b.clear();
+        }
+    }
+}
+
 /// The Daredevil kernel storage stack.
 ///
 /// Generic over the scheduling [`Policy`] (static dispatch — the policy's
@@ -258,6 +273,25 @@ impl<P: Policy> StorageStack for DaredevilStack<P> {
     fn reserve(&mut self, hint: usize) {
         self.reqmap.reserve(hint);
         self.cqe_scratch.reserve(hint);
+    }
+
+    fn park_buffers(&mut self, arena: &mut simkit::RunArena) {
+        use blkstack::stack::arena_tags;
+        arena.put(arena_tags::REQMAP, std::mem::take(&mut self.reqmap));
+        arena.put(arena_tags::CQE_SCRATCH, std::mem::take(&mut self.cqe_scratch));
+        arena.put(0, SqBufs(std::mem::take(&mut self.sq_bufs)));
+    }
+
+    fn adopt_buffers(&mut self, arena: &mut simkit::RunArena) {
+        use blkstack::stack::arena_tags;
+        self.reqmap = arena.take(arena_tags::REQMAP);
+        self.cqe_scratch = arena.take(arena_tags::CQE_SCRATCH);
+        let SqBufs(mut bufs) = arena.take::<SqBufs>(0);
+        // The constructor sized `sq_bufs` to this device's NSQ count; a
+        // recycled set from a different geometry is resized to match.
+        let want = self.sq_bufs.len();
+        bufs.resize_with(want, Vec::new);
+        self.sq_bufs = bufs;
     }
 
     fn submit(&mut self, bios: &[Bio], env: &mut StackEnv<'_>) -> SimDuration {

@@ -9,8 +9,8 @@
 //!   ISR, a request-reap) whose payload the testbed executes when the item
 //!   starts, learning its cost from the executed action (see
 //!   [`core_model::CpuSystem`] for the dispatch protocol);
-//! * each [`core_model::CpuCore`] runs one item at a time, picking the next
-//!   by class priority (hard-IRQ > soft-IRQ > task) then FIFO — interrupts
+//! * each core runs one item at a time, picking the next by class priority
+//!   (hard-IRQ > soft-IRQ > task) then FIFO — interrupts
 //!   preempt application work at item boundaries, which is why long batched
 //!   completion ISRs of T-requests delay everything else on the core;
 //! * [`topology::CpuTopology`] describes core counts and speed factors for
@@ -25,7 +25,7 @@ pub mod costs;
 pub mod topology;
 pub mod work;
 
-pub use core_model::{CpuCore, CpuSystem};
+pub use core_model::CpuSystem;
 pub use costs::HostCosts;
 pub use topology::CpuTopology;
 pub use work::WorkClass;

@@ -23,7 +23,7 @@ fn drive(ops: &[(u8, u64)]) -> (Vec<(WorkClass, usize)>, SimDuration, SimTime) {
     }
     // Drain.
     while let Some((class, payload)) = {
-        if sys.core(0).is_idle() {
+        if sys.is_idle(0) {
             None
         } else {
             sys.take_next(0)
@@ -34,7 +34,7 @@ fn drive(ops: &[(u8, u64)]) -> (Vec<(WorkClass, usize)>, SimDuration, SimTime) {
         now = fin;
         sys.finish(0, now);
     }
-    (executed, sys.core(0).busy_until(now), now)
+    (executed, sys.busy_until(0, now), now)
 }
 
 /// Every enqueued item executes exactly once; total busy time equals the

@@ -113,6 +113,17 @@ impl DeviceOutput {
     }
 }
 
+impl simkit::ArenaReset for DeviceOutput {
+    /// Unlike [`DeviceOutput::clear`], a recycle between runs *does* reset
+    /// the trace sink: the next run reconfigures it from its own scenario
+    /// and must not inherit events (or the enabled flag) from the last one.
+    fn arena_reset(&mut self) {
+        self.events.clear();
+        self.irqs.clear();
+        self.trace.arena_reset();
+    }
+}
+
 /// Device-wide counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DeviceStats {

@@ -256,6 +256,22 @@ impl StorageStack for OverprovStack {
         self.cqe_scratch.reserve(hint);
     }
 
+    fn park_buffers(&mut self, arena: &mut simkit::RunArena) {
+        use blkstack::stack::arena_tags;
+        arena.put(arena_tags::REQMAP, std::mem::take(&mut self.reqmap));
+        arena.put(arena_tags::CMD_SCRATCH, std::mem::take(&mut self.l_scratch));
+        arena.put(arena_tags::CMD_SCRATCH_2, std::mem::take(&mut self.t_scratch));
+        arena.put(arena_tags::CQE_SCRATCH, std::mem::take(&mut self.cqe_scratch));
+    }
+
+    fn adopt_buffers(&mut self, arena: &mut simkit::RunArena) {
+        use blkstack::stack::arena_tags;
+        self.reqmap = arena.take(arena_tags::REQMAP);
+        self.l_scratch = arena.take(arena_tags::CMD_SCRATCH);
+        self.t_scratch = arena.take(arena_tags::CMD_SCRATCH_2);
+        self.cqe_scratch = arena.take(arena_tags::CQE_SCRATCH);
+    }
+
     fn on_irq(&mut self, cq: CqId, core: u16, env: &mut StackEnv<'_>) -> SimDuration {
         let mut entries = std::mem::take(&mut self.cqe_scratch);
         env.device.isr_pop_into(cq, usize::MAX, &mut entries);

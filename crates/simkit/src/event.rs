@@ -89,6 +89,7 @@ struct Bucket<E> {
 impl<E> Bucket<E> {
     const fn new() -> Self {
         Bucket {
+            // dd-alloc-allowlist: const empty Vec — no heap allocation.
             items: Vec::new(),
             sorted: false,
         }
@@ -106,12 +107,22 @@ impl<E> Bucket<E> {
 
     fn push(&mut self, at: SimTime, seq: u64, event: E) {
         if self.sorted {
-            // Active (draining) bucket: keep descending order. Pushes at
-            // the current time carry the largest seq so far, i.e. they
-            // belong near the tail — `partition_point` finds the spot and
-            // the memmove is short.
-            let pos = self.items.partition_point(|(t, s, _)| (*t, *s) > (at, seq));
-            self.items.insert(pos, (at, seq, event));
+            // Monotone-append fast path: descending order keeps the
+            // minimum at the tail, so a new overall minimum appends in
+            // O(1) — the common case when the drain pushes follow-ups
+            // strictly earlier than the bucket's remaining events.
+            match self.items.last() {
+                Some((t, s, _)) if (at, seq) >= (*t, *s) => {
+                    // Active (draining) bucket: keep descending order.
+                    // Pushes at the current time carry the largest seq so
+                    // far, i.e. they belong near the tail —
+                    // `partition_point` finds the spot and the memmove is
+                    // short.
+                    let pos = self.items.partition_point(|(t, s, _)| (*t, *s) > (at, seq));
+                    self.items.insert(pos, (at, seq, event));
+                }
+                _ => self.items.push((at, seq, event)),
+            }
         } else {
             self.items.push((at, seq, event));
         }
@@ -180,15 +191,23 @@ impl<E> EventQueue<E> {
     /// the steady state allocates nothing.
     pub fn with_capacity(cap: usize) -> Self {
         let mut q = Self::new();
+        q.reserve(cap);
+        q
+    }
+
+    /// Grows the lanes for roughly `cap` concurrently pending events.
+    /// Idempotent — an already-large (e.g. arena-recycled) queue is left
+    /// alone, so a recycled queue behaves exactly like a fresh
+    /// [`EventQueue::with_capacity`] one, capacity aside.
+    pub fn reserve(&mut self, cap: usize) {
         // Most pending events cluster in a handful of active granules;
         // sizing every bucket for an even spread (with a floor) absorbs
         // that clustering without allocating cap × NEAR_BUCKETS slots.
         let per_bucket = (cap / NEAR_BUCKETS).clamp(4, 256);
-        for b in &mut q.buckets {
+        for b in &mut self.buckets {
             b.items.reserve(per_bucket);
         }
-        q.far.reserve(cap / 4 + 16);
-        q
+        self.far.reserve(cap / 4 + 16);
     }
 
     /// Schedules `event` to fire at `at`.
@@ -203,6 +222,28 @@ impl<E> EventQueue<E> {
         } else {
             self.far.push(Scheduled { at, seq, event });
         }
+    }
+
+    /// Schedules a batch of events, assigning sequence numbers in iterator
+    /// order — byte-for-byte equivalent to calling [`EventQueue::push`] per
+    /// item, but with the sequence/counter bookkeeping hoisted out of the
+    /// loop so the per-item work is one granule shift plus the bucket
+    /// append (the monotone-append fast path of the near ring).
+    pub fn push_batch<I: IntoIterator<Item = (SimTime, E)>>(&mut self, batch: I) {
+        let cursor = self.cursor;
+        let mut seq = self.next_seq;
+        for (at, event) in batch {
+            let g = granule(at);
+            if g >= cursor && g - cursor < NEAR_BUCKETS as u64 {
+                self.buckets[(g & NEAR_MASK) as usize].push(at, seq, event);
+                self.near_len += 1;
+            } else {
+                self.far.push(Scheduled { at, seq, event });
+            }
+            seq += 1;
+        }
+        self.pushed_total += seq - self.next_seq;
+        self.next_seq = seq;
     }
 
     /// Finds the near-lane head: advances `cursor` to the first non-empty
@@ -301,6 +342,19 @@ impl<E> EventQueue<E> {
         }
         self.near_len = 0;
         self.far.clear();
+    }
+}
+
+impl<E> crate::arena::ArenaReset for EventQueue<E> {
+    /// Full logical reset: cursor, sequence numbers, and push counter all
+    /// restart at zero (sequence numbers are the deterministic tie-break —
+    /// a recycled queue must replay exactly like a fresh one), keeping the
+    /// bucket-ring and far-heap allocations.
+    fn arena_reset(&mut self) {
+        self.clear();
+        self.cursor = 0;
+        self.next_seq = 0;
+        self.pushed_total = 0;
     }
 }
 
@@ -483,6 +537,82 @@ mod tests {
         q.clear();
         assert_eq!(q.pushed_total(), 2);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_batch_matches_looped_push() {
+        // Mixed near/far batch interleaved with single pushes and pops:
+        // the batched queue must replay identically to the looped one.
+        let mut batched = EventQueue::new();
+        let mut looped = EventQueue::new();
+        let far = SimTime::from_nanos((NEAR_BUCKETS as u64 + 3) << GRANULE_SHIFT);
+        let items = [
+            (SimTime::from_nanos(100), 0u32),
+            (SimTime::from_nanos(100), 1),
+            (far, 2),
+            (SimTime::from_nanos(50), 3),
+            (far, 4),
+            (SimTime::from_nanos(2000), 5),
+        ];
+        batched.push(SimTime::from_nanos(10), 99);
+        looped.push(SimTime::from_nanos(10), 99);
+        batched.push_batch(items.iter().copied());
+        for (at, e) in items {
+            looped.push(at, e);
+        }
+        assert_eq!(batched.len(), looped.len());
+        assert_eq!(batched.pushed_total(), looped.pushed_total());
+        loop {
+            let (a, b) = (batched.pop(), looped.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn push_batch_into_active_sorted_bucket() {
+        // Drain into a bucket (sorting it), then batch-push into the same
+        // bucket: order must stay (time, seq) across the sorted insert and
+        // the monotone-append fast path.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 0u32);
+        q.push(SimTime::from_nanos(30), 1);
+        assert_eq!(q.pop().unwrap().1, 0); // sorts the active bucket
+        q.push_batch([
+            (SimTime::from_nanos(30), 2),
+            (SimTime::from_nanos(20), 3),
+            (SimTime::from_nanos(15), 4), // new minimum: fast append
+        ]);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![4, 3, 1, 2]);
+    }
+
+    #[test]
+    fn arena_reset_replays_like_fresh() {
+        use crate::arena::ArenaReset;
+        let mut q = EventQueue::with_capacity(512);
+        for t in [5u64, 1_000_000, 3] {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        q.pop();
+        q.arena_reset();
+        assert!(q.is_empty());
+        assert_eq!(q.pushed_total(), 0);
+        // Replays exactly like a fresh queue (seq restarts at zero).
+        let mut fresh = EventQueue::new();
+        for t in [7u64, 7, 2] {
+            q.push(SimTime::from_nanos(t), t);
+            fresh.push(SimTime::from_nanos(t), t);
+        }
+        loop {
+            let (a, b) = (q.pop(), fresh.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod event;
 pub mod ewma;
 pub mod fault;
@@ -24,6 +25,7 @@ pub mod slab;
 pub mod time;
 pub mod trace;
 
+pub use arena::{ArenaReset, ArenaStats, RunArena};
 pub use event::{EventQueue, HeapQueue};
 pub use ewma::Ewma;
 pub use fault::{FaultClasses, FaultEvent, FaultGeometry, FaultKind, FaultPlan, FaultSpec, FaultStats};

@@ -211,6 +211,18 @@ impl<T> Slab<T> {
         self.get(id).is_some()
     }
 
+    /// Drops every value and forgets every generation, keeping only the
+    /// backing capacity: the next insert hands out `slot0g0`, exactly like
+    /// a fresh slab. Generations leak into run output (they are the high
+    /// half of the request ids the stacks embed in NVMe host tags), so a
+    /// recycled slab **must** restart them — merely emptying the slots
+    /// would break byte-identical replay.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.len = 0;
+    }
+
     /// Iterates live `(handle, value)` pairs in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (SlotId, &T)> + '_ {
         self.slots.iter().enumerate().filter_map(|(i, s)| match s {
@@ -465,6 +477,27 @@ impl<K: Key, V> DenseMap<K, V> {
     /// Iterates values mutably in dense-storage order.
     pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> + '_ {
         self.entries.iter_mut().map(|(_, v)| v)
+    }
+
+    /// Drops every entry, keeping the dense storage and index allocations.
+    /// Lookup/insert/removal results never depend on the index table's
+    /// *size* (only probe lengths do), so a cleared map behaves exactly
+    /// like a fresh one.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.fill(EMPTY);
+    }
+}
+
+impl<T> crate::arena::ArenaReset for Slab<T> {
+    fn arena_reset(&mut self) {
+        self.clear();
+    }
+}
+
+impl<K: Key + 'static, V> crate::arena::ArenaReset for DenseMap<K, V> {
+    fn arena_reset(&mut self) {
+        self.clear();
     }
 }
 

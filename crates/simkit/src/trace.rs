@@ -189,6 +189,10 @@ impl TraceSpec {
 pub struct TraceSink {
     on: bool,
     mask: u16,
+    /// Logical ring bound. Kept separate from `buf.capacity()` so an
+    /// arena-recycled sink with a larger leftover allocation wraps at
+    /// exactly the same event count as a fresh one (byte-identical replay).
+    cap: usize,
     buf: Vec<TraceEvent>,
     /// Index of the oldest event once the ring has wrapped.
     head: usize,
@@ -209,12 +213,32 @@ impl TraceSink {
 
     /// Creates an enabled sink from a [`TraceSpec`].
     pub fn with_spec(spec: TraceSpec) -> Self {
-        TraceSink {
-            on: true,
-            mask: spec.mask,
-            buf: Vec::with_capacity(spec.cap.max(1)),
-            head: 0,
-            dropped: 0,
+        let mut sink = TraceSink::default();
+        sink.reconfigure(Some(spec));
+        sink
+    }
+
+    /// Re-arms the sink for a new run, keeping the ring allocation: with a
+    /// spec the sink records that spec's phases into a ring of exactly
+    /// `spec.cap` events; with `None` it is disabled (the trace-off hot
+    /// path stays one branch). Either way the previous run's events and
+    /// drop count are gone.
+    pub fn reconfigure(&mut self, spec: Option<TraceSpec>) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+        match spec {
+            Some(spec) => {
+                self.on = true;
+                self.mask = spec.mask;
+                self.cap = spec.cap.max(1);
+                self.buf.reserve(self.cap);
+            }
+            None => {
+                self.on = false;
+                self.mask = 0;
+                self.cap = 0;
+            }
         }
     }
 
@@ -229,9 +253,9 @@ impl TraceSink {
         self.mask
     }
 
-    /// Ring capacity in events.
+    /// Ring capacity in events (the logical bound, not the allocation).
     pub fn capacity(&self) -> usize {
-        self.buf.capacity()
+        self.cap
     }
 
     /// Records an event if the sink is enabled and the phase selected.
@@ -243,7 +267,7 @@ impl TraceSink {
         if !self.on || self.mask & ev.phase.bit() == 0 {
             return;
         }
-        if self.buf.len() < self.buf.capacity() {
+        if self.buf.len() < self.cap {
             self.buf.push(ev);
         } else {
             self.buf[self.head] = ev;
@@ -283,6 +307,14 @@ impl TraceSink {
     pub fn copy_into(&self, out: &mut Vec<TraceEvent>) {
         out.extend_from_slice(&self.buf[self.head..]);
         out.extend_from_slice(&self.buf[..self.head]);
+    }
+}
+
+impl crate::arena::ArenaReset for TraceSink {
+    /// Resets to the disabled state (what `TraceSink::default()` gives),
+    /// keeping the ring allocation for the next `reconfigure`.
+    fn arena_reset(&mut self) {
+        self.reconfigure(None);
     }
 }
 
@@ -359,6 +391,31 @@ mod tests {
         s.copy_into(&mut out);
         let ts: Vec<u64> = out.iter().map(|e| e.t.as_nanos()).collect();
         assert_eq!(ts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recycled_sink_wraps_at_logical_cap() {
+        use crate::arena::ArenaReset;
+        // First life: a big ring. Second life: a small ring over the same
+        // (larger) allocation — it must wrap at the *logical* cap, exactly
+        // like a fresh small sink would.
+        let mut s = TraceSink::enabled_all(64);
+        for i in 0..64 {
+            s.record(ev(i, i, Phase::Submit));
+        }
+        s.arena_reset();
+        assert!(!s.enabled());
+        assert!(s.is_empty());
+        assert_eq!(s.dropped(), 0);
+        s.reconfigure(Some(TraceSpec::all(2)));
+        for i in 0..5 {
+            s.record(ev(i, i, Phase::Submit));
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 3);
+        let evs = s.into_events();
+        assert_eq!(evs[0].t, SimTime::from_nanos(3));
+        assert_eq!(evs[1].t, SimTime::from_nanos(4));
     }
 
     #[test]

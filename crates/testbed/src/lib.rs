@@ -36,8 +36,20 @@ pub mod scenario;
 pub use machine::Machine;
 pub use runout::RunOutput;
 pub use scenario::{MachinePreset, Scenario, StackSpec, TenantKind, TenantSpec};
+pub use simkit::RunArena;
 
 /// Runs a scenario to completion and returns its measurements.
 pub fn run(scenario: Scenario) -> RunOutput {
     Machine::new(scenario).run()
+}
+
+/// Runs a scenario to completion, recycling the machine's growable
+/// structures through `arena`: the event-queue lanes, CPU work queues,
+/// device-output buffers, request maps, and scratch vectors parked by the
+/// previous `run_in` on the same arena are adopted instead of reallocated,
+/// and parked again at teardown. Output is byte-identical to [`run`] —
+/// only allocation traffic differs. This is the sweep workers' fast path:
+/// one arena per worker, reused across every cell it executes.
+pub fn run_in(scenario: Scenario, arena: &mut RunArena) -> RunOutput {
+    Machine::new_in(scenario, arena).run_in(arena)
 }

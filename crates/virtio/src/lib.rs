@@ -223,6 +223,16 @@ impl StorageStack for VirtioBlk {
         self.inner.on_watchdog(env);
     }
 
+    fn park_buffers(&mut self, arena: &mut simkit::RunArena) {
+        // The virtio layer's own maps are tiny; the host stack holds the
+        // recyclable allocations.
+        self.inner.park_buffers(arena);
+    }
+
+    fn adopt_buffers(&mut self, arena: &mut simkit::RunArena) {
+        self.inner.adopt_buffers(arena);
+    }
+
     fn stats(&self) -> StackStats {
         self.inner.stats()
     }
