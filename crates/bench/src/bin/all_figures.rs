@@ -92,17 +92,26 @@ fn main() {
     write_artifact(&opts, total_wall_s, &stats, &curve);
 }
 
+/// T-pressure stages of the fixed probe sweep (also recorded in the
+/// artifact's `curve_probe` block so consumers know the cell geometry).
+const PROBE_T_STAGES: [u16; 4] = [1, 4, 8, 16];
+
+/// Stacks of the fixed probe sweep.
+fn probe_stacks() -> [StackSpec; 3] {
+    [
+        StackSpec::vanilla(),
+        StackSpec::blk_switch(),
+        StackSpec::daredevil(),
+    ]
+}
+
 /// The fixed probe sweep used for the per-jobs curve: 3 stacks × 4
 /// T-pressure stages at quick scale — big enough (12 cells) to keep 4
 /// workers busy, small enough to re-run per worker count.
 fn probe_sweep() -> bench::Sweep {
     let mut sweep = bench::Sweep::new();
-    for nr_t in [1u16, 4, 8, 16] {
-        for stack in [
-            StackSpec::vanilla(),
-            StackSpec::blk_switch(),
-            StackSpec::daredevil(),
-        ] {
+    for nr_t in PROBE_T_STAGES {
+        for stack in probe_stacks() {
             sweep.add(
                 format!("T={nr_t}"),
                 Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM),
@@ -202,6 +211,13 @@ fn write_artifact(opts: &bench::Opts, total_wall_s: f64, stats: &[FigStat], curv
     s.push_str("{\n");
     s.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
     s.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    // Host parallelism at measurement time: events/s numbers from a
+    // shared/throttled container are not comparable to a dedicated host,
+    // so the artifact records what the machine offered.
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    s.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
     s.push_str(&format!("  \"total_wall_s\": {total_wall_s:.6},\n"));
     s.push_str(&format!("  \"total_runs\": {total_runs},\n"));
     s.push_str(&format!("  \"total_events\": {total_events},\n"));
@@ -214,6 +230,20 @@ fn write_artifact(opts: &bench::Opts, total_wall_s: f64, stats: &[FigStat], curv
         ));
     }
     if !curve.is_empty() {
+        // Cell geometry of the probe the curve was measured on, so the
+        // artifact is self-describing: jobs beyond the cell count cannot
+        // speed the probe up further.
+        let stacks: Vec<String> = probe_stacks()
+            .iter()
+            .map(|st| format!("\"{}\"", st.name()))
+            .collect();
+        let stages: Vec<String> = PROBE_T_STAGES.iter().map(|t| t.to_string()).collect();
+        s.push_str(&format!(
+            "  \"curve_probe\": {{\"cells\": {}, \"stacks\": [{}], \"t_stages\": [{}], \"preset\": \"SvM\"}},\n",
+            probe_stacks().len() * PROBE_T_STAGES.len(),
+            stacks.join(", "),
+            stages.join(", "),
+        ));
         // Speedups are relative to the curve's own jobs=1 point (or its
         // first point when 1 was not requested) — same probe, same host,
         // so the ratio isolates worker scaling from figure composition.

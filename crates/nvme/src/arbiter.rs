@@ -12,10 +12,106 @@
 //! [`WrrArbiter`] here backs the static-overprovision baseline stack
 //! (see the `overprov` crate).
 //!
-//! Arbiters hold no queue state; callers tell them which queues are
-//! currently non-empty and they pick the next one deterministically.
+//! # O(1) picks
+//!
+//! The hot-path entry point is [`RoundRobinArbiter::pick`] /
+//! [`WrrArbiter::pick`]: the device reports every visible-work transition
+//! through `note_ready`/`note_idle`, the arbiter maintains a non-empty-SQ
+//! bitmask ([`SqMask`], u64 words + `trailing_zeros`), and a pick walks set
+//! bits instead of scanning all `nr_sqs` queues. WRR keeps one mask per
+//! priority class. The mask may only encode *published work* — fault-stall
+//! windows are time-dependent, so stalled queues stay in the mask and every
+//! pick filters candidates through the caller's `stalled` predicate (which
+//! therefore runs per *candidate*, never per queue).
+//!
+//! The predicate-scan [`RoundRobinArbiter::next`] / [`WrrArbiter::next`] are
+//! kept as the reference implementation: the `arbiter_mask_matches_scan`
+//! dd-check property drives both over random interleavings and requires
+//! identical pick sequences.
 
 use crate::spec::SqId;
+
+/// A bitmask over submission-queue ids: u64 words, one bit per SQ.
+///
+/// This is the arbiter's "which queues have published work" index. All
+/// operations are O(words); finding the next set bit from a cursor is one
+/// `trailing_zeros` per non-empty word.
+#[derive(Clone, Debug, Default)]
+pub struct SqMask {
+    words: Vec<u64>,
+    nr: u16,
+}
+
+impl SqMask {
+    /// An empty mask sized for `nr_sqs` queues.
+    pub fn new(nr_sqs: u16) -> Self {
+        SqMask {
+            words: vec![0u64; (nr_sqs as usize).div_ceil(64)],
+            nr: nr_sqs,
+        }
+    }
+
+    /// Sets the bit for `sq` (idempotent).
+    #[inline]
+    pub fn set(&mut self, sq: SqId) {
+        self.words[(sq.0 >> 6) as usize] |= 1u64 << (sq.0 & 63);
+    }
+
+    /// Clears the bit for `sq` (idempotent).
+    #[inline]
+    pub fn clear(&mut self, sq: SqId) {
+        self.words[(sq.0 >> 6) as usize] &= !(1u64 << (sq.0 & 63));
+    }
+
+    /// True when the bit for `sq` is set.
+    #[inline]
+    pub fn contains(&self, sq: SqId) -> bool {
+        self.words[(sq.0 >> 6) as usize] & (1u64 << (sq.0 & 63)) != 0
+    }
+
+    /// True when no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of queues this mask covers.
+    pub fn nr(&self) -> u16 {
+        self.nr
+    }
+
+    /// First set bit at or after `from`, wrapping circularly; `None` when
+    /// the mask is empty. `from` must be `< nr`.
+    #[inline]
+    pub fn next_set_from(&self, from: u16) -> Option<u16> {
+        debug_assert!(from < self.nr.max(1));
+        let fw = (from >> 6) as usize;
+        let fb = from & 63;
+        // Forward segment: [from, nr).
+        let w = self.words[fw] & (u64::MAX << fb);
+        if w != 0 {
+            return Some((fw as u16) << 6 | w.trailing_zeros() as u16);
+        }
+        for wi in fw + 1..self.words.len() {
+            let w = self.words[wi];
+            if w != 0 {
+                return Some((wi as u16) << 6 | w.trailing_zeros() as u16);
+            }
+        }
+        // Wrap segment: [0, from).
+        for wi in 0..fw {
+            let w = self.words[wi];
+            if w != 0 {
+                return Some((wi as u16) << 6 | w.trailing_zeros() as u16);
+            }
+        }
+        let w = self.words[fw] & !(u64::MAX << fb);
+        if w != 0 {
+            return Some((fw as u16) << 6 | w.trailing_zeros() as u16);
+        }
+        None
+    }
+}
 
 /// Round-robin arbiter over a fixed set of submission queues.
 #[derive(Clone, Debug)]
@@ -29,6 +125,9 @@ pub struct RoundRobinArbiter {
     burst: u8,
     /// The queue the current burst belongs to.
     burst_sq: Option<SqId>,
+    /// Queues with published, unfetched work (maintained by the device via
+    /// `note_ready`/`note_idle`).
+    ready: SqMask,
 }
 
 impl RoundRobinArbiter {
@@ -46,13 +145,87 @@ impl RoundRobinArbiter {
             burst_used: 0,
             burst,
             burst_sq: None,
+            ready: SqMask::new(nr_sqs),
         }
     }
 
-    /// Picks the next queue to fetch from.
+    /// The device published work on `sq` (visible length went 0 → >0).
+    #[inline]
+    pub fn note_ready(&mut self, sq: SqId) {
+        self.ready.set(sq);
+    }
+
+    /// The device drained `sq` (visible length went >0 → 0).
+    #[inline]
+    pub fn note_idle(&mut self, sq: SqId) {
+        self.ready.clear(sq);
+    }
+
+    /// True when any queue has published work.
+    #[inline]
+    pub fn any_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Picks the next queue to fetch from using the maintained ready mask.
+    ///
+    /// `stalled(sq)` filters candidates inside fault windows; it runs only
+    /// on queues whose mask bit is set, mirroring the short-circuit of the
+    /// reference predicate `visible_len() > 0 && !sq_stalled(..)`. Returns
+    /// `None` when no ready queue passes the filter.
+    #[inline]
+    pub fn pick(&mut self, mut stalled: impl FnMut(SqId) -> bool) -> Option<SqId> {
+        // Continue the current burst if its queue still has work.
+        if let Some(sq) = self.burst_sq {
+            if self.burst_used < self.burst && self.ready.contains(sq) && !stalled(sq) {
+                self.burst_used += 1;
+                return Some(sq);
+            }
+            self.burst_sq = None;
+            self.burst_used = 0;
+        }
+        // Walk set bits circularly from the cursor, at most one full round.
+        let mut probe = self.cursor;
+        let mut prev_off = -1i32;
+        while let Some(idx) = self.ready.next_set_from(probe) {
+            let off = (i32::from(idx) - i32::from(self.cursor)).rem_euclid(i32::from(self.nr_sqs));
+            if off <= prev_off {
+                break; // wrapped past the starting cursor: full round done
+            }
+            prev_off = off;
+            let sq = SqId(idx);
+            if !stalled(sq) {
+                self.cursor = (idx + 1) % self.nr_sqs;
+                self.burst_sq = Some(sq);
+                self.burst_used = 1;
+                return Some(sq);
+            }
+            probe = (idx + 1) % self.nr_sqs;
+        }
+        None
+    }
+
+    /// Consumes one more grant from the in-progress burst *without* falling
+    /// back to a cursor scan: returns the burst's queue if it still has
+    /// ready work and the burst limit is not exhausted, else `None` with
+    /// the burst state untouched (a later [`RoundRobinArbiter::pick`] then
+    /// terminates or resumes the burst exactly as the step-at-a-time loop
+    /// would at that instant).
+    #[inline]
+    pub fn continue_burst(&mut self) -> Option<SqId> {
+        let sq = self.burst_sq?;
+        if self.burst_used < self.burst && self.ready.contains(sq) {
+            self.burst_used += 1;
+            return Some(sq);
+        }
+        None
+    }
+
+    /// Picks the next queue via a predicate scan (reference implementation).
     ///
     /// `has_work(sq)` must return whether the queue currently has published,
-    /// unfetched commands. Returns `None` when no queue has work.
+    /// unfetched commands. Returns `None` when no queue has work. O(nr_sqs)
+    /// per call; [`RoundRobinArbiter::pick`] is the hot-path equivalent.
     pub fn next(&mut self, mut has_work: impl FnMut(SqId) -> bool) -> Option<SqId> {
         // Continue the current burst if its queue still has work.
         if let Some(sq) = self.burst_sq {
@@ -83,73 +256,6 @@ impl RoundRobinArbiter {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_robin_order() {
-        let mut a = RoundRobinArbiter::new(4, 1);
-        let picks: Vec<u16> = (0..8).map(|_| a.next(|_| true).unwrap().0).collect();
-        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
-    }
-
-    #[test]
-    fn skips_empty_queues() {
-        let mut a = RoundRobinArbiter::new(4, 1);
-        let picks: Vec<u16> = (0..4)
-            .map(|_| a.next(|sq| sq.0 % 2 == 1).unwrap().0)
-            .collect();
-        assert_eq!(picks, vec![1, 3, 1, 3]);
-    }
-
-    #[test]
-    fn returns_none_when_idle() {
-        let mut a = RoundRobinArbiter::new(4, 1);
-        assert_eq!(a.next(|_| false), None);
-        // And recovers afterwards.
-        assert_eq!(a.next(|_| true), Some(SqId(0)));
-    }
-
-    #[test]
-    fn burst_fetches_consecutively() {
-        let mut a = RoundRobinArbiter::new(2, 3);
-        let picks: Vec<u16> = (0..8).map(|_| a.next(|_| true).unwrap().0).collect();
-        assert_eq!(picks, vec![0, 0, 0, 1, 1, 1, 0, 0]);
-    }
-
-    #[test]
-    fn burst_ends_early_when_queue_drains() {
-        let mut a = RoundRobinArbiter::new(2, 4);
-        // Queue 0 has exactly 2 commands, then drains.
-        let mut q0_left = 2;
-        let mut picks = Vec::new();
-        for _ in 0..3 {
-            let sq = a
-                .next(|sq| if sq.0 == 0 { q0_left > 0 } else { true })
-                .unwrap();
-            if sq.0 == 0 {
-                q0_left -= 1;
-            }
-            picks.push(sq.0);
-        }
-        assert_eq!(picks, vec![0, 0, 1]);
-    }
-
-    #[test]
-    fn single_queue_always_picked() {
-        let mut a = RoundRobinArbiter::new(1, 1);
-        for _ in 0..5 {
-            assert_eq!(a.next(|_| true), Some(SqId(0)));
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "burst")]
-    fn zero_burst_rejected() {
-        let _ = RoundRobinArbiter::new(1, 0);
-    }
-}
 
 /// NVMe WRR priority classes.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
@@ -163,6 +269,20 @@ pub enum SqPriorityClass {
     Medium,
     /// Weighted class, smallest weight.
     Low,
+}
+
+impl SqPriorityClass {
+    /// Index into the WRR arbiter's per-class state (cursors and ready
+    /// masks): high/medium/low at 0/1/2, urgent at 3.
+    #[inline]
+    fn slot(self) -> usize {
+        match self {
+            SqPriorityClass::High => 0,
+            SqPriorityClass::Medium => 1,
+            SqPriorityClass::Low => 2,
+            SqPriorityClass::Urgent => 3,
+        }
+    }
 }
 
 /// Credit weights of the high/medium/low classes.
@@ -201,6 +321,9 @@ pub struct WrrArbiter {
     credits: [i32; 3],
     /// Round-robin cursor per weighted class plus urgent (index 3).
     cursors: [u16; 4],
+    /// Ready (published-work) queues per class, same index layout as
+    /// `cursors`: a class pick walks only its own mask.
+    ready: [SqMask; 4],
 }
 
 impl WrrArbiter {
@@ -220,17 +343,43 @@ impl WrrArbiter {
                 weights.low as i32,
             ],
             cursors: [0; 4],
+            ready: std::array::from_fn(|_| SqMask::new(nr_sqs)),
         }
     }
 
     /// Assigns a queue's priority class (the admin `Create I/O SQ` field).
+    /// A queue with published work carries its ready bit to the new class.
     pub fn set_class(&mut self, sq: SqId, class: SqPriorityClass) {
+        let old = self.classes[sq.index()].slot();
+        let new = class.slot();
         self.classes[sq.index()] = class;
+        if old != new && self.ready[old].contains(sq) {
+            self.ready[old].clear(sq);
+            self.ready[new].set(sq);
+        }
     }
 
     /// The class of a queue.
     pub fn class_of(&self, sq: SqId) -> SqPriorityClass {
         self.classes[sq.index()]
+    }
+
+    /// The device published work on `sq` (visible length went 0 → >0).
+    #[inline]
+    pub fn note_ready(&mut self, sq: SqId) {
+        self.ready[self.classes[sq.index()].slot()].set(sq);
+    }
+
+    /// The device drained `sq` (visible length went >0 → 0).
+    #[inline]
+    pub fn note_idle(&mut self, sq: SqId) {
+        self.ready[self.classes[sq.index()].slot()].clear(sq);
+    }
+
+    /// True when any queue of any class has published work.
+    #[inline]
+    pub fn any_ready(&self) -> bool {
+        self.ready.iter().any(|m| !m.is_empty())
     }
 
     fn weight_of(&self, idx: usize) -> i32 {
@@ -260,7 +409,30 @@ impl WrrArbiter {
         None
     }
 
-    /// Picks the next queue to fetch from, or `None` when idle.
+    /// Mask-driven round-robin pick within one class, stall-filtered.
+    fn pick_class(&mut self, slot: usize, stalled: &mut impl FnMut(SqId) -> bool) -> Option<SqId> {
+        let n = self.classes.len() as u16;
+        let start = self.cursors[slot];
+        let mut probe = start;
+        let mut prev_off = -1i32;
+        while let Some(idx) = self.ready[slot].next_set_from(probe) {
+            let off = (i32::from(idx) - i32::from(start)).rem_euclid(i32::from(n));
+            if off <= prev_off {
+                break;
+            }
+            prev_off = off;
+            let sq = SqId(idx);
+            if !stalled(sq) {
+                self.cursors[slot] = (idx + 1) % n;
+                return Some(sq);
+            }
+            probe = (idx + 1) % n;
+        }
+        None
+    }
+
+    /// Picks the next queue to fetch from via a predicate scan (reference
+    /// implementation; [`WrrArbiter::pick`] is the hot-path equivalent).
     pub fn next(&mut self, mut has_work: impl FnMut(SqId) -> bool) -> Option<SqId> {
         // Urgent first, strictly.
         if let Some(sq) = self.scan_class(SqPriorityClass::Urgent, 3, &mut has_work) {
@@ -285,6 +457,51 @@ impl WrrArbiter {
             // Nothing served: either no work at all, or the classes with
             // work are out of credits. Refill and retry once.
             let any_work = (0..self.classes.len() as u16).any(|i| has_work(SqId(i)));
+            if !any_work {
+                return None;
+            }
+            for idx in 0..3 {
+                self.credits[idx] = self.weight_of(idx);
+            }
+        }
+        None
+    }
+
+    /// Picks the next queue to fetch from using the per-class ready masks;
+    /// pick-sequence identical to [`WrrArbiter::next`] with the predicate
+    /// `visible_len() > 0 && !stalled(sq)`.
+    #[inline]
+    pub fn pick(&mut self, mut stalled: impl FnMut(SqId) -> bool) -> Option<SqId> {
+        if let Some(sq) = self.pick_class(3, &mut stalled) {
+            return Some(sq);
+        }
+        for _refill in 0..2 {
+            for idx in 0..3 {
+                if self.credits[idx] <= 0 {
+                    continue;
+                }
+                if let Some(sq) = self.pick_class(idx, &mut stalled) {
+                    self.credits[idx] -= 1;
+                    return Some(sq);
+                }
+            }
+            // Mirror the reference's refill gate: any ready queue that is
+            // not stalled counts as work (checked in ascending SQ order,
+            // though the boolean is order-independent).
+            let mut any_work = false;
+            'scan: for slot in 0..4 {
+                let mask = &self.ready[slot];
+                if mask.is_empty() {
+                    continue;
+                }
+                for idx in 0..self.classes.len() as u16 {
+                    let sq = SqId(idx);
+                    if mask.contains(sq) && !stalled(sq) {
+                        any_work = true;
+                        break 'scan;
+                    }
+                }
+            }
             if !any_work {
                 return None;
             }
@@ -361,5 +578,176 @@ mod wrr_tests {
         for _ in 0..5 {
             assert_eq!(a.next(|sq| sq.0 == 1), Some(SqId(1)));
         }
+    }
+
+    #[test]
+    fn mask_pick_matches_class_service() {
+        let mut a = WrrArbiter::new(4, WrrWeights::default());
+        a.set_class(SqId(0), SqPriorityClass::Urgent);
+        a.set_class(SqId(1), SqPriorityClass::High);
+        a.set_class(SqId(2), SqPriorityClass::Low);
+        a.note_ready(SqId(1));
+        a.note_ready(SqId(2));
+        // No urgent work published: high drains before low gets credits.
+        assert_eq!(a.pick(|_| false), Some(SqId(1)));
+        a.note_ready(SqId(0));
+        assert_eq!(a.pick(|_| false), Some(SqId(0)));
+        a.note_idle(SqId(0));
+        a.note_idle(SqId(1));
+        assert_eq!(a.pick(|_| false), Some(SqId(2)));
+        a.note_idle(SqId(2));
+        assert_eq!(a.pick(|_| false), None);
+    }
+
+    #[test]
+    fn set_class_moves_ready_bit() {
+        let mut a = WrrArbiter::new(2, WrrWeights::default());
+        a.note_ready(SqId(0));
+        a.set_class(SqId(0), SqPriorityClass::Urgent);
+        // The published-work bit follows the queue into the urgent mask.
+        assert_eq!(a.pick(|_| false), Some(SqId(0)));
+        a.set_class(SqId(0), SqPriorityClass::Low);
+        assert_eq!(a.pick(|_| false), Some(SqId(0)));
+        a.note_idle(SqId(0));
+        assert_eq!(a.pick(|_| false), None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_order() {
+        let mut a = RoundRobinArbiter::new(4, 1);
+        let picks: Vec<u16> = (0..8).map(|_| a.next(|_| true).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skips_empty_queues() {
+        let mut a = RoundRobinArbiter::new(4, 1);
+        let picks: Vec<u16> = (0..4)
+            .map(|_| a.next(|sq| sq.0 % 2 == 1).unwrap().0)
+            .collect();
+        assert_eq!(picks, vec![1, 3, 1, 3]);
+    }
+
+    #[test]
+    fn returns_none_when_idle() {
+        let mut a = RoundRobinArbiter::new(4, 1);
+        assert_eq!(a.next(|_| false), None);
+        // And recovers afterwards.
+        assert_eq!(a.next(|_| true), Some(SqId(0)));
+    }
+
+    #[test]
+    fn burst_fetches_consecutively() {
+        let mut a = RoundRobinArbiter::new(2, 3);
+        let picks: Vec<u16> = (0..8).map(|_| a.next(|_| true).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 0, 0, 1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn burst_ends_early_when_queue_drains() {
+        let mut a = RoundRobinArbiter::new(2, 4);
+        // Queue 0 has exactly 2 commands, then drains.
+        let mut q0_left = 2;
+        let mut picks = Vec::new();
+        for _ in 0..3 {
+            let sq = a
+                .next(|sq| if sq.0 == 0 { q0_left > 0 } else { true })
+                .unwrap();
+            if sq.0 == 0 {
+                q0_left -= 1;
+            }
+            picks.push(sq.0);
+        }
+        assert_eq!(picks, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn single_queue_always_picked() {
+        let mut a = RoundRobinArbiter::new(1, 1);
+        for _ in 0..5 {
+            assert_eq!(a.next(|_| true), Some(SqId(0)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "burst")]
+    fn zero_burst_rejected() {
+        let _ = RoundRobinArbiter::new(1, 0);
+    }
+
+    #[test]
+    fn mask_pick_matches_round_robin_order() {
+        let mut a = RoundRobinArbiter::new(4, 1);
+        for q in 0..4 {
+            a.note_ready(SqId(q));
+        }
+        let picks: Vec<u16> = (0..8).map(|_| a.pick(|_| false).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mask_pick_skips_idle_and_stalled() {
+        let mut a = RoundRobinArbiter::new(4, 1);
+        a.note_ready(SqId(1));
+        a.note_ready(SqId(2));
+        a.note_ready(SqId(3));
+        // SQ2 sits in a stall window: candidates are filtered per pick.
+        let picks: Vec<u16> = (0..4)
+            .map(|_| a.pick(|sq| sq.0 == 2).unwrap().0)
+            .collect();
+        assert_eq!(picks, vec![1, 3, 1, 3]);
+        assert_eq!(a.pick(|_| true), None);
+    }
+
+    #[test]
+    fn continue_burst_respects_limit_and_mask() {
+        let mut a = RoundRobinArbiter::new(2, 3);
+        a.note_ready(SqId(0));
+        a.note_ready(SqId(1));
+        assert_eq!(a.pick(|_| false), Some(SqId(0)));
+        assert_eq!(a.continue_burst(), Some(SqId(0)));
+        assert_eq!(a.continue_burst(), Some(SqId(0)));
+        // Burst exhausted: no scan fallback, state untouched.
+        assert_eq!(a.continue_burst(), None);
+        assert_eq!(a.pick(|_| false), Some(SqId(1)));
+        // Queue drains mid-burst: continuation stops.
+        a.note_idle(SqId(1));
+        assert_eq!(a.continue_burst(), None);
+        assert_eq!(a.pick(|_| false), Some(SqId(0)));
+    }
+
+    #[test]
+    fn mask_circular_scan_wraps_across_words() {
+        let mut a = RoundRobinArbiter::new(130, 1);
+        a.note_ready(SqId(3));
+        a.note_ready(SqId(129));
+        assert_eq!(a.pick(|_| false), Some(SqId(3)));
+        assert_eq!(a.pick(|_| false), Some(SqId(129)));
+        assert_eq!(a.pick(|_| false), Some(SqId(3)));
+        a.note_idle(SqId(3));
+        assert_eq!(a.pick(|_| false), Some(SqId(129)));
+    }
+
+    #[test]
+    fn sq_mask_next_set_from_wraps() {
+        let mut m = SqMask::new(130);
+        assert!(m.is_empty());
+        assert_eq!(m.next_set_from(0), None);
+        m.set(SqId(5));
+        m.set(SqId(64));
+        m.set(SqId(128));
+        assert_eq!(m.next_set_from(0), Some(5));
+        assert_eq!(m.next_set_from(6), Some(64));
+        assert_eq!(m.next_set_from(65), Some(128));
+        assert_eq!(m.next_set_from(129), Some(5));
+        m.clear(SqId(5));
+        assert_eq!(m.next_set_from(129), Some(64));
+        assert!(m.contains(SqId(64)));
+        assert!(!m.contains(SqId(5)));
     }
 }

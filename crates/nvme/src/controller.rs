@@ -20,44 +20,81 @@ use crate::namespace::NsError;
 use crate::spec::{CqId, SqId};
 
 impl NvmeDevice {
-    /// Starts a fetch if the engine is idle, the internal page budget has
+    /// Starts fetches if the engine is idle, the internal page budget has
     /// room, and some NSQ has published work. Backlog beyond the budget
     /// stays in the NSQs — the locus of the multi-tenancy HOL (§2.3).
+    ///
+    /// Fault-free, this consumes the arbiter's full `arbitration_burst`
+    /// grant in one call: each staged command's `FetchDone` lands at the
+    /// cumulative serial `fetch_cost`, exactly the times the step-at-a-time
+    /// loop would produce (the fetch engine is a serial resource). Staging
+    /// is pessimistic on purpose — it stops when the staged page total hits
+    /// `max_inflight_pages` or the burst queue's *known* visible work runs
+    /// out. Both stops under-stage relative to the step loop at most, and
+    /// the burst's last `FetchDone` re-enters here with true state at the
+    /// very instant the step loop would have made that pick, so the pick
+    /// sequence (and therefore the event stream) is identical. With faults
+    /// enabled every pick must observe `FaultPlan::advance` at its own
+    /// instant, so the engine drops to one command per call — the step
+    /// loop's exact behaviour.
     pub(crate) fn maybe_start_fetch(&mut self, now: SimTime, out: &mut DeviceOutput) {
-        if self.fetch_busy {
+        if self.fetches_inflight > 0 {
             return;
         }
         if self.inflight_pages >= self.config.max_inflight_pages as u64 {
             return;
         }
-        let pick = if self.faults.enabled() {
+        if self.faults.enabled() {
             // A stalled NSQ is invisible to the arbiter for the duration of
             // its fault window: its published work sits unfetched exactly as
             // if the controller's per-queue fetch engine wedged.
             self.faults.advance(now);
-            let sqs = &self.sqs;
             let faults = &self.faults;
-            self.arbiter
-                .next(|sq| sqs[sq.index()].visible_len() > 0 && !faults.sq_stalled(now, sq.0))
-        } else {
-            let sqs = &self.sqs;
-            self.arbiter.next(|sq| sqs[sq.index()].visible_len() > 0)
-        };
-        let Some(sq_id) = pick else {
+            let pick = self.arbiter.pick(|sq| faults.sq_stalled(now, sq.0));
+            if let Some(sq_id) = pick {
+                self.stage_fetch(sq_id, now, out);
+            }
+            return;
+        }
+        let Some(first) = self.arbiter.pick(|_| false) else {
             return;
         };
+        let mut sq_id = first;
+        let mut at = now;
+        loop {
+            at = self.stage_fetch(sq_id, at, out);
+            if !self.stage_bursts {
+                break;
+            }
+            if self.inflight_pages >= self.config.max_inflight_pages as u64 {
+                break;
+            }
+            match self.arbiter.continue_burst() {
+                Some(next_sq) => sq_id = next_sq,
+                None => break,
+            }
+        }
+    }
+
+    /// Fetches the head command of `sq_id` and stages its `FetchDone` at
+    /// `at + fetch_cost`; returns that completion time (the start of the
+    /// next fetch in a staged burst).
+    fn stage_fetch(&mut self, sq_id: SqId, at: SimTime, out: &mut DeviceOutput) -> SimTime {
         let cmd = self.sqs[sq_id.index()]
             .fetch()
             .expect("arbiter picked an SQ without visible work");
+        if self.sqs[sq_id.index()].visible_len() == 0 {
+            self.arbiter.note_idle(sq_id);
+        }
         let cq = self.sqs[sq_id.index()].cq();
         self.cqs[cq.index()].note_fetched();
         self.stats.fetched += 1;
-        self.fetch_busy = true;
+        self.fetches_inflight += 1;
         let pages = if cmd.is_dataless() { 0 } else { cmd.pages() };
         self.inflight_pages += pages as u64;
-        let cost = self.config.perf.fetch_cost(pages);
-        out.events
-            .push((now + cost, NvmeEvent::FetchDone { cmd, sq: sq_id }));
+        let done = at + self.config.perf.fetch_cost(pages);
+        out.events.push((done, NvmeEvent::FetchDone { cmd, sq: sq_id }));
+        done
     }
 
     /// Fetch finished: dispatch flash service, then keep the engine going.
@@ -88,9 +125,13 @@ impl NvmeDevice {
             }
         };
         out.events.push((done_at, NvmeEvent::CmdDone { cmd, sq }));
-        // The fetch engine frees as soon as the command is handed to flash.
-        self.fetch_busy = false;
-        self.maybe_start_fetch(now, out);
+        // The fetch engine frees when the staged burst's last command is
+        // handed to flash; earlier FetchDones of the burst already have
+        // their successors scheduled.
+        self.fetches_inflight -= 1;
+        if self.fetches_inflight == 0 {
+            self.maybe_start_fetch(now, out);
+        }
     }
 
     /// Flash service finished: post the CQE and maybe raise the interrupt.
@@ -147,8 +188,7 @@ impl NvmeDevice {
     /// aggregation threshold the raise is deferred to the aggregation
     /// timer (armed on the first deferred entry).
     pub(crate) fn maybe_raise(&mut self, cq: CqId, now: SimTime, out: &mut DeviceOutput) {
-        use crate::irq::IrqState;
-        if self.vectors[cq.index()].state() == IrqState::Raised {
+        if self.vectors[cq.index()].is_raised() {
             return;
         }
         let (enabled, armed) = self.coalesce[cq.index()];
@@ -168,9 +208,8 @@ impl NvmeDevice {
 
     /// The aggregation timer fired: deliver whatever has gathered.
     pub(crate) fn on_coalesce_timeout(&mut self, cq: CqId, now: SimTime, out: &mut DeviceOutput) {
-        use crate::irq::IrqState;
         self.coalesce[cq.index()].1 = false;
-        if self.vectors[cq.index()].state() == IrqState::Raised {
+        if self.vectors[cq.index()].is_raised() {
             return;
         }
         if self.cqs[cq.index()].pending() > 0 {

@@ -142,10 +142,46 @@ pub(crate) enum Arbiter {
 }
 
 impl Arbiter {
-    pub(crate) fn next(&mut self, has_work: impl FnMut(SqId) -> bool) -> Option<SqId> {
+    /// Mask-driven pick (O(1) in `nr_sqs` for round-robin); `stalled`
+    /// filters candidates inside fault windows. Pick-sequence identical to
+    /// the predicate-scan reference (see `arbiter.rs`).
+    pub(crate) fn pick(&mut self, stalled: impl FnMut(SqId) -> bool) -> Option<SqId> {
         match self {
-            Arbiter::RoundRobin(a) => a.next(has_work),
-            Arbiter::Wrr(a) => a.next(has_work),
+            Arbiter::RoundRobin(a) => a.pick(stalled),
+            Arbiter::Wrr(a) => a.pick(stalled),
+        }
+    }
+
+    /// Consumes one more grant from an in-progress round-robin burst, or
+    /// `None` (always `None` under WRR, which grants one command per pick).
+    pub(crate) fn continue_burst(&mut self) -> Option<SqId> {
+        match self {
+            Arbiter::RoundRobin(a) => a.continue_burst(),
+            Arbiter::Wrr(_) => None,
+        }
+    }
+
+    /// Visible-work transition 0 → >0 on `sq`.
+    pub(crate) fn note_ready(&mut self, sq: SqId) {
+        match self {
+            Arbiter::RoundRobin(a) => a.note_ready(sq),
+            Arbiter::Wrr(a) => a.note_ready(sq),
+        }
+    }
+
+    /// Visible-work transition >0 → 0 on `sq`.
+    pub(crate) fn note_idle(&mut self, sq: SqId) {
+        match self {
+            Arbiter::RoundRobin(a) => a.note_idle(sq),
+            Arbiter::Wrr(a) => a.note_idle(sq),
+        }
+    }
+
+    /// True when any SQ has published work (mask non-empty).
+    pub(crate) fn any_ready(&self) -> bool {
+        match self {
+            Arbiter::RoundRobin(a) => a.any_ready(),
+            Arbiter::Wrr(a) => a.any_ready(),
         }
     }
 }
@@ -159,8 +195,14 @@ pub struct NvmeDevice {
     pub(crate) arbiter: Arbiter,
     pub(crate) flash: FlashBackend,
     pub(crate) namespaces: NamespaceTable,
-    /// True while a fetch is in progress (one FetchDone outstanding).
-    pub(crate) fetch_busy: bool,
+    /// Outstanding `FetchDone` events of the staged fetch burst. The fetch
+    /// engine is busy while this is non-zero; the last `FetchDone` of a
+    /// burst restarts it (`> 1` only when `arbitration_burst > 1` and the
+    /// burst path staged ahead).
+    pub(crate) fetches_inflight: u32,
+    /// When false, `maybe_start_fetch` stages exactly one command per call
+    /// (the step-at-a-time reference the burst-equivalence property drives).
+    pub(crate) stage_bursts: bool,
     /// Pages of fetched-but-unfinished commands (internal flow control).
     pub(crate) inflight_pages: u64,
     /// Per-CQ coalescing state: (enabled, aggregation timer armed).
@@ -210,7 +252,8 @@ impl NvmeDevice {
             sqs,
             cqs,
             vectors,
-            fetch_busy: false,
+            fetches_inflight: 0,
+            stage_bursts: true,
             inflight_pages: 0,
             coalesce: vec![(true, false); config.nr_cqs as usize],
             stats: DeviceStats::default(),
@@ -322,9 +365,17 @@ impl NvmeDevice {
     /// stalled queues (fault injection) — the stall watchdog's redrive
     /// trigger.
     pub fn fetch_starved(&self) -> bool {
-        !self.fetch_busy
+        // The arbiter's ready mask is maintained at exactly the
+        // doorbell/fetch transitions that change `visible_len`, so the
+        // mask-empty check replaces the old all-SQ scan.
+        debug_assert_eq!(
+            self.arbiter.any_ready(),
+            self.sqs.iter().any(|q| q.visible_len() > 0),
+            "ready mask out of sync with SQ visibility"
+        );
+        self.fetches_inflight == 0
             && self.inflight_pages < self.config.max_inflight_pages as u64
-            && self.sqs.iter().any(|q| q.visible_len() > 0)
+            && self.arbiter.any_ready()
     }
 
     /// Cumulative CQ entries the host has reaped from one CQ (posts minus
@@ -338,7 +389,7 @@ impl NvmeDevice {
     /// True while a CQ's vector is asserted (an ISR is owed or in flight).
     /// The ISR watchdog uses this to spot vectors whose raise was lost.
     pub fn irq_raised(&self, cq: CqId) -> bool {
-        self.vectors[cq.index()].state() == crate::irq::IrqState::Raised
+        self.vectors[cq.index()].is_raised()
     }
 
     /// Total interrupts raised on one CQ's vector.
@@ -377,7 +428,18 @@ impl NvmeDevice {
     /// Publishes all entries of `sq` and wakes the fetch engine if idle.
     pub fn ring_doorbell(&mut self, sq: SqId, now: SimTime, out: &mut DeviceOutput) {
         self.sqs[sq.index()].ring_doorbell();
+        if self.sqs[sq.index()].visible_len() > 0 {
+            self.arbiter.note_ready(sq);
+        }
         self.maybe_start_fetch(now, out);
+    }
+
+    /// Enables/disables multi-command fetch staging (enabled by default).
+    /// With staging off, `maybe_start_fetch` schedules exactly one
+    /// `FetchDone` per call — the step-at-a-time reference behaviour the
+    /// `burst_fetch_matches_step` dd-check property compares against.
+    pub fn set_fetch_staging(&mut self, on: bool) {
+        self.stage_bursts = on;
     }
 
     /// Advances the device at one of its own scheduled events.

@@ -113,6 +113,10 @@ pub struct FlashBackend {
     gc_cursor: usize,
     /// Erases charged so far.
     gc_erases: u64,
+    /// Recycled per-burst scratch: intermediate phase-completion time of
+    /// each page in the burst (die-done for reads, transfer-done for
+    /// writes). Grows to the largest command once, then never reallocates.
+    burst_done: Vec<SimTime>,
 }
 
 impl FlashBackend {
@@ -127,6 +131,7 @@ impl FlashBackend {
             writes_since_gc: 0,
             gc_cursor: 0,
             gc_erases: 0,
+            burst_done: Vec::with_capacity(64),
         }
     }
 
@@ -199,6 +204,12 @@ impl FlashBackend {
 
     /// Dispatches all pages of a command and returns the completion time of
     /// the last page (the command's flash service completion).
+    ///
+    /// Multi-page reads — and writes on GC-free drives — go through
+    /// [`FlashBackend::dispatch_burst`]; the output is identical to the
+    /// per-page loop (see there for the argument). Writes on a GC-armed
+    /// drive keep the loop because `maybe_collect` mutates a victim die
+    /// between pages.
     pub fn dispatch_command(
         &mut self,
         now: SimTime,
@@ -208,11 +219,175 @@ impl FlashBackend {
         faults: &mut FaultPlan,
     ) -> SimTime {
         debug_assert!(pages > 0);
+        let batched = pages > 1
+            && match op {
+                IoOpcode::Read => true,
+                IoOpcode::Write => self.config.gc.is_none(),
+                IoOpcode::Flush => false,
+            };
+        if batched {
+            return self.dispatch_burst(now, start_lba, pages, op, faults);
+        }
         let mut last = now;
         for i in 0..pages {
             let done = self.dispatch_page(now, start_lba + i as u64, op, faults);
             last = last.max(done);
         }
+        last
+    }
+
+    /// Dispatches a command's pages as one burst, advancing each die and
+    /// channel cursor once per group instead of re-loading it per page.
+    ///
+    /// Exactness: consecutive LBAs share a die iff their offsets are equal
+    /// mod `channels * dies_per_channel` and a channel iff equal mod
+    /// `channels`, so each group below visits its pages in the same
+    /// ascending-LBA order the per-page loop does. At a single dispatch
+    /// instant the two phases read disjoint cursors (a read's sense never
+    /// consults channel state, its transfer never consults die state), so
+    /// computing all die phases first and all channel phases second — each
+    /// group carrying its cursor in a register — reproduces the per-page
+    /// interleaving bit for bit. Fault spike windows are still queried once
+    /// per page op; at one instant the queries are independent per die, so
+    /// group order cannot change what they return or count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `IoOpcode::Flush` (no flash pages) — callers decompose
+    /// only reads and writes.
+    pub fn dispatch_burst(
+        &mut self,
+        now: SimTime,
+        start_lba: u64,
+        pages: u32,
+        op: IoOpcode,
+        faults: &mut FaultPlan,
+    ) -> SimTime {
+        debug_assert!(pages > 0);
+        debug_assert!(op != IoOpcode::Flush, "flush has no flash pages");
+        let n = pages as usize;
+        let nch = self.config.channels as usize;
+        let dpc = self.config.dies_per_channel as usize;
+        let cd = nch * dpc;
+        let faults_on = faults.enabled();
+        // Grow-only scratch: both passes write every slot `< n` before any
+        // read, so stale contents beyond a previous burst never leak.
+        if self.burst_done.len() < n {
+            self.burst_done.resize(n, SimTime::ZERO);
+        }
+        let bd = &mut self.burst_done[..n];
+        // One div/mod for the whole burst: consecutive LBAs step the channel
+        // by one (mod channels) and bump the die-in-channel on each wrap —
+        // the same walk `locate` performs per call, carried incrementally.
+        let mut ch = (start_lba % nch as u64) as usize;
+        let mut die_in_ch = ((start_lba / nch as u64) % dpc as u64) as usize;
+        let ch0 = ch;
+        let mut delay = SimDuration::ZERO;
+        let mut last = now;
+        match op {
+            IoOpcode::Read => {
+                // Die pass: pages i ≡ s (mod channels*dies) sense on one die.
+                for s in 0..n.min(cd) {
+                    let die = ch * dpc + die_in_ch;
+                    let mut free = self.die_free_at[die];
+                    let mut i = s;
+                    while i < n {
+                        let spike = if faults_on {
+                            faults.die_spike(now, die as u32).unwrap_or(1) as u64
+                        } else {
+                            1
+                        };
+                        let die_start = now.max(free);
+                        free = die_start + self.config.read_latency * spike;
+                        delay += die_start - now;
+                        bd[i] = free;
+                        i += cd;
+                    }
+                    self.die_free_at[die] = free;
+                    ch += 1;
+                    if ch == nch {
+                        ch = 0;
+                        die_in_ch += 1;
+                        if die_in_ch == dpc {
+                            die_in_ch = 0;
+                        }
+                    }
+                }
+                // Channel pass: pages i ≡ r (mod channels) share one bus.
+                // `free` only grows within a group, so the group's last
+                // transfer is its maximum — fold into `last` once.
+                let mut ch = ch0;
+                for r in 0..n.min(nch) {
+                    let mut free = self.channel_free_at[ch];
+                    let mut i = r;
+                    while i < n {
+                        let ready = bd[i];
+                        let xfer_start = ready.max(free);
+                        free = xfer_start + self.config.transfer_latency;
+                        delay += xfer_start - ready;
+                        i += nch;
+                    }
+                    last = last.max(free);
+                    self.channel_free_at[ch] = free;
+                    ch += 1;
+                    if ch == nch {
+                        ch = 0;
+                    }
+                }
+            }
+            IoOpcode::Write | IoOpcode::Flush => {
+                // Channel pass first (transfer in), then program on the die.
+                // Only reached for writes with GC off: `maybe_collect` is a
+                // no-op then (it returns before touching any counter), so
+                // skipping the per-page call is exact.
+                for r in 0..n.min(nch) {
+                    let mut free = self.channel_free_at[ch];
+                    let mut i = r;
+                    while i < n {
+                        let xfer_start = now.max(free);
+                        free = xfer_start + self.config.transfer_latency;
+                        delay += xfer_start - now;
+                        bd[i] = free;
+                        i += nch;
+                    }
+                    self.channel_free_at[ch] = free;
+                    ch += 1;
+                    if ch == nch {
+                        ch = 0;
+                    }
+                }
+                let mut ch = ch0;
+                for s in 0..n.min(cd) {
+                    let die = ch * dpc + die_in_ch;
+                    let mut free = self.die_free_at[die];
+                    let mut i = s;
+                    while i < n {
+                        let spike = if faults_on {
+                            faults.die_spike(now, die as u32).unwrap_or(1) as u64
+                        } else {
+                            1
+                        };
+                        let ready = bd[i];
+                        let die_start = ready.max(free);
+                        free = die_start + self.config.program_latency * spike;
+                        delay += die_start - ready;
+                        i += cd;
+                    }
+                    last = last.max(free);
+                    self.die_free_at[die] = free;
+                    ch += 1;
+                    if ch == nch {
+                        ch = 0;
+                        die_in_ch += 1;
+                        if die_in_ch == dpc {
+                            die_in_ch = 0;
+                        }
+                    }
+                }
+            }
+        }
+        self.total_queue_delay += delay;
+        self.pages_serviced += n as u64;
         last
     }
 

@@ -45,6 +45,17 @@ impl IrqVector {
         self.state
     }
 
+    /// True while an interrupt is asserted and not yet acknowledged.
+    ///
+    /// Raise/acknowledge state is strictly per vector even when several
+    /// vectors fire at one instant toward one core and the testbed merges
+    /// their deliveries into a single cross-CQ fire event: each CQ's ISR
+    /// still completes its own vector, so watchdog scans and coalescing
+    /// timers observe the same per-CQ truth as with one fire per vector.
+    pub fn is_raised(&self) -> bool {
+        self.state == IrqState::Raised
+    }
+
     /// Total interrupts raised.
     pub fn raised_total(&self) -> u64 {
         self.raised_total

@@ -1,14 +1,16 @@
 //! Property-based tests of the NVMe device model (dd-check harness).
 
-use dd_check::{check, prop_assert, prop_assert_eq};
+use dd_check::{check, prop_assert, prop_assert_eq, Case};
 
+use dd_nvme::arbiter::{RoundRobinArbiter, SqPriorityClass, WrrArbiter, WrrWeights};
 use dd_nvme::command::{HostTag, IoOpcode};
 use dd_nvme::flash::{FlashBackend, FlashConfig};
 use dd_nvme::namespace::NamespaceTable;
 use dd_nvme::queue::SubmissionQueue;
 use dd_nvme::spec::{CommandId, CqId, NamespaceId, SqId};
 use dd_nvme::{DeviceOutput, NvmeCommand, NvmeConfig, NvmeDevice};
-use simkit::{EventQueue, FaultPlan, SimTime};
+use simkit::fault::{FaultEvent, FaultGeometry, FaultKind};
+use simkit::{EventQueue, FaultPlan, SimDuration, SimTime};
 
 fn cmd(cid: u64, nlb: u32, slba: u64) -> NvmeCommand {
     NvmeCommand {
@@ -151,6 +153,265 @@ fn device_completes_everything_exactly_once() {
             .map(|cq| dev.isr_pop(CqId(cq), usize::MAX).len())
             .sum();
         prop_assert_eq!(again, 0);
+        Ok(())
+    });
+}
+
+/// One doorbell batch of a random device workload: at `at`, push `cmds`
+/// onto `sq` and ring its doorbell.
+struct DoorbellBatch {
+    at: SimTime,
+    sq: u16,
+    cmds: Vec<NvmeCommand>,
+}
+
+/// Drives `dev` through the full workload — doorbell batches merged with
+/// the device's own event stream in `(time, seq)` order, exactly like the
+/// machine loop — and returns a digest of every externally visible effect:
+/// handled events, raised IRQs, final stats, and the drained CQ contents.
+fn drive_device(mut dev: NvmeDevice, batches: &[DoorbellBatch], nr_cqs: u16) -> Vec<String> {
+    let mut out = DeviceOutput::new();
+    let mut queue = EventQueue::new();
+    let mut digest = Vec::new();
+    let mut next_batch = 0;
+    loop {
+        for (at, ev) in out.events.drain(..) {
+            queue.push(at, ev);
+        }
+        for irq in out.irqs.drain(..) {
+            digest.push(format!("irq {:?} cq{} core{}", irq.at, irq.cq.0, irq.core));
+        }
+        let db_at = batches.get(next_batch).map(|b| b.at);
+        let ev_at = queue.peek_time();
+        let ring_next = match (db_at, ev_at) {
+            (Some(d), Some(e)) => d <= e,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        match (ring_next, db_at, ev_at) {
+            (true, Some(_), _) => {
+                let b = &batches[next_batch];
+                next_batch += 1;
+                for cmd in &b.cmds {
+                    // Full SQs drop the command in both devices alike.
+                    let _ = dev.push_command(SqId(b.sq), *cmd);
+                }
+                dev.ring_doorbell(SqId(b.sq), b.at, &mut out);
+            }
+            _ => {
+                let (at, ev) = queue.pop().expect("peeked non-empty");
+                digest.push(format!("ev {at:?} {ev:?}"));
+                dev.handle_event(ev, at, &mut out);
+            }
+        }
+    }
+    let stats = dev.stats();
+    digest.push(format!(
+        "stats fetched={} completed={} bytes={}",
+        stats.fetched, stats.completed, stats.bytes
+    ));
+    for cq in 0..nr_cqs {
+        for e in dev.isr_pop(CqId(cq), usize::MAX) {
+            digest.push(format!("cqe cq{} {:?} sq{}", cq, e.cid, e.sq_id.0));
+        }
+    }
+    digest
+}
+
+fn random_workload(c: &mut Case, nr_sqs: u16, blocks: u64) -> Vec<DoorbellBatch> {
+    let mut at = SimTime::ZERO;
+    let mut cid = 0u64;
+    let n = c.usize_in(1, 12);
+    (0..n)
+        .map(|_| {
+            at = at + SimDuration::from_nanos(c.u64_in(0, 50_000));
+            let sq = c.u16_in(0, nr_sqs);
+            let cmds = c.vec_of(1, 6, |c| {
+                let opcode = match c.u8_in(0, 9) {
+                    0 => IoOpcode::Flush,
+                    1..=6 => IoOpcode::Read,
+                    _ => IoOpcode::Write,
+                };
+                let nlb = c.u32_in(1, 32);
+                let slba = c.u64_in(0, blocks - 64);
+                cid += 1;
+                NvmeCommand {
+                    cid: CommandId(cid),
+                    nsid: NamespaceId(1),
+                    opcode,
+                    slba,
+                    nlb,
+                    host: HostTag {
+                        rq_id: cid,
+                        submit_core: 0,
+                        ..HostTag::default()
+                    },
+                }
+            });
+            DoorbellBatch { at, sq, cmds }
+        })
+        .collect()
+}
+
+fn random_faults(c: &mut Case, geo: FaultGeometry) -> FaultPlan {
+    let events = c.vec_of(1, 6, |c| {
+        let at = SimTime::from_nanos(c.u64_in(0, 300_000));
+        let dur = SimDuration::from_nanos(c.u64_in(1_000, 200_000));
+        let kind = match c.u8_in(0, 3) {
+            0 => FaultKind::DieSpike {
+                die: c.u32_in(0, geo.dies),
+                mult: c.u32_in(2, 8),
+                dur,
+            },
+            1 => FaultKind::NsqStall {
+                sq: c.u16_in(0, geo.sqs),
+                dur,
+            },
+            _ => FaultKind::VectorLoss {
+                cq: c.u16_in(0, geo.cqs),
+                dur,
+            },
+        };
+        FaultEvent { at, kind }
+    });
+    FaultPlan::from_events(events, geo)
+}
+
+/// Burst fetch staging is invisible: a device staging whole arbitration
+/// bursts (`stage_bursts = true`, the default) produces a byte-identical
+/// effect stream — same events at the same times in the same order, same
+/// IRQs, same stats, same CQEs — as the step-at-a-time reference device,
+/// across random SQ/CQ geometries, arbitration bursts 1..4, inflight-page
+/// budgets, and fault schedules (mid-burst NSQ stall windows included).
+#[test]
+fn burst_fetch_matches_step() {
+    check("burst_fetch_matches_step", |c| {
+        let nr_sqs = c.u16_in(1, 9);
+        let nr_cqs = c.u16_in(1, nr_sqs + 1);
+        let mut cfg = NvmeConfig::sv_m();
+        cfg.nr_sqs = nr_sqs;
+        cfg.nr_cqs = nr_cqs;
+        cfg.sq_depth = c.u16_in(8, 64);
+        cfg.arbitration_burst = c.u8_in(1, 5);
+        cfg.max_inflight_pages = c.u32_in(8, 96);
+        let blocks = cfg.namespace_blocks[0];
+        let batches = random_workload(c, nr_sqs, blocks);
+        let faults = if c.bool_with(0.5) {
+            let geo = FaultGeometry {
+                dies: cfg.flash.total_dies() as u32,
+                sqs: nr_sqs,
+                cqs: nr_cqs,
+            };
+            Some(random_faults(c, geo))
+        } else {
+            None
+        };
+        let mut staged = NvmeDevice::new(cfg.clone(), nr_cqs);
+        let mut stepped = NvmeDevice::new(cfg, nr_cqs);
+        stepped.set_fetch_staging(false);
+        if let Some(plan) = &faults {
+            staged.install_faults(plan.clone());
+            stepped.install_faults(plan.clone());
+        }
+        let a = drive_device(staged, &batches, nr_cqs);
+        let b = drive_device(stepped, &batches, nr_cqs);
+        prop_assert_eq!(a, b);
+        Ok(())
+    });
+}
+
+/// The O(1) bitmask pick reproduces the predicate-scan reference pick for
+/// pick under random push/fetch/stall interleavings — round-robin flavour.
+#[test]
+fn rr_mask_pick_matches_scan() {
+    check("rr_mask_pick_matches_scan", |c| {
+        let nr_sqs = c.u16_in(1, 80);
+        let burst = c.u8_in(1, 5);
+        let mut mask_arb = RoundRobinArbiter::new(nr_sqs, burst);
+        let mut scan_arb = RoundRobinArbiter::new(nr_sqs, burst);
+        let mut work = vec![0u32; nr_sqs as usize];
+        let ops = c.vec_of(1, 300, |c| (c.u8_in(0, 4), c.u16_in(0, nr_sqs)));
+        let stall_mod = c.u16_in(2, 7);
+        let mut tick = 0u16;
+        for (op, sq) in ops {
+            if op < 2 {
+                // Push: one more visible command on `sq`.
+                work[sq as usize] += 1;
+                if work[sq as usize] == 1 {
+                    mask_arb.note_ready(SqId(sq));
+                }
+            } else {
+                // Fetch pick under a rotating stall pattern.
+                tick = (tick + 1) % stall_mod;
+                let stalled = |q: SqId| (q.0 + tick) % stall_mod == 0;
+                let picked = mask_arb.pick(stalled);
+                let reference = scan_arb.next(|q| work[q.index()] > 0 && !stalled(q));
+                prop_assert_eq!(picked, reference);
+                if let Some(q) = picked {
+                    prop_assert!(work[q.index()] > 0);
+                    work[q.index()] -= 1;
+                    if work[q.index()] == 0 {
+                        mask_arb.note_idle(q);
+                    }
+                }
+            }
+            prop_assert_eq!(mask_arb.any_ready(), work.iter().any(|&w| w > 0));
+        }
+        Ok(())
+    });
+}
+
+/// Bitmask pick ≡ predicate-scan reference for the WRR arbiter: random
+/// class assignments, weights, and push/fetch/stall interleavings.
+#[test]
+fn wrr_mask_pick_matches_scan() {
+    check("wrr_mask_pick_matches_scan", |c| {
+        let nr_sqs = c.u16_in(1, 80);
+        let weights = WrrWeights {
+            high: c.u8_in(1, 9),
+            medium: c.u8_in(1, 9),
+            low: c.u8_in(1, 9),
+        };
+        let mut mask_arb = WrrArbiter::new(nr_sqs, weights);
+        let mut scan_arb = WrrArbiter::new(nr_sqs, weights);
+        let classes = [
+            SqPriorityClass::Urgent,
+            SqPriorityClass::High,
+            SqPriorityClass::Medium,
+            SqPriorityClass::Low,
+        ];
+        for sq in 0..nr_sqs {
+            let class = classes[c.usize_in(0, 4)];
+            mask_arb.set_class(SqId(sq), class);
+            scan_arb.set_class(SqId(sq), class);
+        }
+        let mut work = vec![0u32; nr_sqs as usize];
+        let ops = c.vec_of(1, 300, |c| (c.u8_in(0, 4), c.u16_in(0, nr_sqs)));
+        let stall_mod = c.u16_in(2, 7);
+        let mut tick = 0u16;
+        for (op, sq) in ops {
+            if op < 2 {
+                work[sq as usize] += 1;
+                if work[sq as usize] == 1 {
+                    mask_arb.note_ready(SqId(sq));
+                }
+            } else {
+                tick = (tick + 1) % stall_mod;
+                let stalled = |q: SqId| (q.0 + tick) % stall_mod == 0;
+                let picked = mask_arb.pick(stalled);
+                let reference = scan_arb.next(|q| work[q.index()] > 0 && !stalled(q));
+                prop_assert_eq!(picked, reference);
+                if let Some(q) = picked {
+                    prop_assert!(work[q.index()] > 0);
+                    work[q.index()] -= 1;
+                    if work[q.index()] == 0 {
+                        mask_arb.note_idle(q);
+                    }
+                }
+            }
+            prop_assert_eq!(mask_arb.any_ready(), work.iter().any(|&w| w > 0));
+        }
         Ok(())
     });
 }

@@ -25,51 +25,61 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates an instant from raw nanoseconds since boot.
+    #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)
     }
 
     /// Creates an instant from microseconds since boot.
+    #[inline]
     pub const fn from_micros(us: u64) -> Self {
         SimTime(us * 1_000)
     }
 
     /// Creates an instant from milliseconds since boot.
+    #[inline]
     pub const fn from_millis(ms: u64) -> Self {
         SimTime(ms * 1_000_000)
     }
 
     /// Creates an instant from whole seconds since boot.
+    #[inline]
     pub const fn from_secs(s: u64) -> Self {
         SimTime(s * 1_000_000_000)
     }
 
     /// Raw nanoseconds since boot.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
 
     /// Instant expressed in microseconds (truncating).
+    #[inline]
     pub const fn as_micros(self) -> u64 {
         self.0 / 1_000
     }
 
     /// Instant expressed in fractional seconds.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
     /// Span from `earlier` to `self`; saturates to zero if `earlier` is later.
+    #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
     /// The later of two instants.
+    #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
         SimTime(self.0.max(other.0))
     }
 
     /// The earlier of two instants.
+    #[inline]
     pub fn min(self, other: SimTime) -> SimTime {
         SimTime(self.0.min(other.0))
     }
@@ -80,71 +90,85 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
     /// Creates a span from raw nanoseconds.
+    #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         SimDuration(ns)
     }
 
     /// Creates a span from microseconds.
+    #[inline]
     pub const fn from_micros(us: u64) -> Self {
         SimDuration(us * 1_000)
     }
 
     /// Creates a span from milliseconds.
+    #[inline]
     pub const fn from_millis(ms: u64) -> Self {
         SimDuration(ms * 1_000_000)
     }
 
     /// Creates a span from whole seconds.
+    #[inline]
     pub const fn from_secs(s: u64) -> Self {
         SimDuration(s * 1_000_000_000)
     }
 
     /// Creates a span from fractional microseconds (rounding to nanoseconds).
+    #[inline]
     pub fn from_micros_f64(us: f64) -> Self {
         SimDuration((us * 1_000.0).round().max(0.0) as u64)
     }
 
     /// Raw nanoseconds.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
 
     /// Span in microseconds (truncating).
+    #[inline]
     pub const fn as_micros(self) -> u64 {
         self.0 / 1_000
     }
 
     /// Span in fractional microseconds.
+    #[inline]
     pub fn as_micros_f64(self) -> f64 {
         self.0 as f64 / 1_000.0
     }
 
     /// Span in fractional milliseconds.
+    #[inline]
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
 
     /// Span in fractional seconds.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
     /// True when the span is zero.
+    #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// Saturating subtraction of spans.
+    #[inline]
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
     /// The larger of two spans.
+    #[inline]
     pub fn max(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.max(other.0))
     }
 
     /// Multiplies the span by a non-negative float, rounding to nanoseconds.
+    #[inline]
     pub fn mul_f64(self, k: f64) -> SimDuration {
         debug_assert!(k >= 0.0, "negative duration scale");
         SimDuration((self.0 as f64 * k).round() as u64)
@@ -153,12 +177,14 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0 + rhs.0)
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         self.0 += rhs.0;
     }
@@ -166,6 +192,7 @@ impl AddAssign<SimDuration> for SimTime {
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0 - rhs.0)
     }
@@ -173,6 +200,7 @@ impl Sub<SimDuration> for SimTime {
 
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
         debug_assert!(self.0 >= rhs.0, "negative duration: {self:?} - {rhs:?}");
         SimDuration(self.0 - rhs.0)
@@ -181,12 +209,14 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for SimDuration {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         self.0 += rhs.0;
     }
@@ -194,6 +224,7 @@ impl AddAssign for SimDuration {
 
 impl Sub for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
         debug_assert!(self.0 >= rhs.0, "negative duration");
         SimDuration(self.0 - rhs.0)
@@ -201,6 +232,7 @@ impl Sub for SimDuration {
 }
 
 impl SubAssign for SimDuration {
+    #[inline]
     fn sub_assign(&mut self, rhs: SimDuration) {
         self.0 -= rhs.0;
     }
@@ -208,6 +240,7 @@ impl SubAssign for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
         SimDuration(self.0 * rhs)
     }
@@ -215,6 +248,7 @@ impl Mul<u64> for SimDuration {
 
 impl Div<u64> for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn div(self, rhs: u64) -> SimDuration {
         SimDuration(self.0 / rhs)
     }

@@ -42,8 +42,12 @@ enum Event {
     CoreDispatch(u16),
     /// The running work item of a core finished.
     CoreDone(u16),
-    /// An interrupt reaches a core.
-    IrqDeliver { cq: CqId, core: u16 },
+    /// An interrupt fire reaches a core. One fire can carry several CQs:
+    /// raises that target the same core at the same instant are merged at
+    /// drain time, and `more` holds the extra CQ ids (< 64) as a bitmask —
+    /// the ISR then drains every raised same-core CQ off a single
+    /// event-loop dispatch. `more == 0` is the common singleton fire.
+    IrqDeliver { cq: CqId, core: u16, more: u64 },
     /// A bio completion is delivered to its tenant.
     Completed(BioCompletion),
     /// Periodic stack housekeeping (blk-switch steering).
@@ -422,15 +426,37 @@ impl Machine {
                 .drain(..)
                 .map(|(at, ev)| (at, Event::Dev(ev))),
         );
-        queue.push_batch(self.dev_out.irqs.drain(..).rev().map(|irq| {
-            (
-                irq.at,
-                Event::IrqDeliver {
-                    cq: irq.cq,
-                    core: irq.core,
-                },
-            )
-        }));
+        // Cross-CQ fire merge: consecutive raises (in the historical reverse
+        // push order) that hit the same core at the same instant collapse
+        // into one IrqDeliver carrying a CQ bitmask. A singleton raise — the
+        // only shape any current device path produces per drain — takes the
+        // `more == 0` fast path and keeps its historical (time, seq) slot.
+        {
+            let irqs = &mut self.dev_out.irqs;
+            let mut i = irqs.len();
+            while i > 0 {
+                i -= 1;
+                let head = irqs[i];
+                let mut more = 0u64;
+                while i > 0 {
+                    let cand = irqs[i - 1];
+                    if cand.at != head.at || cand.core != head.core || cand.cq.0 >= 64 {
+                        break;
+                    }
+                    more |= 1u64 << cand.cq.0;
+                    i -= 1;
+                }
+                queue.push(
+                    head.at,
+                    Event::IrqDeliver {
+                        cq: head.cq,
+                        core: head.core,
+                        more,
+                    },
+                );
+            }
+            irqs.clear();
+        }
         queue.push_batch(
             self.comps
                 .drain(..)
@@ -843,8 +869,20 @@ impl Machine {
                     self.device.handle_event(dev_ev, now, &mut self.dev_out);
                     self.drain_effects();
                 }
-                Event::IrqDeliver { cq, core } => {
+                Event::IrqDeliver { cq, core, more } => {
+                    // One fire, one ISR work item per raised CQ: the works
+                    // drain back-to-back on the core's HardIrq lane, but
+                    // each keeps its own `stack.on_irq` cost and per-CQ
+                    // acknowledge, so coalescing timers, irqloss recovery,
+                    // and the watchdog's `cq_reaped` snapshots still see
+                    // per-CQ state.
                     self.enqueue_work(core, WorkClass::HardIrq, Work::Isr { cq });
+                    let mut rest = more;
+                    while rest != 0 {
+                        let b = rest.trailing_zeros() as u16;
+                        rest &= rest - 1;
+                        self.enqueue_work(core, WorkClass::HardIrq, Work::Isr { cq: CqId(b) });
+                    }
                 }
                 Event::CoreDispatch(core) => {
                     if let Some((_class, work)) = self.cpu.take_next(core) {
