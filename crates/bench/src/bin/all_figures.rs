@@ -89,7 +89,8 @@ fn main() {
     // The curve runs *after* the figure timings are frozen, so its extra
     // probe work never pollutes the per-figure numbers above.
     let curve = measure_curve();
-    write_artifact(&opts, total_wall_s, &stats, &curve);
+    let fleet = measure_fleet_probe();
+    write_artifact(&opts, total_wall_s, &stats, &curve, &fleet);
 }
 
 /// T-pressure stages of the fixed probe sweep (also recorded in the
@@ -153,6 +154,47 @@ fn measure_curve() -> Vec<CurvePoint> {
     curve
 }
 
+/// One point of the fleet-scale throughput probe.
+struct FleetPoint {
+    tenants: u32,
+    wall_s: f64,
+    events: u64,
+}
+
+/// Runs the fleet probe (when `DD_FLEET_PROBE` is set): one serial
+/// `testbed::run_fleet` of the ext_fleet daredevil cell at 1k and 10k
+/// tenants, quick durations, timing events/s at each tenancy scale. The
+/// simulated work per tenant shrinks with scale (the Zipfian shares thin
+/// out), so the pair bounds the per-tenant bookkeeping overhead — the
+/// number `scripts/verify.sh` prints alongside the sweep throughput.
+fn measure_fleet_probe() -> Vec<FleetPoint> {
+    if std::env::var("DD_FLEET_PROBE").is_err() {
+        return Vec::new();
+    }
+    let opts = bench::Opts::new(true, false, 1);
+    let mut arena = testbed::RunArena::new();
+    let mut points = Vec::with_capacity(2);
+    for tenants in [1_000, 10_000] {
+        let mut spec =
+            bench::figures::ext_fleet::fleet_spec(&opts, tenants, 20_000.0, StackSpec::daredevil());
+        spec.knobs.warmup = opts.warmup();
+        spec.knobs.measure = opts.measure();
+        let t0 = Instant::now();
+        let out = testbed::run_fleet(&spec, &mut arena);
+        points.push(FleetPoint {
+            tenants,
+            wall_s: t0.elapsed().as_secs_f64(),
+            events: out.events_processed(),
+        });
+        eprintln!(
+            "all_figures: fleet probe {tenants} tenants: {:.3}s, {} events",
+            points.last().expect("just pushed").wall_s,
+            out.events_processed()
+        );
+    }
+    points
+}
+
 /// Pulls `(name, wall_s)` pairs out of a previously written artifact (the
 /// flat schema this binary emits — parsed with string ops, not a JSON
 /// library, because the workspace is dependency-free).
@@ -189,7 +231,13 @@ fn baseline_figure_walls() -> Vec<(String, f64)> {
 
 /// Writes the JSON artifact by hand (the repo is dependency-free; the
 /// schema is flat enough that a serializer would be overkill).
-fn write_artifact(opts: &bench::Opts, total_wall_s: f64, stats: &[FigStat], curve: &[CurvePoint]) {
+fn write_artifact(
+    opts: &bench::Opts,
+    total_wall_s: f64,
+    stats: &[FigStat],
+    curve: &[CurvePoint],
+    fleet: &[FleetPoint],
+) {
     let path = std::env::var("DD_BENCH_SWEEP").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
     if path.is_empty() {
         return;
@@ -266,6 +314,29 @@ fn write_artifact(opts: &bench::Opts, total_wall_s: f64, stats: &[FigStat], curv
                 eps,
                 base_wall / p.wall_s.max(1e-9),
                 if i + 1 < curve.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+    }
+    if !fleet.is_empty() {
+        // Fleet-tenancy throughput probe (DD_FLEET_PROBE): events/s of a
+        // serial 4-host daredevil fleet at each tenancy scale. Nested one
+        // level deeper than the top-level "events_per_s" so the
+        // verify-script sed anchors keep matching only the sweep number.
+        s.push_str("  \"fleet_probe\": [\n");
+        for (i, p) in fleet.iter().enumerate() {
+            let eps = if p.wall_s > 0.0 {
+                p.events as f64 / p.wall_s
+            } else {
+                0.0
+            };
+            s.push_str(&format!(
+                "    {{\"tenants\": {}, \"wall_s\": {:.6}, \"events\": {}, \"events_per_s\": {:.1}}}{}\n",
+                p.tenants,
+                p.wall_s,
+                p.events,
+                eps,
+                if i + 1 < fleet.len() { "," } else { "" },
             ));
         }
         s.push_str("  ],\n");

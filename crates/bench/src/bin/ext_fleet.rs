@@ -1,0 +1,6 @@
+//! Extension: fleet-scale tenancy (SLO violations vs fleet load).
+
+fn main() {
+    let opts = bench::Opts::from_args();
+    bench::figures::ext_fleet::run_figure(&opts);
+}

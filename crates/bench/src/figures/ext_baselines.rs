@@ -52,6 +52,7 @@ pub fn run_figure(opts: &Opts) {
                     core: i % 4,
                     nsid: NamespaceId(1),
                     kind: TenantKind::Fio(dd_workload::tenants::t_tenant_write_job()),
+                    slo: None,
                 });
             }
             sweep.add(format!("T={nr_t}"), s);
@@ -91,6 +92,7 @@ pub fn run_figure(opts: &Opts) {
                     core: if skewed { 0 } else { i % 4 },
                     nsid: NamespaceId(1),
                     kind: TenantKind::Fio(dd_workload::tenants::t_tenant_job()),
+                    slo: None,
                 });
             }
             sweep.add(label, s);

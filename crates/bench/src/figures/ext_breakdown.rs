@@ -49,11 +49,9 @@ pub fn run_figure(opts: &Opts) {
     let mut sweep = Sweep::new();
     for nr_t in &stages {
         for stack in stacks() {
-            sweep.add(
-                format!("T={nr_t}"),
-                Scenario::multi_tenant_fio(stack, 4, *nr_t, 4, MachinePreset::SvM)
-                    .with_trace(breakdown_spec()),
-            );
+            let mut s = Scenario::multi_tenant_fio(stack, 4, *nr_t, 4, MachinePreset::SvM);
+            s.knobs.trace = Some(breakdown_spec());
+            sweep.add(format!("T={nr_t}"), s);
         }
     }
     let mut results = sweep.run(opts);

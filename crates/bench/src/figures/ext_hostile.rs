@@ -21,7 +21,7 @@
 use dd_metrics::span::Span;
 use dd_metrics::table::fmt_f;
 use dd_metrics::{SpanTable, Table};
-use simkit::{FaultClasses, FaultSpec, Phase, SimTime, Sla};
+use simkit::{FaultClasses, FaultSpec, Phase, SimDuration, SimTime, Sla};
 use testbed::scenario::{MachinePreset, Scenario, StackSpec};
 
 use crate::figures::ext_breakdown::breakdown_spec;
@@ -79,10 +79,18 @@ pub fn run_figure(opts: &Opts) {
     let mut sweep = Sweep::new();
     for (label, classes) in regimes() {
         for stack in stacks() {
-            let mut s = Scenario::multi_tenant_fio(stack, 4, 8, 4, MachinePreset::SvM)
-                .with_trace(breakdown_spec());
+            let mut s = Scenario::multi_tenant_fio(stack, 4, 8, 4, MachinePreset::SvM);
+            // Declare the L budget on the tenants themselves so the run
+            // accounts violations in-stack and the table reads them back
+            // through the `TenantView` API.
+            for t in &mut s.tenants {
+                if t.class_label == "L" {
+                    t.slo = Some(SimDuration::from_micros((SLO_MS * 1_000.0) as u64));
+                }
+            }
+            s.knobs.trace = Some(breakdown_spec());
             if classes.any() {
-                s = s.with_faults(FaultSpec::new(classes, fault_seed));
+                s.knobs.faults = Some(FaultSpec::new(classes, fault_seed));
             }
             sweep.add(format!("faults={label}"), s);
         }
@@ -121,16 +129,13 @@ pub fn run_figure(opts: &Opts) {
                 "hostile ring must not wrap (raise breakdown_spec cap)"
             );
             let spans = SpanTable::build(&out.trace);
+            // SLO accounting comes straight off the per-tenant views — the
+            // same numbers a fleet run reports — not from replaying spans.
             let mut l_done = 0u64;
             let mut violations = 0u64;
-            for s in spans.spans() {
-                if !l_in_window(s) {
-                    continue;
-                }
-                l_done += 1;
-                if s.total().expect("completed span").as_millis_f64() > SLO_MS {
-                    violations += 1;
-                }
+            for t in out.tenants().filter(|t| t.class() == "L") {
+                l_done += t.ios_completed();
+                violations += t.slo_violations();
             }
             let viol_pct = if l_done == 0 {
                 100.0

@@ -51,6 +51,22 @@ fn op_row(outs: &[RunOutput], kind: OpKind, stat: fn(&RunOutput, OpKind) -> Opti
     row
 }
 
+/// Background T throughput read back through the per-tenant views: bytes
+/// each T tenant completed in-window, summed, over the window — the same
+/// accessors a fleet run exposes, so this row works unchanged there.
+fn t_mbps_row(outs: &[RunOutput]) -> Vec<String> {
+    let mut row = vec!["T MB/s".to_string()];
+    for out in outs {
+        let bytes: u64 = out
+            .tenants()
+            .filter(|t| t.class() == "T")
+            .map(|t| t.bytes_completed())
+            .sum();
+        row.push(fmt_f(bytes as f64 / 1e6 / out.summary.window_secs()));
+    }
+    row
+}
+
 fn routing_rows(table: &mut Table, outs: &[RunOutput]) {
     let counters: [(&str, fn(&daredevil::RouteStats) -> u64); 4] = [
         ("default routes", |r| r.default_routes),
@@ -88,8 +104,8 @@ pub fn run_figure(opts: &Opts) {
             },
             "mailserver",
         );
-        s.warmup = opts.warmup();
-        s.measure = SimDuration::from_secs(120);
+        s.knobs.warmup = opts.warmup();
+        s.knobs.measure = SimDuration::from_secs(120);
         sweep.add("mailserver", s);
     }
     for stack in policy_stacks() {
@@ -102,8 +118,8 @@ pub fn run_figure(opts: &Opts) {
             },
             "ycsb-a",
         );
-        s.warmup = opts.warmup();
-        s.measure = SimDuration::from_secs(120);
+        s.knobs.warmup = opts.warmup();
+        s.knobs.measure = SimDuration::from_secs(120);
         sweep.add("ycsb-a", s);
     }
     let mut results = sweep.run(opts);
@@ -126,11 +142,7 @@ pub fn run_figure(opts: &Opts) {
         "ext policy (b): Mailserver run, background T throughput and routing by policy",
         &headers(),
     );
-    let mut row = vec!["T MB/s".to_string()];
-    for out in &mail {
-        row.push(fmt_f(out.t_mbps()));
-    }
-    table.row(&row);
+    table.row(&t_mbps_row(&mail));
     routing_rows(&mut table, &mail);
     opts.emit(&table);
 
@@ -152,11 +164,7 @@ pub fn run_figure(opts: &Opts) {
         "ext policy (d): YCSB A run, background T throughput and routing by policy",
         &headers(),
     );
-    let mut row = vec!["T MB/s".to_string()];
-    for out in &ycsb {
-        row.push(fmt_f(out.t_mbps()));
-    }
-    table.row(&row);
+    table.row(&t_mbps_row(&ycsb));
     routing_rows(&mut table, &ycsb);
     opts.emit(&table);
 }

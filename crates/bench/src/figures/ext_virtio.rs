@@ -25,6 +25,7 @@ fn vm_scenario(stack: StackSpec, nr_t_per_vm: u16) -> Scenario {
                 core: i % 4,
                 nsid: NamespaceId(vm),
                 kind: TenantKind::Fio(dd_workload::tenants::l_tenant_job()),
+                slo: None,
             });
         }
         for i in 0..nr_t_per_vm {
@@ -34,6 +35,7 @@ fn vm_scenario(stack: StackSpec, nr_t_per_vm: u16) -> Scenario {
                 core: (2 + i) % 4,
                 nsid: NamespaceId(vm),
                 kind: TenantKind::Fio(dd_workload::tenants::t_tenant_job()),
+                slo: None,
             });
         }
     }

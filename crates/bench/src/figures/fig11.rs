@@ -41,6 +41,7 @@ fn contended_scenario(stack: StackSpec) -> Scenario {
             core: i % 4,
             nsid: dd_nvme::NamespaceId(1),
             kind: testbed::scenario::TenantKind::Fio(dd_workload::tenants::t_tenant_job()),
+            slo: None,
         });
     }
     for i in 0..8u16 {
@@ -50,6 +51,7 @@ fn contended_scenario(stack: StackSpec) -> Scenario {
             core: i % 4,
             nsid: dd_nvme::NamespaceId(1),
             kind: testbed::scenario::TenantKind::Fio(dd_workload::tenants::l_tenant_job()),
+            slo: None,
         });
     }
     s

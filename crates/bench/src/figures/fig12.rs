@@ -30,6 +30,7 @@ pub(crate) fn app_scenario(stack: StackSpec, app: AppKind, label: &'static str) 
         core: 0,
         nsid: NamespaceId(1),
         kind: TenantKind::App(app),
+        slo: None,
     });
     for i in 0..8u16 {
         s.tenants.push(TenantSpec {
@@ -38,6 +39,7 @@ pub(crate) fn app_scenario(stack: StackSpec, app: AppKind, label: &'static str) 
             core: (1 + i) % 4,
             nsid: NamespaceId(1),
             kind: TenantKind::Fio(dd_workload::tenants::streaming_job()),
+            slo: None,
         });
     }
     s.stop_when_apps_done = true;
@@ -80,8 +82,8 @@ pub fn run_figure(opts: &Opts) {
                 mix.as_str(),
             );
             // Long ceiling; the run stops when the app finishes.
-            s.warmup = opts.warmup();
-            s.measure = SimDuration::from_secs(120);
+            s.knobs.warmup = opts.warmup();
+            s.knobs.measure = SimDuration::from_secs(120);
             sweep.add(mix.as_str(), s);
         }
     }
@@ -94,8 +96,8 @@ pub fn run_figure(opts: &Opts) {
             },
             "mailserver",
         );
-        s.warmup = opts.warmup();
-        s.measure = SimDuration::from_secs(120);
+        s.knobs.warmup = opts.warmup();
+        s.knobs.measure = SimDuration::from_secs(120);
         sweep.add("mailserver", s);
     }
     let mut results = sweep.run(opts);

@@ -35,6 +35,7 @@ fn overhead_scenario(stack: StackSpec, nr_l: u16, nr_tl: u16) -> Scenario {
             core: i % 4,
             nsid: NamespaceId(1),
             kind: TenantKind::Fio(dd_workload::tenants::l_tenant_job()),
+            slo: None,
         });
     }
     for i in 0..nr_tl {
@@ -45,6 +46,7 @@ fn overhead_scenario(stack: StackSpec, nr_l: u16, nr_tl: u16) -> Scenario {
             core: (nr_l + i) % 4,
             nsid: NamespaceId(1),
             kind: TenantKind::Fio(dd_workload::tenants::t_tenant_job()),
+            slo: None,
         });
     }
     // Interleave NQ accesses by moving tenants across cores continuously.

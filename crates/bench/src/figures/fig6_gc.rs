@@ -38,8 +38,8 @@ fn gc_scenario(stack: StackSpec, nr_t: u16) -> Scenario {
         write_threshold_pages: 2048,
         ..GcConfig::default()
     };
-    let mut s =
-        Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM).with_gc(gc);
+    let mut s = Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM);
+    s.knobs.gc = Some(gc);
     // Read-pressure T-tenants never program a page and would leave GC
     // idle; make them writers so erases actually trigger.
     for t in &mut s.tenants {

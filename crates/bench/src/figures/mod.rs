@@ -6,6 +6,7 @@
 
 pub mod ext_baselines;
 pub mod ext_breakdown;
+pub mod ext_fleet;
 pub mod ext_hostile;
 pub mod ext_policy;
 pub mod ext_virtio;

@@ -32,22 +32,23 @@ pub use sweep::{Sweep, SweepResults, SweepStats};
 /// `--trace` replaces a scenario's own trace configuration (so the CSV
 /// contains exactly the phases the user asked for); without it, the
 /// scenario's configuration (usually off) stands.
-pub fn scaled(opts: &Opts, s: Scenario) -> Scenario {
-    let mut s = s.with_durations(opts.warmup(), opts.measure());
+pub fn scaled(opts: &Opts, mut s: Scenario) -> Scenario {
+    s.knobs.warmup = opts.warmup();
+    s.knobs.measure = opts.measure();
     if let Some(seed) = opts.seed {
-        s = s.with_seed(seed);
+        s.knobs.seed = seed;
     }
     if let Some(mask) = opts.trace {
-        s = s.with_trace(TraceSpec {
+        s.knobs.trace = Some(TraceSpec {
             cap: opts.trace_cap,
             mask,
         });
     }
     if let Some(spec) = opts.fault_spec() {
-        s = s.with_faults(spec);
+        s.knobs.faults = Some(spec);
     }
     if let Some(policy) = opts.policy {
-        s = s.with_policy(policy);
+        s.knobs.policy = Some(policy);
     }
     s
 }

@@ -429,6 +429,10 @@ impl StorageStack for VanillaBlkMq {
         s.lock_contended = self.locks.contended_grand_total();
         s
     }
+
+    fn io_capacity(&self) -> usize {
+        self.reqmap.capacity()
+    }
 }
 
 #[cfg(test)]

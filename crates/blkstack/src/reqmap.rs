@@ -99,6 +99,13 @@ impl RequestMap {
         self.alloc_rq_dir(bio, nlb, true)
     }
 
+    /// Combined backing capacity of the bio and request slabs, in slots.
+    /// The capacity-stability probe asserts this stops growing once a run
+    /// reaches steady state — the whole point of the generational slabs.
+    pub fn capacity(&self) -> usize {
+        self.bios.capacity() + self.rqs.capacity()
+    }
+
     /// Allocates a request id recording its direction (for scheduler token
     /// accounting).
     pub fn alloc_rq_dir(&mut self, bio: BioHandle, nlb: u32, read: bool) -> u64 {

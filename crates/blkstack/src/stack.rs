@@ -141,6 +141,15 @@ pub trait StorageStack {
 
     /// Statistics snapshot.
     fn stats(&self) -> StackStats;
+
+    /// Backing capacity, in slots, of the stack's per-I/O tables (request
+    /// maps and the like). The testbed's capacity-stability probe snapshots
+    /// this at end-of-warmup and at run end and asserts they are equal at
+    /// 10k tenants — the proof that the slab/DenseMap hot path really
+    /// stopped allocating. Stacks without such tables report 0.
+    fn io_capacity(&self) -> usize {
+        0
+    }
 }
 
 /// Arena tags for buffers recycled across runs via

@@ -517,6 +517,10 @@ impl StorageStack for BlkSwitchStack {
         s.lock_contended = self.locks.contended_grand_total();
         s
     }
+
+    fn io_capacity(&self) -> usize {
+        self.reqmap.capacity()
+    }
 }
 
 #[cfg(test)]

@@ -479,6 +479,10 @@ impl<P: Policy> StorageStack for DaredevilStack<P> {
         s.lock_contended = self.locks.contended_grand_total();
         s
     }
+
+    fn io_capacity(&self) -> usize {
+        self.reqmap.capacity()
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,9 @@ pub struct TenantSummary {
     pub bytes_completed: u64,
     /// I/Os issued within the window (issued − completed = in flight at end).
     pub ios_issued: u64,
+    /// In-window completions slower than the tenant's latency SLO (0 when
+    /// the scenario configures no SLO — QWin-style per-class accounting).
+    pub slo_violations: u64,
 }
 
 impl TenantSummary {
@@ -37,6 +40,7 @@ impl TenantSummary {
             ios_completed: 0,
             bytes_completed: 0,
             ios_issued: 0,
+            slo_violations: 0,
         }
     }
 
@@ -61,9 +65,19 @@ pub struct ClassSummary {
     pub ios_completed: u64,
     /// Total completed bytes.
     pub bytes_completed: u64,
+    /// Total SLO violations.
+    pub slo_violations: u64,
 }
 
 impl ClassSummary {
+    /// Fraction of in-window completions that violated their SLO.
+    pub fn slo_violation_rate(&self) -> f64 {
+        if self.ios_completed == 0 {
+            return 0.0;
+        }
+        self.slo_violations as f64 / self.ios_completed as f64
+    }
+
     /// Aggregate IOPS over a window of `secs` seconds.
     pub fn iops(&self, secs: f64) -> f64 {
         self.ios_completed as f64 / secs
@@ -106,12 +120,14 @@ impl RunSummary {
             latency: LatencyHistogram::new(),
             ios_completed: 0,
             bytes_completed: 0,
+            slo_violations: 0,
         };
         for t in self.tenants.iter().filter(|t| t.class == class) {
             agg.tenants += 1;
             agg.latency.merge(&t.latency);
             agg.ios_completed += t.ios_completed;
             agg.bytes_completed += t.bytes_completed;
+            agg.slo_violations += t.slo_violations;
         }
         agg
     }

@@ -334,6 +334,13 @@ impl<E> EventQueue<E> {
         self.pushed_total
     }
 
+    /// Total backing capacity in events across the near-lane buckets and
+    /// the far heap. Used by capacity-stability probes: once a run reaches
+    /// steady state the queue must stop allocating.
+    pub fn capacity(&self) -> usize {
+        self.buckets.iter().map(|b| b.items.capacity()).sum::<usize>() + self.far.capacity()
+    }
+
     /// Drops all pending events.
     pub fn clear(&mut self) {
         for b in &mut self.buckets {

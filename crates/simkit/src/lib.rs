@@ -30,7 +30,7 @@ pub use event::{EventQueue, HeapQueue};
 pub use ewma::Ewma;
 pub use fault::{FaultClasses, FaultEvent, FaultGeometry, FaultKind, FaultPlan, FaultSpec, FaultStats};
 pub use keyed_heap::KeyedMinHeap;
-pub use rng::{SimRng, Zipfian};
+pub use rng::{SimRng, ZetaCache, Zipfian};
 pub use slab::{DenseMap, Key, Slab, SlotId};
 pub use time::{SimDuration, SimTime};
 pub use trace::{

@@ -142,11 +142,33 @@ impl Zipfian {
         Zipfian::new(n, 0.99)
     }
 
+    /// [`Zipfian::ycsb`] with the `zeta(n, θ)` summation served from (and
+    /// recorded into) `cache` — bit-identical to the uncached constructor.
+    pub fn ycsb_cached(n: u64, cache: &mut ZetaCache) -> Self {
+        Zipfian::new_cached(n, 0.99, cache)
+    }
+
     /// Creates a Zipfian generator over `[0, n)` with skew `theta ∈ (0, 1)`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipfian domain must be non-empty");
         assert!((0.0..1.0).contains(&theta), "theta must be in (0, 1)");
         let zetan = Self::zeta(n, theta);
+        Self::with_zetan(n, theta, zetan)
+    }
+
+    /// [`Zipfian::new`] with the O(n) `zeta(n, θ)` summation memoised in
+    /// `cache`. The first construction for a given `(n, θ)` pays the full
+    /// summation and records the exact result; later constructions reuse it
+    /// bit-for-bit, so cached and uncached generators are indistinguishable.
+    pub fn new_cached(n: u64, theta: f64, cache: &mut ZetaCache) -> Self {
+        assert!(n > 0, "zipfian domain must be non-empty");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0, 1)");
+        let zetan = cache.zetan(n, theta);
+        Self::with_zetan(n, theta, zetan)
+    }
+
+    /// Shared tail of construction once `zetan` is known.
+    fn with_zetan(n: u64, theta: f64, zetan: f64) -> Self {
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
@@ -188,6 +210,63 @@ impl Zipfian {
         let _ = self.zeta2;
         let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         v.min(self.n - 1)
+    }
+}
+
+/// Memoised `zeta(n, θ)` table for [`Zipfian`] construction.
+///
+/// Building a `Zipfian` costs an O(n) harmonic summation — hundreds of
+/// thousands of float ops for fig12-sized keyspaces — that is a pure
+/// function of `(n, θ)`. Sweep workers park this cache in the
+/// [`crate::RunArena`] so every cell after the first skips the summation.
+///
+/// The [`crate::ArenaReset`] impl deliberately **keeps** the entries: the
+/// cache memoises a pure function, so a warm cache is observationally
+/// identical to a cold one (consumers receive bit-identical `zetan` either
+/// way) and retaining it cannot violate the arena's reset contract.
+#[derive(Clone, Debug, Default)]
+pub struct ZetaCache {
+    /// `(n, θ.to_bits(), zeta(n, θ).to_bits())` — tiny (a handful of
+    /// distinct keyspace sizes per sweep), so linear probe beats hashing.
+    entries: Vec<(u64, u64, u64)>,
+}
+
+impl ZetaCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct `(n, θ)` pairs memoised so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `zeta(n, θ)`, computing and recording it on first use.
+    fn zetan(&mut self, n: u64, theta: f64) -> f64 {
+        let tb = theta.to_bits();
+        if let Some(&(_, _, z)) = self
+            .entries
+            .iter()
+            .find(|&&(en, et, _)| en == n && et == tb)
+        {
+            return f64::from_bits(z);
+        }
+        let z = Zipfian::zeta(n, theta);
+        self.entries.push((n, tb, z.to_bits()));
+        z
+    }
+}
+
+impl crate::arena::ArenaReset for ZetaCache {
+    fn arena_reset(&mut self) {
+        // Pure-function memo: warm and cold caches are observationally
+        // identical, so the reset keeps the entries (that is the point).
     }
 }
 
@@ -273,6 +352,32 @@ mod tests {
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 97);
         }
+    }
+
+    #[test]
+    fn cached_zipfian_is_bit_identical() {
+        let mut cache = ZetaCache::new();
+        let cold = Zipfian::new(50_000, 0.99);
+        let warm1 = Zipfian::new_cached(50_000, 0.99, &mut cache);
+        let warm2 = Zipfian::ycsb_cached(50_000, &mut cache);
+        assert_eq!(cache.len(), 1, "one (n, theta) pair memoised once");
+        let mut a = SimRng::new(11);
+        let mut b = SimRng::new(11);
+        let mut c = SimRng::new(11);
+        for _ in 0..10_000 {
+            let x = cold.sample(&mut a);
+            assert_eq!(x, warm1.sample(&mut b));
+            assert_eq!(x, warm2.sample(&mut c));
+        }
+    }
+
+    #[test]
+    fn zeta_cache_survives_arena_reset() {
+        use crate::arena::ArenaReset;
+        let mut cache = ZetaCache::new();
+        let _ = Zipfian::new_cached(1000, 0.5, &mut cache);
+        cache.arena_reset();
+        assert_eq!(cache.len(), 1, "memo kept across runs");
     }
 
     #[test]

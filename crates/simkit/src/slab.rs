@@ -137,6 +137,13 @@ impl<T> Slab<T> {
         self.slots.len()
     }
 
+    /// Backing capacity in slots — values the slab can hold before its
+    /// next heap allocation. Used by capacity-stability probes: a slab on
+    /// the per-I/O path must stop growing once a run reaches steady state.
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
     /// Inserts a value, reusing a freed slot when one exists.
     pub fn insert(&mut self, value: T) -> SlotId {
         self.len += 1;

@@ -15,27 +15,30 @@
 //! use simkit::SimDuration;
 //!
 //! // 2 L-tenants vs 4 T-tenants on 2 cores under Daredevil, 50 ms measured.
-//! let scenario = Scenario::multi_tenant_fio(
+//! let mut scenario = Scenario::multi_tenant_fio(
 //!     StackSpec::daredevil(),
 //!     2,
 //!     4,
 //!     2,
 //!     testbed::scenario::MachinePreset::Small,
-//! )
-//! .with_durations(SimDuration::from_millis(10), SimDuration::from_millis(50));
+//! );
+//! scenario.knobs.warmup = SimDuration::from_millis(10);
+//! scenario.knobs.measure = SimDuration::from_millis(50);
 //! let out = testbed::run(scenario);
 //! assert!(out.summary.class("L").ios_completed > 0);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod machine;
 pub mod runout;
 pub mod scenario;
 
+pub use fleet::{ArrivalSpec, FleetSpec, PlacementPolicy, TenantPopulation};
 pub use machine::Machine;
-pub use runout::RunOutput;
-pub use scenario::{MachinePreset, Scenario, StackSpec, TenantKind, TenantSpec};
+pub use runout::{CapacityProbe, FleetOutput, RunOutput, TenantView};
+pub use scenario::{MachinePreset, RunKnobs, Scenario, StackSpec, TenantKind, TenantSpec};
 pub use simkit::RunArena;
 
 /// Runs a scenario to completion and returns its measurements.
@@ -52,4 +55,17 @@ pub fn run(scenario: Scenario) -> RunOutput {
 /// one arena per worker, reused across every cell it executes.
 pub fn run_in(scenario: Scenario, arena: &mut RunArena) -> RunOutput {
     Machine::new_in(scenario, arena).run_in(arena)
+}
+
+/// Runs every host of a fleet cell serially against one arena and returns
+/// the per-host outputs in host order. Hosts are independent machines, so
+/// a sweep may equally run them as separate cells on different workers —
+/// the outputs (and [`FleetOutput::digest`]) are identical either way.
+pub fn run_fleet(spec: &FleetSpec, arena: &mut RunArena) -> FleetOutput {
+    let hosts = spec
+        .expand()
+        .into_iter()
+        .map(|s| run_in(s, arena))
+        .collect();
+    FleetOutput { hosts }
 }

@@ -31,7 +31,7 @@ use dd_workload::mailserver::MailserverWorkload;
 use dd_workload::{AppWorkload, FioJob, IoDesc, OpKind, OpStep, Placement, YcsbWorkload};
 use simkit::{EventQueue, RunArena, SimDuration, SimRng, SimTime};
 
-use crate::runout::{ClassSeries, RunOutput};
+use crate::runout::{CapacityProbe, ClassSeries, RunOutput};
 use crate::scenario::{AppKind, Scenario, StackSpec, TenantKind};
 
 /// Events of the machine loop.
@@ -112,6 +112,8 @@ struct Tenant {
     summary: TenantSummary,
     rng: SimRng,
     seq_cursor: u64,
+    /// Per-tenant latency SLO (None = no accounting).
+    slo: Option<SimDuration>,
     /// Cached position of this tenant's class in `Machine::series`
     /// (populated on first in-window completion; the per-completion hot
     /// path then indexes instead of hashing the label).
@@ -211,6 +213,9 @@ pub struct Machine {
     polls_fired: u64,
     /// ISRs that found an empty CQ (poll raced a real delivery).
     spurious_isrs: u64,
+    /// Hot-path capacity snapshot taken at warmup end (the capacity-
+    /// stability gate compares it against the run-end snapshot).
+    cap_warmup: CapacityProbe,
 }
 
 /// Builds a bio from an I/O descriptor on behalf of a tenant.
@@ -268,6 +273,11 @@ impl Machine {
             .unwrap_or_else(|e| panic!("invalid scenario '{}': {e}", scenario.name));
         let nr_cores = scenario.nr_cores();
         let mut nvme_cfg = scenario.nvme.clone();
+        // GC knob: age the drive at build time (the knob is pure config,
+        // equivalent to baking it into `nvme` up front).
+        if let Some(gc) = scenario.knobs.gc {
+            nvme_cfg.flash = nvme_cfg.flash.with_gc(gc);
+        }
         fn needs_wrr(spec: &StackSpec) -> bool {
             match spec {
                 StackSpec::Overprov => true,
@@ -286,15 +296,20 @@ impl Machine {
         // Fault injection: generate the whole schedule up front from the
         // spec seed and the device geometry — purely virtual-time, so runs
         // with faults stay exactly as deterministic as runs without.
-        if let Some(spec) = scenario.faults {
-            let horizon = scenario.warmup + scenario.measure;
+        if let Some(spec) = scenario.knobs.faults {
+            let horizon = scenario.knobs.warmup + scenario.knobs.measure;
             device.install_faults(simkit::FaultPlan::generate(
                 &spec,
                 device.fault_geometry(),
                 horizon,
             ));
         }
-        let mut stack = build_stack(&scenario.stack, nr_cores, &device);
+        // Policy knob: applied to the spec at build time, like GC above.
+        let stack_spec = match scenario.knobs.policy {
+            Some(p) => scenario.stack.clone().with_policy(p),
+            None => scenario.stack.clone(),
+        };
+        let mut stack = build_stack(&stack_spec, nr_cores, &device);
         // Swap the constructor's empty shells for warm parked buffers (the
         // shared arena tags make a map parked by any stack flavour
         // adoptable here), then pre-size the slab request maps and recycled
@@ -302,7 +317,7 @@ impl Machine {
         // steady state allocates nothing on the hot path.
         stack.as_dyn().adopt_buffers(arena);
         stack.as_dyn().reserve(scenario.event_capacity_hint());
-        let mut rng = SimRng::new(scenario.seed);
+        let mut rng = SimRng::new(scenario.knobs.seed);
         let mut tenants: Vec<Tenant> = arena.take(0);
         let mut tenant_order: Vec<Pid> = arena.take(0);
         let mut active_apps = 0usize;
@@ -315,12 +330,15 @@ impl Machine {
                     active_apps += 1;
                     // dd-alloc-allowlist: workload boxing happens once per
                     // tenant at machine construction, never during dispatch.
+                    // The `new_in` constructors adopt parked workload scratch
+                    // (key-popularity tables, page caches) from the arena, so
+                    // small sweep cells stop rebuilding them per run.
                     let workload: Box<dyn AppWorkload> = match app.clone() {
                         AppKind::Ycsb { mix, config, ops } => {
-                            Box::new(YcsbWorkload::new(mix, config, ops)) // dd-alloc-allowlist: construction
+                            Box::new(YcsbWorkload::new_in(mix, config, ops, arena)) // dd-alloc-allowlist: construction
                         }
                         AppKind::Mailserver { config, ops } => {
-                            Box::new(MailserverWorkload::new(config, ops)) // dd-alloc-allowlist: construction
+                            Box::new(MailserverWorkload::new_in(config, ops, arena)) // dd-alloc-allowlist: construction
                         }
                         AppKind::Checkpoint {
                             config,
@@ -345,17 +363,18 @@ impl Machine {
                 summary: TenantSummary::new(pid.0, spec.class_label),
                 rng: rng.fork(),
                 seq_cursor: rng.gen_range(ns_blocks.max(1)),
+                slo: spec.slo,
                 series_idx: None,
             });
             tenant_order.push(pid);
         }
-        let window_start = SimTime::ZERO + scenario.warmup;
-        let stop_at = window_start + scenario.measure;
+        let window_start = SimTime::ZERO + scenario.knobs.warmup;
+        let stop_at = window_start + scenario.knobs.measure;
         // Span tracing: install the (pre-allocated) sink once, up front;
         // when the scenario leaves it off, every instrumentation point
         // costs one `enabled()` branch.
         let mut dev_out: DeviceOutput = arena.take(0);
-        dev_out.trace.reconfigure(scenario.trace);
+        dev_out.trace.reconfigure(scenario.knobs.trace);
         let mut cpu: CpuSystem<Work> = arena.take(0);
         cpu.configure(&scenario.topology);
         // Pre-sized from the scenario shape (Σ queue depth × the events
@@ -390,7 +409,17 @@ impl Machine {
             wd_reaped: arena.take(0),
             polls_fired: 0,
             spurious_isrs: 0,
+            cap_warmup: CapacityProbe::default(),
             scenario,
+        }
+    }
+
+    /// Snapshots the hot-path capacities (stack request slabs + event
+    /// queue backing) for the capacity-stability accounting.
+    fn capacity_probe(&mut self) -> CapacityProbe {
+        CapacityProbe {
+            io_slots: self.stack.as_dyn().io_capacity(),
+            events: self.queue.capacity(),
         }
     }
 
@@ -537,7 +566,7 @@ impl Machine {
                 self.costs.reap_per_rq + cost
             }
             Work::Isr { cq } => {
-                if self.scenario.faults.is_some() && self.device.cq_pending(cq) == 0 {
+                if self.scenario.knobs.faults.is_some() && self.device.cq_pending(cq) == 0 {
                     self.spurious_isrs += 1;
                 }
                 self.with_env(|stack, env| stack.on_irq(cq, core, env))
@@ -677,12 +706,20 @@ impl Machine {
         let in_window = c.completed_at >= window_start;
         if in_window {
             tenant.summary.record_completion(c.latency(), c.bio.bytes);
+            if let Some(slo) = tenant.slo {
+                if c.latency() > slo {
+                    tenant.summary.slo_violations += 1;
+                }
+            }
         }
         let class = tenant.class_label;
         let core = tenant.core;
         let pid = tenant.pid;
         let cached_series = tenant.series_idx;
         let continuation = match &mut tenant.driver {
+            // Open-loop arrival tenants are driven by their wake chain
+            // (see `Event::WakeResubmit`): completions only record stats.
+            Driver::Fio(job) if job.arrival.is_some() => None,
             Driver::Fio(job) => match job.think_time() {
                 // Rate-limited slot: sleep an exponential think time first.
                 Some(mean) => {
@@ -756,6 +793,24 @@ impl Machine {
             self.with_env(|stack, env| stack.register_tenant(&task, env));
         }
         for i in 0..self.tenants.len() {
+            // Open-loop arrival tenants start with one staggered wake-up
+            // (drawn from their own rng stream, so a 10k-tenant fleet does
+            // not thundering-herd at t=0) instead of a closed-loop burst.
+            let arrival_wake = {
+                let t = &mut self.tenants[i];
+                match &t.driver {
+                    Driver::Fio(job) => job.arrival.map(|arr| {
+                        let mean = arr.mean_gap(SimTime::ZERO);
+                        (t.pid, t.rng.gen_exp(mean))
+                    }),
+                    Driver::App { .. } => None,
+                }
+            };
+            if let Some((pid, delay)) = arrival_wake {
+                self.queue
+                    .push(SimTime::ZERO + delay, Event::WakeResubmit(pid));
+                continue;
+            }
             let (core, work) = {
                 let t = &self.tenants[i];
                 match &t.driver {
@@ -782,7 +837,7 @@ impl Machine {
             self.queue
                 .push(SimTime::ZERO + interval, Event::MigrateStorm);
         }
-        if let Some(spec) = self.scenario.faults {
+        if let Some(spec) = self.scenario.knobs.faults {
             self.wd_reaped.clear();
             self.wd_reaped
                 .resize(self.device.nr_cqs() as usize, u64::MAX);
@@ -847,11 +902,13 @@ impl Machine {
                 }
                 Event::EndWarmup => {
                     self.cpu_baseline = self.cpu.busy_snapshot(self.now);
+                    self.cap_warmup = self.capacity_probe();
                 }
                 Event::FaultWatchdog => {
                     self.fault_watchdog();
                     let period = self
                         .scenario
+                        .knobs
                         .faults
                         .expect("watchdog only scheduled with faults")
                         .watchdog_period;
@@ -900,6 +957,24 @@ impl Machine {
                 Event::WakeResubmit(pid) => {
                     if let Some(t) = self.tenant_mut(pid) {
                         let core = t.core;
+                        // Open-loop arrivals: the wake chain reschedules
+                        // itself from the *arrival* clock (diurnal × burst
+                        // modulated), independent of completions — queues
+                        // grow when the host falls behind, exactly the
+                        // overload behaviour a closed loop hides.
+                        let next_wake = match &t.driver {
+                            Driver::Fio(job) => job.arrival.map(|arr| {
+                                let mean = arr.mean_gap(at);
+                                t.rng.gen_exp(mean)
+                            }),
+                            _ => None,
+                        };
+                        if let Some(delay) = next_wake {
+                            let next = at + delay;
+                            if next < self.stop_at {
+                                self.queue.push(next, Event::WakeResubmit(pid));
+                            }
+                        }
                         self.enqueue_work(core, WorkClass::Task, Work::Resubmit { pid });
                     }
                 }
@@ -977,8 +1052,11 @@ impl Machine {
             spurious_isrs: self.spurious_isrs,
             irq_raised_total: self.device.irq_raised_total(),
         };
+        let cap_end = self.capacity_probe();
         let out = RunOutput {
             summary,
+            cap_warmup: self.cap_warmup,
+            cap_end,
             series: self
                 .series
                 .drain(..)
@@ -1000,6 +1078,13 @@ impl Machine {
         // itself is NOT parked — flash geometry, namespace tables, and fault
         // plans are per-scenario configuration, not recyclable scratch.
         self.stack.as_dyn().park_buffers(arena);
+        // App workloads park their own scratch (popularity tables, page
+        // caches) before the tenant vector — which owns them — is recycled.
+        for t in &mut self.tenants {
+            if let Driver::App { workload, .. } = &mut t.driver {
+                workload.park_scratch(arena);
+            }
+        }
         arena.put(0, self.queue);
         arena.put(0, self.cpu);
         arena.put(0, self.dev_out);
@@ -1055,8 +1140,9 @@ mod tests {
     use crate::scenario::MachinePreset;
 
     fn quick(stack: StackSpec, nr_l: u16, nr_t: u16) -> RunOutput {
-        let s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, 2, MachinePreset::Small)
-            .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(40));
+        let mut s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, 2, MachinePreset::Small);
+        s.knobs.warmup = SimDuration::from_millis(5);
+        s.knobs.measure = SimDuration::from_millis(40);
         crate::run(s)
     }
 
@@ -1077,13 +1163,10 @@ mod tests {
                 s
             };
             let base = |stack: StackSpec| {
-                write_t(
-                    Scenario::multi_tenant_fio(stack, 4, 2, 4, MachinePreset::Small)
-                        .with_durations(
-                            SimDuration::from_millis(5),
-                            SimDuration::from_millis(40),
-                        ),
-                )
+                let mut s = Scenario::multi_tenant_fio(stack, 4, 2, 4, MachinePreset::Small);
+                s.knobs.warmup = SimDuration::from_millis(5);
+                s.knobs.measure = SimDuration::from_millis(40);
+                write_t(s)
             };
             // Heavy aging: one 3 ms erase per two 128 KiB writes. Erases
             // throttle the T-writers (the *mean* can even improve), but
@@ -1095,7 +1178,9 @@ mod tests {
             };
             let name = stack.name();
             let clean = crate::run(base(stack.clone()));
-            let aged = crate::run(base(stack).with_gc(gc));
+            let mut aged_s = base(stack);
+            aged_s.knobs.gc = Some(gc);
+            let aged = crate::run(aged_s);
             assert!(
                 aged.summary.class("L").ios_completed > 0,
                 "{name}: aged drive starved L entirely"
@@ -1174,8 +1259,9 @@ mod tests {
 
     #[test]
     fn warmup_discards_early_completions() {
-        let s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 0, 1, MachinePreset::Small)
-            .with_durations(SimDuration::from_millis(20), SimDuration::from_millis(20));
+        let mut s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 0, 1, MachinePreset::Small);
+        s.knobs.warmup = SimDuration::from_millis(20);
+        s.knobs.measure = SimDuration::from_millis(20);
         let out = crate::run(s);
         let l = out.summary.class("L");
         // Issued counts everything, completed only the window.
@@ -1185,10 +1271,10 @@ mod tests {
 
     #[test]
     fn series_buckets_cover_window() {
-        let s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 1, 2, MachinePreset::Small)
-            .with_durations(SimDuration::from_millis(2), SimDuration::from_millis(50))
-            .with_seed(7);
-        let mut s = s;
+        let mut s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 1, 2, MachinePreset::Small);
+        s.knobs.warmup = SimDuration::from_millis(2);
+        s.knobs.measure = SimDuration::from_millis(50);
+        s.knobs.seed = 7;
         s.sample_width = SimDuration::from_millis(10);
         let out = crate::run(s);
         let l = out.series.get("L").expect("L series exists");
@@ -1198,8 +1284,9 @@ mod tests {
     #[test]
     fn migrate_storm_moves_tenants() {
         let mut s =
-            Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 2, 2, MachinePreset::Small)
-                .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(30));
+            Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 2, 2, MachinePreset::Small);
+        s.knobs.warmup = SimDuration::from_millis(5);
+        s.knobs.measure = SimDuration::from_millis(30);
         s.migrate_storm = Some(SimDuration::from_millis(1));
         let out = crate::run(s);
         assert!(out.summary.class("L").ios_completed > 0);
@@ -1208,8 +1295,9 @@ mod tests {
     #[test]
     fn ionice_storm_triggers_reassignments() {
         let mut s =
-            Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 2, 2, MachinePreset::Small)
-                .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(30));
+            Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 2, 2, MachinePreset::Small);
+        s.knobs.warmup = SimDuration::from_millis(5);
+        s.knobs.measure = SimDuration::from_millis(30);
         s.ionice_storm = Some(SimDuration::from_millis(2));
         let out = crate::run(s);
         assert!(
@@ -1238,9 +1326,10 @@ mod tests {
                 },
                 ops: 500,
             }),
+            slo: None,
         });
-        s.warmup = SimDuration::from_millis(1);
-        s.measure = SimDuration::from_secs(5);
+        s.knobs.warmup = SimDuration::from_millis(1);
+        s.knobs.measure = SimDuration::from_secs(5);
         s.stop_when_apps_done = true;
         let out = crate::run(s);
         let reads = out.op_latencies.get(&OpKind::Read);

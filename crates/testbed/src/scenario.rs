@@ -191,6 +191,10 @@ pub struct TenantSpec {
     pub nsid: NamespaceId,
     /// The workload.
     pub kind: TenantKind,
+    /// Per-tenant latency SLO: an in-window completion slower than this
+    /// counts one violation in the tenant's summary (QWin-style per-class
+    /// targets). `None` (default) keeps SLO accounting off.
+    pub slo: Option<SimDuration>,
 }
 
 /// Machine presets from the paper's evaluation.
@@ -229,6 +233,56 @@ impl MachinePreset {
     }
 }
 
+/// Every cross-cutting run knob in one typed struct.
+///
+/// `RunKnobs` replaces the old `with_seed`/`with_trace`/`with_faults`/
+/// `with_policy`/`with_gc`/`with_durations` builder sprawl on [`Scenario`]:
+/// a scenario owns one `knobs` value and callers mutate its fields
+/// directly. [`crate::fleet::FleetSpec`] reuses the struct verbatim, so a
+/// fleet cell inherits every knob without re-plumbing each one.
+#[derive(Clone, Debug)]
+pub struct RunKnobs {
+    /// Warm-up period (measurements discarded).
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub measure: SimDuration,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Structured span tracing: `Some(spec)` installs an enabled
+    /// [`simkit::TraceSink`] into the machine for the run; `None` (default)
+    /// keeps tracing off (one dead branch per instrumentation point).
+    pub trace: Option<simkit::TraceSpec>,
+    /// Deterministic fault injection: `Some(spec)` generates a
+    /// [`simkit::FaultPlan`] over the device geometry for the run's
+    /// horizon, installs it into the device, and arms the host-side
+    /// recovery watchdog; `None` (default) keeps faults off (one dead
+    /// branch per injection point).
+    pub faults: Option<simkit::FaultSpec>,
+    /// Daredevil scheduling-policy override, applied to the stack spec at
+    /// machine build time (`--policy NAME` on the figure binaries). No-op
+    /// for stacks without a policy layer.
+    pub policy: Option<daredevil::PolicySpec>,
+    /// Flash garbage collection (an aged drive; Fig. 6 GC variant),
+    /// applied to the device config at machine build time.
+    pub gc: Option<dd_nvme::flash::GcConfig>,
+}
+
+impl Default for RunKnobs {
+    /// The historical scenario defaults: 100 ms warmup, 1 s measured,
+    /// seed 42, every optional subsystem off.
+    fn default() -> Self {
+        RunKnobs {
+            warmup: SimDuration::from_millis(100),
+            measure: SimDuration::from_secs(1),
+            seed: 42,
+            trace: None,
+            faults: None,
+            policy: None,
+            gc: None,
+        }
+    }
+}
+
 /// A complete experiment description.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -242,12 +296,9 @@ pub struct Scenario {
     pub stack: StackSpec,
     /// Tenant population.
     pub tenants: Vec<TenantSpec>,
-    /// Warm-up period (measurements discarded).
-    pub warmup: SimDuration,
-    /// Measurement window length.
-    pub measure: SimDuration,
-    /// PRNG seed.
-    pub seed: u64,
+    /// Cross-cutting run knobs (durations, seed, tracing, faults, policy,
+    /// GC) — one typed struct shared verbatim with fleet specs.
+    pub knobs: RunKnobs,
     /// Fig. 14: flip every tenant's ionice at this interval.
     pub ionice_storm: Option<SimDuration>,
     /// Fig. 13: move a random tenant to a random core at this interval.
@@ -260,16 +311,6 @@ pub struct Scenario {
     pub sample_width: SimDuration,
     /// Stop as soon as all application tenants finish their ops.
     pub stop_when_apps_done: bool,
-    /// Structured span tracing: `Some(spec)` installs an enabled
-    /// [`simkit::TraceSink`] into the machine for the run; `None` (default)
-    /// keeps tracing off (one dead branch per instrumentation point).
-    pub trace: Option<simkit::TraceSpec>,
-    /// Deterministic fault injection: `Some(spec)` generates a
-    /// [`simkit::FaultPlan`] over the device geometry for the run's
-    /// horizon, installs it into the device, and arms the host-side
-    /// recovery watchdog; `None` (default) keeps faults off (one dead
-    /// branch per injection point).
-    pub faults: Option<simkit::FaultSpec>,
 }
 
 impl Scenario {
@@ -281,16 +322,12 @@ impl Scenario {
             nvme: preset.nvme(),
             stack,
             tenants: Vec::new(),
-            warmup: SimDuration::from_millis(100),
-            measure: SimDuration::from_secs(1),
-            seed: 42,
+            knobs: RunKnobs::default(),
             ionice_storm: None,
             migrate_storm: None,
             core_pool: preset.topology().nr_cores(),
             sample_width: SimDuration::from_millis(100),
             stop_when_apps_done: false,
-            trace: None,
-            faults: None,
         }
     }
 
@@ -317,6 +354,7 @@ impl Scenario {
                 core: i % cores,
                 nsid: NamespaceId(1),
                 kind: TenantKind::Fio(dd_workload::tenants::l_tenant_job()),
+                slo: None,
             });
         }
         for i in 0..nr_t {
@@ -326,6 +364,7 @@ impl Scenario {
                 core: (nr_l + i) % cores,
                 nsid: NamespaceId(1),
                 kind: TenantKind::Fio(dd_workload::tenants::t_tenant_job()),
+                slo: None,
             });
         }
         s
@@ -361,6 +400,7 @@ impl Scenario {
                         core: next_core(&mut core),
                         nsid,
                         kind: TenantKind::Fio(dd_workload::tenants::l_tenant_job()),
+                        slo: None,
                     });
                 }
             } else {
@@ -371,6 +411,7 @@ impl Scenario {
                         core: next_core(&mut core),
                         nsid,
                         kind: TenantKind::Fio(dd_workload::tenants::t_tenant_job()),
+                        slo: None,
                     });
                 }
             }
@@ -379,42 +420,48 @@ impl Scenario {
     }
 
     /// Overrides warmup/measure durations.
+    #[deprecated(note = "set `knobs.warmup` / `knobs.measure` directly")]
     pub fn with_durations(mut self, warmup: SimDuration, measure: SimDuration) -> Self {
-        self.warmup = warmup;
-        self.measure = measure;
+        self.knobs.warmup = warmup;
+        self.knobs.measure = measure;
         self
     }
 
     /// Overrides the seed.
+    #[deprecated(note = "set `knobs.seed` directly")]
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.knobs.seed = seed;
         self
     }
 
     /// Enables structured span tracing for the run.
+    #[deprecated(note = "set `knobs.trace` directly")]
     pub fn with_trace(mut self, spec: simkit::TraceSpec) -> Self {
-        self.trace = Some(spec);
+        self.knobs.trace = Some(spec);
         self
     }
 
     /// Enables deterministic fault injection for the run.
+    #[deprecated(note = "set `knobs.faults` directly")]
     pub fn with_faults(mut self, spec: simkit::FaultSpec) -> Self {
-        self.faults = Some(spec);
+        self.knobs.faults = Some(spec);
         self
     }
 
     /// Overrides the Daredevil scheduling policy (`--policy NAME` on the
     /// figure binaries). No-op when the scenario's stack has no policy
     /// layer.
+    #[deprecated(note = "set `knobs.policy` directly")]
     pub fn with_policy(mut self, policy: daredevil::PolicySpec) -> Self {
-        self.stack = self.stack.with_policy(policy);
+        self.knobs.policy = Some(policy);
         self
     }
 
     /// Enables flash garbage collection (an aged drive; Fig. 6 GC
     /// variant).
+    #[deprecated(note = "set `knobs.gc` directly")]
     pub fn with_gc(mut self, gc: dd_nvme::flash::GcConfig) -> Self {
-        self.nvme.flash = self.nvme.flash.with_gc(gc);
+        self.knobs.gc = Some(gc);
         self
     }
 
@@ -466,7 +513,7 @@ impl Scenario {
                 return Err(format!("tenant namespace {} out of range", t.nsid));
             }
         }
-        if self.measure.is_zero() {
+        if self.knobs.measure.is_zero() {
             return Err("measurement window must be non-zero".into());
         }
         Ok(())

@@ -36,18 +36,19 @@ fn random_scenario(c: &mut dd_check::Case) -> Scenario {
     let cores = c.u16_in(1, 4);
     let seed = c.any_u64();
     let measure_ms = c.u64_in(3, 8);
-    let mut s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, cores, MachinePreset::Small)
-        .with_seed(seed)
-        .with_durations(SimDuration::ZERO, SimDuration::from_millis(measure_ms));
+    let mut s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, cores, MachinePreset::Small);
+    s.knobs.seed = seed;
+    s.knobs.warmup = SimDuration::ZERO;
+    s.knobs.measure = SimDuration::from_millis(measure_ms);
     s.sample_width = SimDuration::from_millis(measure_ms) / 8;
     if c.u8_in(0, 2) == 1 {
         // Small cap half the time so the ring wraps and the recycled
         // sink's drop counter / sequence numbering is covered too.
         let cap = if c.u8_in(0, 2) == 1 { 256 } else { 65536 };
-        s = s.with_trace(TraceSpec::all(cap));
+        s.knobs.trace = Some(TraceSpec::all(cap));
     }
     if c.u8_in(0, 2) == 1 {
-        s = s.with_faults(FaultSpec::aggressive(FaultClasses::ALL, c.any_u64()));
+        s.knobs.faults = Some(FaultSpec::aggressive(FaultClasses::ALL, c.any_u64()));
     }
     s
 }
@@ -182,9 +183,11 @@ fn adoption_crosses_stack_flavours() {
         StackSpec::daredevil(),
     ];
     let scenario = |stack: StackSpec| {
-        Scenario::multi_tenant_fio(stack, 2, 2, 2, MachinePreset::Small)
-            .with_seed(42)
-            .with_durations(SimDuration::ZERO, SimDuration::from_millis(3))
+        let mut s = Scenario::multi_tenant_fio(stack, 2, 2, 2, MachinePreset::Small);
+        s.knobs.seed = 42;
+        s.knobs.warmup = SimDuration::ZERO;
+        s.knobs.measure = SimDuration::from_millis(3);
+        s
     };
     for warm in &stacks {
         for probe in &stacks {

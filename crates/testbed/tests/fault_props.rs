@@ -43,10 +43,11 @@ fn random_fault_scenario(c: &mut dd_check::Case) -> Scenario {
         FaultClasses::ALL
     };
     let spec = FaultSpec::aggressive(classes, c.any_u64());
-    let mut s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, cores, MachinePreset::Small)
-        .with_seed(seed)
-        .with_durations(SimDuration::ZERO, SimDuration::from_millis(measure_ms))
-        .with_faults(spec);
+    let mut s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, cores, MachinePreset::Small);
+    s.knobs.seed = seed;
+    s.knobs.warmup = SimDuration::ZERO;
+    s.knobs.measure = SimDuration::from_millis(measure_ms);
+    s.knobs.faults = Some(spec);
     s.sample_width = SimDuration::from_millis(measure_ms) / 8;
     s
 }
@@ -176,13 +177,13 @@ fn empty_fault_plan_is_invisible() {
         let cores = c.u16_in(1, 4);
         let seed = c.any_u64();
         let measure = SimDuration::from_millis(c.u64_in(3, 8));
-        let base = Scenario::multi_tenant_fio(stack, nr_l, nr_t, cores, MachinePreset::Small)
-            .with_seed(seed)
-            .with_durations(SimDuration::from_millis(1), measure);
+        let mut base = Scenario::multi_tenant_fio(stack, nr_l, nr_t, cores, MachinePreset::Small);
+        base.knobs.seed = seed;
+        base.knobs.warmup = SimDuration::from_millis(1);
+        base.knobs.measure = measure;
         let clean = testbed::run(base.clone());
-        let armed = testbed::run(
-            base.with_faults(FaultSpec::new(FaultClasses::NONE, c.any_u64())),
-        );
+        base.knobs.faults = Some(FaultSpec::new(FaultClasses::NONE, c.any_u64()));
+        let armed = testbed::run(base);
         prop_assert!(
             armed.fault.total_injected() == 0,
             "NONE plan injected faults: {:?}",
@@ -232,10 +233,11 @@ fn irq_loss_rescued_by_polling_watchdog() {
         irq_loss: true,
         nsq_stalls: false,
     };
-    let s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 0, 1, MachinePreset::Small)
-        .with_seed(7)
-        .with_durations(SimDuration::ZERO, SimDuration::from_millis(20))
-        .with_faults(FaultSpec::aggressive(classes, 0xDEAD));
+    let mut s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 0, 1, MachinePreset::Small);
+    s.knobs.seed = 7;
+    s.knobs.warmup = SimDuration::ZERO;
+    s.knobs.measure = SimDuration::from_millis(20);
+    s.knobs.faults = Some(FaultSpec::aggressive(classes, 0xDEAD));
     let out = testbed::run(s.clone());
     assert!(
         out.fault.vectors_lost > 0,
@@ -262,10 +264,11 @@ fn irq_loss_rescued_by_polling_watchdog() {
 /// redrives doorbells.
 #[test]
 fn all_fault_classes_engage() {
-    let s = Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 2, 4, MachinePreset::Small)
-        .with_seed(11)
-        .with_durations(SimDuration::ZERO, SimDuration::from_millis(20))
-        .with_faults(FaultSpec::aggressive(FaultClasses::ALL, 0xBEEF));
+    let mut s = Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 2, 4, MachinePreset::Small);
+    s.knobs.seed = 11;
+    s.knobs.warmup = SimDuration::ZERO;
+    s.knobs.measure = SimDuration::from_millis(20);
+    s.knobs.faults = Some(FaultSpec::aggressive(FaultClasses::ALL, 0xBEEF));
     let out = testbed::run(s.clone());
     assert!(out.fault.spikes_applied > 0, "no die spike applied: {:?}", out.fault);
     assert!(out.fault.vectors_lost > 0, "no raise lost: {:?}", out.fault);

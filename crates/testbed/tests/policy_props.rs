@@ -29,10 +29,13 @@ fn random_policy_scenario(c: &mut dd_check::Case) -> Scenario {
     let cores = c.u16_in(1, 4);
     let seed = c.any_u64();
     let measure_ms = c.u64_in(5, 10);
-    Scenario::multi_tenant_fio(StackSpec::daredevil(), nr_l, nr_t, cores, MachinePreset::Small)
-        .with_seed(seed)
-        .with_durations(SimDuration::ZERO, SimDuration::from_millis(measure_ms))
-        .with_policy(random_policy(c))
+    let mut s =
+        Scenario::multi_tenant_fio(StackSpec::daredevil(), nr_l, nr_t, cores, MachinePreset::Small);
+    s.knobs.seed = seed;
+    s.knobs.warmup = SimDuration::ZERO;
+    s.knobs.measure = SimDuration::from_millis(measure_ms);
+    s.knobs.policy = Some(random_policy(c));
+    s
 }
 
 /// Closed-loop conservation: everything issued is completed or within the
@@ -130,12 +133,14 @@ fn explicit_default_policy_is_identity() {
         let cores = c.u16_in(1, 4);
         let seed = c.any_u64();
         let measure = SimDuration::from_millis(c.u64_in(4, 8));
-        let base =
-            Scenario::multi_tenant_fio(StackSpec::daredevil(), nr_l, nr_t, cores, MachinePreset::Small)
-                .with_seed(seed)
-                .with_durations(SimDuration::ZERO, measure);
+        let mut base =
+            Scenario::multi_tenant_fio(StackSpec::daredevil(), nr_l, nr_t, cores, MachinePreset::Small);
+        base.knobs.seed = seed;
+        base.knobs.warmup = SimDuration::ZERO;
+        base.knobs.measure = measure;
         let untouched = testbed::run(base.clone());
-        let explicit = testbed::run(base.with_policy(PolicySpec::Default));
+        base.knobs.policy = Some(PolicySpec::Default);
+        let explicit = testbed::run(base);
         prop_assert!(
             untouched.events_processed == explicit.events_processed,
             "event counts diverge: {} vs {}",
@@ -186,10 +191,13 @@ fn explicit_default_policy_is_identity() {
 #[test]
 fn alternative_policies_take_effect() {
     let scenario = |spec: PolicySpec| {
-        Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 2, 4, MachinePreset::Small)
-            .with_seed(42)
-            .with_durations(SimDuration::ZERO, SimDuration::from_millis(10))
-            .with_policy(spec)
+        let mut s =
+            Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 2, 4, MachinePreset::Small);
+        s.knobs.seed = 42;
+        s.knobs.warmup = SimDuration::ZERO;
+        s.knobs.measure = SimDuration::from_millis(10);
+        s.knobs.policy = Some(spec);
+        s
     };
     let default = testbed::run(scenario(PolicySpec::Default));
     assert_eq!(default.summary.stack, "daredevil");

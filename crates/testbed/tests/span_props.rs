@@ -44,16 +44,14 @@ fn random_run(c: &mut dd_check::Case) -> RunOutput {
     let cores = c.u16_in(1, 4);
     let seed = c.any_u64();
     let measure_ms = c.u64_in(3, 8);
-    let s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, cores, MachinePreset::Small)
-        .with_seed(seed)
-        .with_durations(
-            SimDuration::from_millis(1),
-            SimDuration::from_millis(measure_ms),
-        )
-        .with_trace(TraceSpec {
-            cap: 1 << 18,
-            mask: MASK_ALL,
-        });
+    let mut s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, cores, MachinePreset::Small);
+    s.knobs.seed = seed;
+    s.knobs.warmup = SimDuration::from_millis(1);
+    s.knobs.measure = SimDuration::from_millis(measure_ms);
+    s.knobs.trace = Some(TraceSpec {
+        cap: 1 << 18,
+        mask: MASK_ALL,
+    });
     testbed::run(s)
 }
 

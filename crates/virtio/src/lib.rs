@@ -236,6 +236,10 @@ impl StorageStack for VirtioBlk {
     fn stats(&self) -> StackStats {
         self.inner.stats()
     }
+
+    fn io_capacity(&self) -> usize {
+        self.inner.io_capacity()
+    }
 }
 
 #[cfg(test)]

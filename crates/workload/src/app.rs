@@ -2,7 +2,7 @@
 
 use blkstack::ReqFlags;
 use dd_nvme::IoOpcode;
-use simkit::{SimDuration, SimRng};
+use simkit::{RunArena, SimDuration, SimRng};
 
 /// Where an I/O lands within the tenant's namespace region.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -126,6 +126,13 @@ pub trait AppWorkload {
 
     /// Human-readable name.
     fn name(&self) -> &'static str;
+
+    /// Parks recyclable scratch (caches, tables) into `arena` at the end of
+    /// a run so the next run built against the same arena skips rebuilding
+    /// it. Default: nothing to park.
+    fn park_scratch(&mut self, arena: &mut RunArena) {
+        let _ = arena;
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use dd_nvme::IoOpcode;
 use simkit::SimRng;
 
 use crate::app::{IoDesc, Placement};
+use crate::arrival::ArrivalModel;
 
 /// Read/write pattern.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -47,6 +48,11 @@ pub struct FioJob {
     /// distributed think time before reissuing (open-loop-ish arrivals,
     /// `fio --rate_iops`). `None` = pure closed loop.
     pub rate_iops: Option<u64>,
+    /// Open-loop arrival model. When set the job ignores `iodepth` pacing
+    /// entirely: the testbed schedules one arrival at a time from the
+    /// model's rate envelope and never reissues on completion (fleet-scale
+    /// tenants, see [`crate::arrival`]). `None` = closed loop.
+    pub arrival: Option<ArrivalModel>,
 }
 
 impl FioJob {
@@ -61,7 +67,14 @@ impl FioJob {
             flags: ReqFlags::NONE,
             sync_pct: 0,
             rate_iops: None,
+            arrival: None,
         }
+    }
+
+    /// Switches the job to open-loop arrivals driven by `model`.
+    pub fn with_arrival(mut self, model: ArrivalModel) -> Self {
+        self.arrival = Some(model);
+        self
     }
 
     /// Caps the job at `iops` I/Os per second (exponential think times).

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use blkstack::ReqFlags;
 use dd_nvme::IoOpcode;
-use simkit::SimDuration;
+use simkit::{RunArena, SimDuration};
 
 use crate::app::{AppOp, IoDesc, OpKind, OpStep, Placement};
 
@@ -75,13 +75,29 @@ pub struct LruCache {
 impl LruCache {
     /// Creates a cache holding `capacity` blocks.
     pub fn new(capacity: usize) -> Self {
+        Self::with_map(capacity, HashMap::new())
+    }
+
+    /// Creates a cache whose recency map is recycled from `arena` under
+    /// `tag` (see [`crate::arena_tags`]). Behaviourally identical to
+    /// [`LruCache::new`] — a recycled map arrives empty, only warmer.
+    pub fn new_in(capacity: usize, arena: &mut RunArena, tag: u32) -> Self {
+        Self::with_map(capacity, arena.take(tag))
+    }
+
+    fn with_map(capacity: usize, map: HashMap<u64, u64>) -> Self {
         LruCache {
             capacity: capacity.max(1),
-            map: HashMap::new(),
+            map,
             clock: 0,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Returns the recency map to `arena` under `tag` for the next run.
+    pub fn park(&mut self, arena: &mut RunArena, tag: u32) {
+        arena.put(tag, std::mem::take(&mut self.map));
     }
 
     /// Looks up a block, updating recency; inserts on miss (evicting the
@@ -143,14 +159,34 @@ pub struct KvStore {
 impl KvStore {
     /// Creates a store.
     pub fn new(config: KvConfig) -> Self {
+        Self::with_cache(config, LruCache::new(config.cache_blocks as usize))
+    }
+
+    /// Creates a store whose block-cache map is recycled from `arena`
+    /// (tag [`crate::arena_tags::KV_CACHE`]).
+    pub fn new_in(config: KvConfig, arena: &mut RunArena) -> Self {
+        let cache = LruCache::new_in(
+            config.cache_blocks as usize,
+            arena,
+            crate::arena_tags::KV_CACHE,
+        );
+        Self::with_cache(config, cache)
+    }
+
+    fn with_cache(config: KvConfig, cache: LruCache) -> Self {
         KvStore {
-            cache: LruCache::new(config.cache_blocks as usize),
+            cache,
             config,
             memtable_fill: 0,
             flushes: 0,
             wal_cursor: 0,
             pending_maintenance: None,
         }
+    }
+
+    /// Parks the block-cache map into `arena` for the next run.
+    pub fn park_scratch(&mut self, arena: &mut RunArena) {
+        self.cache.park(arena, crate::arena_tags::KV_CACHE);
     }
 
     /// The configuration.

@@ -18,7 +18,24 @@
 
 #![warn(missing_docs)]
 
+/// `RunArena` tags for workload scratch. Tags disambiguate same-typed
+/// structures within one arena — both caches are `HashMap<u64, u64>`, so
+/// they need distinct tags; [`simkit::ZetaCache`] is its own type.
+///
+/// The arena is single-occupancy per `(type, tag)` slot: when a scenario
+/// runs two tenants of the same workload kind, only the last one parked is
+/// recycled — correct either way, just less reuse.
+pub mod arena_tags {
+    /// YCSB/kvsim block-cache recency map (`HashMap<u64, u64>`).
+    pub const KV_CACHE: u32 = 0;
+    /// Mailserver page-cache recency map (same type, distinct tag).
+    pub const MAIL_CACHE: u32 = 1;
+    /// Memoised `zeta(n, θ)` table ([`simkit::ZetaCache`]).
+    pub const ZETA_CACHE: u32 = 0;
+}
+
 pub mod app;
+pub mod arrival;
 pub mod checkpoint;
 pub mod fio;
 pub mod kvsim;
@@ -27,6 +44,7 @@ pub mod tenants;
 pub mod ycsb;
 
 pub use app::{AppOp, AppWorkload, IoDesc, OpKind, OpStep, Placement};
+pub use arrival::ArrivalModel;
 pub use checkpoint::CheckpointWorkload;
 pub use fio::{FioJob, RwPattern};
 pub use mailserver::MailserverWorkload;

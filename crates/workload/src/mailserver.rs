@@ -10,7 +10,7 @@
 
 use blkstack::ReqFlags;
 use dd_nvme::IoOpcode;
-use simkit::{SimDuration, SimRng};
+use simkit::{RunArena, SimDuration, SimRng};
 
 use crate::app::{AppOp, AppWorkload, IoDesc, OpKind, OpStep, Placement};
 use crate::kvsim::LruCache;
@@ -58,8 +58,23 @@ pub struct MailserverWorkload {
 impl MailserverWorkload {
     /// Creates a client issuing `ops` operations.
     pub fn new(config: MailConfig, ops: u64) -> Self {
+        Self::with_cache(config, ops, LruCache::new(config.cache_blocks as usize))
+    }
+
+    /// [`MailserverWorkload::new`] with the page-cache map recycled from
+    /// `arena` (tag [`crate::arena_tags::MAIL_CACHE`]).
+    pub fn new_in(config: MailConfig, ops: u64, arena: &mut RunArena) -> Self {
+        let cache = LruCache::new_in(
+            config.cache_blocks as usize,
+            arena,
+            crate::arena_tags::MAIL_CACHE,
+        );
+        Self::with_cache(config, ops, cache)
+    }
+
+    fn with_cache(config: MailConfig, ops: u64, cache: LruCache) -> Self {
         MailserverWorkload {
-            cache: LruCache::new(config.cache_blocks as usize),
+            cache,
             config,
             ops_remaining: ops,
             pending_fsync: false,
@@ -178,6 +193,10 @@ impl AppWorkload for MailserverWorkload {
 
     fn name(&self) -> &'static str {
         "mailserver"
+    }
+
+    fn park_scratch(&mut self, arena: &mut RunArena) {
+        self.cache.park(arena, crate::arena_tags::MAIL_CACHE);
     }
 }
 

@@ -5,8 +5,8 @@
 //! (95 % cache-served), E scan-heavy, F read-modify-write. Keys follow the
 //! standard YCSB Zipfian distribution.
 
-use simkit::rng::Zipfian;
-use simkit::SimRng;
+use simkit::rng::{ZetaCache, Zipfian};
+use simkit::{RunArena, SimRng};
 
 use crate::app::{AppOp, AppWorkload, OpKind};
 use crate::kvsim::{KvConfig, KvStore};
@@ -51,10 +51,26 @@ impl YcsbWorkload {
     /// `config`.
     pub fn new(mix: YcsbMix, config: KvConfig, ops: u64) -> Self {
         let keys = config.keys;
+        Self::with_parts(mix, KvStore::new(config), Zipfian::ycsb(keys), ops)
+    }
+
+    /// [`YcsbWorkload::new`] with the expensive tables recycled from
+    /// `arena`: the kvsim block-cache map and the memoised `zeta(n, θ)`
+    /// summation behind the Zipfian key picker. Byte-identical behaviour to
+    /// the plain constructor — only construction cost changes.
+    pub fn new_in(mix: YcsbMix, config: KvConfig, ops: u64, arena: &mut RunArena) -> Self {
+        let keys = config.keys;
+        let mut zc: ZetaCache = arena.take(crate::arena_tags::ZETA_CACHE);
+        let zipf = Zipfian::ycsb_cached(keys, &mut zc);
+        arena.put(crate::arena_tags::ZETA_CACHE, zc);
+        Self::with_parts(mix, KvStore::new_in(config, arena), zipf, ops)
+    }
+
+    fn with_parts(mix: YcsbMix, store: KvStore, zipf: Zipfian, ops: u64) -> Self {
         YcsbWorkload {
             mix,
-            store: KvStore::new(config),
-            zipf: Zipfian::ycsb(keys),
+            store,
+            zipf,
             ops_remaining: ops,
             pending_rmw_write: None,
         }
@@ -127,6 +143,10 @@ impl AppWorkload for YcsbWorkload {
 
     fn name(&self) -> &'static str {
         self.mix.as_str()
+    }
+
+    fn park_scratch(&mut self, arena: &mut RunArena) {
+        self.store.park_scratch(arena);
     }
 }
 

@@ -17,8 +17,9 @@ fn main() {
         &["stack", "L p99.9 (ms)", "L avg (ms)", "T MB/s"],
     );
     for stack in [StackSpec::vanilla(), StackSpec::daredevil()] {
-        let scenario = Scenario::multi_namespace(stack, 8, 4, MachinePreset::SvM)
-            .with_durations(SimDuration::from_millis(20), SimDuration::from_millis(200));
+        let mut scenario = Scenario::multi_namespace(stack, 8, 4, MachinePreset::SvM);
+        scenario.knobs.warmup = SimDuration::from_millis(20);
+        scenario.knobs.measure = SimDuration::from_millis(200);
         let out = daredevil_repro::testbed::run(scenario);
         let l = out.summary.class("L");
         table.row(&[

@@ -20,8 +20,9 @@ fn main() {
             StackSpec::blk_switch(),
             StackSpec::daredevil(),
         ] {
-            let scenario = Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM)
-                .with_durations(SimDuration::from_millis(20), SimDuration::from_millis(200));
+            let mut scenario = Scenario::multi_tenant_fio(stack, 4, nr_t, 4, MachinePreset::SvM);
+            scenario.knobs.warmup = SimDuration::from_millis(20);
+            scenario.knobs.measure = SimDuration::from_millis(200);
             let out = daredevil_repro::testbed::run(scenario);
             let l = out.summary.class("L");
             table.row(&[

@@ -11,8 +11,10 @@ fn main() {
     // 4 latency-sensitive tenants (4 KiB random reads, queue depth 1,
     // real-time ionice) against 8 throughput tenants (128 KiB, depth 32)
     // sharing 4 cores — the paper's §7.1 population at one pressure stage.
-    let scenario = Scenario::multi_tenant_fio(StackSpec::daredevil(), 4, 8, 4, MachinePreset::SvM)
-        .with_durations(SimDuration::from_millis(20), SimDuration::from_millis(200));
+    let mut scenario =
+        Scenario::multi_tenant_fio(StackSpec::daredevil(), 4, 8, 4, MachinePreset::SvM);
+    scenario.knobs.warmup = SimDuration::from_millis(20);
+    scenario.knobs.measure = SimDuration::from_millis(200);
 
     let out = daredevil_repro::testbed::run(scenario);
 

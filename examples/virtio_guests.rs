@@ -27,6 +27,7 @@ fn vm_scenario(stack: StackSpec) -> Scenario {
                 core: i % 4,
                 nsid: NamespaceId(vm),
                 kind: TenantKind::Fio(daredevil_repro::workload::tenants::l_tenant_job()),
+                slo: None,
             });
         }
         for i in 0..6u16 {
@@ -36,10 +37,13 @@ fn vm_scenario(stack: StackSpec) -> Scenario {
                 core: (2 + i) % 4,
                 nsid: NamespaceId(vm),
                 kind: TenantKind::Fio(daredevil_repro::workload::tenants::t_tenant_job()),
+                slo: None,
             });
         }
     }
-    s.with_durations(SimDuration::from_millis(20), SimDuration::from_millis(200))
+    s.knobs.warmup = SimDuration::from_millis(20);
+    s.knobs.measure = SimDuration::from_millis(200);
+    s
 }
 
 fn main() {

@@ -19,6 +19,7 @@ fn scenario(stack: StackSpec) -> Scenario {
         ionice: IoPriorityClass::RealTime,
         core: 0,
         nsid: NamespaceId(1),
+        slo: None,
         kind: TenantKind::App(AppKind::Ycsb {
             mix: YcsbMix::A,
             config: KvConfig {
@@ -38,10 +39,11 @@ fn scenario(stack: StackSpec) -> Scenario {
             core: (1 + i) % 4,
             nsid: NamespaceId(1),
             kind: TenantKind::Fio(daredevil_repro::workload::tenants::streaming_job()),
+            slo: None,
         });
     }
-    s.warmup = SimDuration::from_millis(10);
-    s.measure = SimDuration::from_secs(60);
+    s.knobs.warmup = SimDuration::from_millis(10);
+    s.knobs.measure = SimDuration::from_secs(60);
     s.stop_when_apps_done = true;
     s
 }

@@ -65,12 +65,15 @@ HOS_1="$(mktemp)"
 HOS_N="$(mktemp)"
 POL_1="$(mktemp)"
 POL_N="$(mktemp)"
-trap 'rm -f "$SERIAL_OUT" "$PAR_OUT" "$TRACE_1" "$TRACE_N" "$EXT_1" "$EXT_N" "$HOS_1" "$HOS_N" "$POL_1" "$POL_N" BENCH_sweep_serial.json' EXIT
+FLE_1="$(mktemp)"
+FLE_N="$(mktemp)"
+trap 'rm -f "$SERIAL_OUT" "$PAR_OUT" "$TRACE_1" "$TRACE_N" "$EXT_1" "$EXT_N" "$HOS_1" "$HOS_N" "$POL_1" "$POL_N" "$FLE_1" "$FLE_N" BENCH_sweep_serial.json' EXIT
 DD_BENCH_SWEEP=BENCH_sweep_serial.json \
     ./target/release/all_figures --quick --csv --jobs 1 >"$SERIAL_OUT" 2>/dev/null
 BASE_WALL="$(sed -n 's/.*"total_wall_s": \([0-9.]*\),.*/\1/p' BENCH_sweep_serial.json)"
 DD_BENCH_SWEEP=BENCH_sweep.json DD_BASELINE_WALL_S="$BASE_WALL" \
     DD_BASELINE_ARTIFACT=BENCH_sweep_serial.json DD_BENCH_CURVE="1,2,4" \
+    DD_FLEET_PROBE=1 \
     ./target/release/all_figures --quick --csv --jobs "$JOBS_N" >"$PAR_OUT" 2>/dev/null
 if ! diff -q "$SERIAL_OUT" "$PAR_OUT" >/dev/null; then
     echo "verify: FAILED — --jobs $JOBS_N output diverges from --jobs 1:" >&2
@@ -87,6 +90,9 @@ sed -n 's/^    {"jobs": \([0-9]*\), "wall_s": \([0-9.]*\), "events_per_s": \([0-
     BENCH_sweep.json
 echo "  per-figure speedup_vs_serial at jobs=$JOBS_N:"
 sed -n 's/^    {"name": "\([a-z0-9_]*\)".*"speedup_vs_serial": \([0-9.]*\)}.*/    \1 = \2/p' \
+    BENCH_sweep.json
+echo "  fleet probe (serial 4-host daredevil fleet, events/s by tenancy scale):"
+sed -n 's/^    {"tenants": \([0-9]*\), "wall_s": \([0-9.]*\), "events": \([0-9]*\), "events_per_s": \([0-9.]*\)}.*/    tenants=\1  wall=\2s  events\/s=\4/p' \
     BENCH_sweep.json
 
 echo "== verify: figure outputs match the golden capture =="
@@ -174,6 +180,35 @@ if ! diff -q tests/golden/ext_policy_quick.txt "$POL_1" >/dev/null; then
     exit 1
 fi
 echo "  policy table byte-identical across jobs=1/$JOBS_N and vs the golden capture"
+
+echo "== verify: fleet-tenancy figure (10k-scale layer deterministic + golden) =="
+# The fleet layer's gate: every host of every fleet cell is an ordinary
+# sweep cell, so the ext_fleet table — per-class SLO-violation rates from
+# the in-stack per-tenant accounting — must be byte-identical for any
+# worker count and match the committed capture.
+./target/release/ext_fleet --quick --jobs 1 >"$FLE_1"
+./target/release/ext_fleet --quick --jobs "$JOBS_N" >"$FLE_N"
+if ! diff -q "$FLE_1" "$FLE_N" >/dev/null; then
+    echo "verify: FAILED — ext_fleet stdout diverges across --jobs:" >&2
+    diff "$FLE_1" "$FLE_N" | head -40 >&2
+    exit 1
+fi
+if ! diff -q tests/golden/ext_fleet_quick.txt "$FLE_1" >/dev/null; then
+    echo "verify: FAILED — fleet table diverges from tests/golden/ext_fleet_quick.txt:" >&2
+    diff tests/golden/ext_fleet_quick.txt "$FLE_1" | head -40 >&2
+    echo "(if the divergence is an intended semantic change, regenerate with:" >&2
+    echo " ./target/release/ext_fleet --quick --jobs 1 > tests/golden/ext_fleet_quick.txt)" >&2
+    exit 1
+fi
+echo "  fleet table byte-identical across jobs=1/$JOBS_N and vs the golden capture"
+
+echo "== verify: fleet determinism and 10k-tenant capacity stability =="
+# Fleet digest properties (crates/testbed/tests/fleet_props.rs): Zipfian
+# rank frequencies track θ, digests survive re-runs / host reorders / warm
+# arenas, and no per-I/O slab or event-queue backbone grows mid-run at
+# 10k tenants. Reduced case count for the gate; full corpus in cargo test.
+DD_CHECK_CASES=8 cargo test -q --release -p testbed --test fleet_props
+echo "  fleet determinism + capacity-stability properties: ok"
 
 echo "== verify: no request lost under an aggressive fault schedule =="
 # Request-conservation property (crates/testbed/tests/fault_props.rs):

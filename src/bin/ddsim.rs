@@ -140,12 +140,10 @@ fn main() {
     let mut scenario = match args.namespaces {
         Some(ns) => Scenario::multi_namespace(stack, ns, args.cores, args.machine),
         None => Scenario::multi_tenant_fio(stack, args.nr_l, args.nr_t, args.cores, args.machine),
-    }
-    .with_seed(args.seed)
-    .with_durations(
-        SimDuration::from_millis(args.warmup_ms),
-        SimDuration::from_millis(args.measure_ms),
-    );
+    };
+    scenario.knobs.seed = args.seed;
+    scenario.knobs.warmup = SimDuration::from_millis(args.warmup_ms);
+    scenario.knobs.measure = SimDuration::from_millis(args.measure_ms);
     if let Err(e) = scenario.validate() {
         eprintln!("invalid scenario: {e}");
         std::process::exit(2);
@@ -157,7 +155,7 @@ fn main() {
         | Phase::DeviceFetch.bit()
         | Phase::FlashDone.bit()
         | Phase::Complete.bit();
-    scenario = scenario.with_trace(TraceSpec {
+    scenario.knobs.trace = Some(TraceSpec {
         cap: 1 << 20,
         mask: breakdown_mask & MASK_ALL,
     });

@@ -24,14 +24,15 @@
 //! use daredevil_repro::prelude::*;
 //!
 //! // Compare vanilla blk-mq and Daredevil under T-pressure.
-//! let scenario = Scenario::multi_tenant_fio(
+//! let mut scenario = Scenario::multi_tenant_fio(
 //!     StackSpec::daredevil(),
 //!     2, // L-tenants
 //!     4, // T-tenants
 //!     2, // cores
 //!     MachinePreset::Small,
-//! )
-//! .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(30));
+//! );
+//! scenario.knobs.warmup = SimDuration::from_millis(5);
+//! scenario.knobs.measure = SimDuration::from_millis(30);
 //! let out = daredevil_repro::testbed::run(scenario);
 //! println!("{}", out.summary.headline());
 //! assert!(out.summary.class("L").ios_completed > 0);

@@ -15,9 +15,10 @@ fn fingerprint(out: &RunOutput) -> (u64, u64, u64, u64) {
 }
 
 fn run_once(stack: StackSpec, seed: u64) -> RunOutput {
-    let s = Scenario::multi_tenant_fio(stack, 2, 6, 2, MachinePreset::Small)
-        .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(60))
-        .with_seed(seed);
+    let mut s = Scenario::multi_tenant_fio(stack, 2, 6, 2, MachinePreset::Small);
+    s.knobs.warmup = SimDuration::from_millis(5);
+    s.knobs.measure = SimDuration::from_millis(60);
+    s.knobs.seed = seed;
     daredevil_repro::testbed::run(s)
 }
 
@@ -57,9 +58,10 @@ fn different_seeds_differ() {
 fn storms_are_deterministic_too() {
     let mk = |seed| {
         let mut s =
-            Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 4, 2, MachinePreset::Small)
-                .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(60))
-                .with_seed(seed);
+            Scenario::multi_tenant_fio(StackSpec::daredevil(), 2, 4, 2, MachinePreset::Small);
+            s.knobs.warmup = SimDuration::from_millis(5);
+            s.knobs.measure = SimDuration::from_millis(60);
+            s.knobs.seed = seed;
         s.ionice_storm = Some(SimDuration::from_millis(1));
         s.migrate_storm = Some(SimDuration::from_millis(3));
         daredevil_repro::testbed::run(s)
@@ -80,6 +82,7 @@ fn app_workloads_are_deterministic() {
             ionice: IoPriorityClass::RealTime,
             core: 0,
             nsid: NamespaceId(1),
+            slo: None,
             kind: TenantKind::App(AppKind::Ycsb {
                 mix: YcsbMix::F,
                 config: KvConfig {
@@ -92,7 +95,7 @@ fn app_workloads_are_deterministic() {
             }),
         });
         s.stop_when_apps_done = true;
-        s.measure = SimDuration::from_secs(10);
+        s.knobs.measure = SimDuration::from_secs(10);
         daredevil_repro::testbed::run(s)
     };
     let a = mk();

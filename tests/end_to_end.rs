@@ -24,8 +24,9 @@ fn all_stacks() -> Vec<StackSpec> {
 #[test]
 fn conservation_and_liveness() {
     for stack in all_stacks() {
-        let s = Scenario::multi_tenant_fio(stack, 2, 4, 2, MachinePreset::Small)
-            .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(60));
+        let mut s = Scenario::multi_tenant_fio(stack, 2, 4, 2, MachinePreset::Small);
+        s.knobs.warmup = SimDuration::from_millis(5);
+        s.knobs.measure = SimDuration::from_millis(60);
         let out = daredevil_repro::testbed::run(s);
         let name = out.summary.stack.clone();
         for t in &out.summary.tenants {
@@ -61,8 +62,9 @@ fn conservation_and_liveness() {
 #[test]
 fn latency_ordering() {
     for stack in all_stacks() {
-        let s = Scenario::multi_tenant_fio(stack, 2, 8, 2, MachinePreset::Small)
-            .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(60));
+        let mut s = Scenario::multi_tenant_fio(stack, 2, 8, 2, MachinePreset::Small);
+        s.knobs.warmup = SimDuration::from_millis(5);
+        s.knobs.measure = SimDuration::from_millis(60);
         let out = daredevil_repro::testbed::run(s);
         let l = out.summary.class("L").latency;
         assert!(l.min() > SimDuration::ZERO);
@@ -77,8 +79,9 @@ fn latency_ordering() {
 #[test]
 fn multi_namespace_liveness() {
     for stack in all_stacks() {
-        let s = Scenario::multi_namespace(stack, 4, 4, MachinePreset::SvM)
-            .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(60));
+        let mut s = Scenario::multi_namespace(stack, 4, 4, MachinePreset::SvM);
+        s.knobs.warmup = SimDuration::from_millis(5);
+        s.knobs.measure = SimDuration::from_millis(60);
         let out = daredevil_repro::testbed::run(s);
         for t in &out.summary.tenants {
             assert!(t.ios_completed > 0, "tenant {} starved", t.tenant_id);
@@ -91,8 +94,9 @@ fn multi_namespace_liveness() {
 #[test]
 fn ws_m_fanout_runs() {
     for stack in all_stacks() {
-        let s = Scenario::multi_tenant_fio(stack, 2, 4, 4, MachinePreset::WsM)
-            .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(60));
+        let mut s = Scenario::multi_tenant_fio(stack, 2, 4, 4, MachinePreset::WsM);
+        s.knobs.warmup = SimDuration::from_millis(5);
+        s.knobs.measure = SimDuration::from_millis(60);
         let out = daredevil_repro::testbed::run(s);
         assert!(out.summary.class("L").ios_completed > 0);
         assert!(out.summary.class("T").bytes_completed > 0);
@@ -111,6 +115,7 @@ fn mailserver_end_to_end() {
         ionice: IoPriorityClass::RealTime,
         core: 0,
         nsid: NamespaceId(1),
+        slo: None,
         kind: TenantKind::App(AppKind::Mailserver {
             config: MailConfig {
                 files: 2_000,
@@ -120,7 +125,7 @@ fn mailserver_end_to_end() {
         }),
     });
     s.stop_when_apps_done = true;
-    s.measure = SimDuration::from_secs(30);
+    s.knobs.measure = SimDuration::from_secs(30);
     let out = daredevil_repro::testbed::run(s);
     let fsync = out.op_latencies.get(&OpKind::Fsync).expect("fsyncs ran");
     let delete = out.op_latencies.get(&OpKind::Delete).expect("deletes ran");
@@ -140,8 +145,9 @@ fn mailserver_end_to_end() {
 /// whole stack.
 #[test]
 fn uncontended_latency_is_microseconds() {
-    let s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 0, 1, MachinePreset::SvM)
-        .with_durations(SimDuration::from_millis(5), SimDuration::from_millis(50));
+    let mut s = Scenario::multi_tenant_fio(StackSpec::vanilla(), 1, 0, 1, MachinePreset::SvM);
+    s.knobs.warmup = SimDuration::from_millis(5);
+    s.knobs.measure = SimDuration::from_millis(50);
     let out = daredevil_repro::testbed::run(s);
     let l = out.summary.class("L").latency;
     assert!(

@@ -5,8 +5,10 @@
 use daredevil_repro::blkstack::iosched::SchedKind;
 use daredevil_repro::prelude::*;
 
-fn durations(s: Scenario) -> Scenario {
-    s.with_durations(SimDuration::from_millis(10), SimDuration::from_millis(120))
+fn durations(mut s: Scenario) -> Scenario {
+    s.knobs.warmup = SimDuration::from_millis(10);
+    s.knobs.measure = SimDuration::from_millis(120);
+    s
 }
 
 /// Write-pressure scenario for the elevator comparisons.
@@ -19,6 +21,7 @@ fn write_pressure(stack: StackSpec, nr_t: u16) -> Scenario {
             core: i % 4,
             nsid: NamespaceId(1),
             kind: TenantKind::Fio(daredevil_repro::workload::tenants::t_tenant_write_job()),
+            slo: None,
         });
     }
     durations(s)
@@ -84,6 +87,7 @@ fn overprov_static_pairs_overflow_under_skew() {
                 ionice: IoPriorityClass::BestEffort,
                 core: if skewed { 0 } else { i % 4 },
                 nsid: NamespaceId(1),
+                slo: None,
                 kind: TenantKind::Fio(daredevil_repro::workload::tenants::t_tenant_job()),
             });
         }
@@ -121,6 +125,7 @@ fn virtio_sla_awareness_end_to_end() {
                     core: i % 4,
                     nsid: NamespaceId(vm),
                     kind: TenantKind::Fio(daredevil_repro::workload::tenants::l_tenant_job()),
+                    slo: None,
                 });
             }
             for i in 0..6u16 {
@@ -130,6 +135,7 @@ fn virtio_sla_awareness_end_to_end() {
                     core: (2 + i) % 4,
                     nsid: NamespaceId(vm),
                     kind: TenantKind::Fio(daredevil_repro::workload::tenants::t_tenant_job()),
+                    slo: None,
                 });
             }
         }
@@ -191,6 +197,7 @@ fn rate_limited_jobs_pace_themselves() {
             ionice: IoPriorityClass::RealTime,
             core: 0,
             nsid: NamespaceId(1),
+            slo: None,
             kind: TenantKind::Fio(
                 daredevil_repro::workload::FioJob::new(
                     daredevil_repro::workload::RwPattern::RandRead,
@@ -233,6 +240,7 @@ fn checkpoint_trainer_co_location() {
                 ionice: IoPriorityClass::BestEffort,
                 core: i % 4,
                 nsid: NamespaceId(1),
+                slo: None,
                 kind: TenantKind::App(AppKind::Checkpoint {
                     config: CheckpointConfig::default(),
                     checkpoints: 1_000_000, // Runs for the whole window.
@@ -282,6 +290,7 @@ fn gc_raises_the_floor_for_everyone() {
                 core: i % 4,
                 nsid: NamespaceId(1),
                 kind: TenantKind::Fio(daredevil_repro::workload::tenants::t_tenant_write_job()),
+                slo: None,
             });
         }
         if gc {

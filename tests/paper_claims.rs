@@ -7,8 +7,9 @@
 use daredevil_repro::prelude::*;
 
 fn quick(stack: StackSpec, nr_l: u16, nr_t: u16, cores: u16) -> RunOutput {
-    let s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, cores, MachinePreset::SvM)
-        .with_durations(SimDuration::from_millis(10), SimDuration::from_millis(120));
+    let mut s = Scenario::multi_tenant_fio(stack, nr_l, nr_t, cores, MachinePreset::SvM);
+    s.knobs.warmup = SimDuration::from_millis(10);
+    s.knobs.measure = SimDuration::from_millis(120);
     daredevil_repro::testbed::run(s)
 }
 
@@ -96,8 +97,9 @@ fn blk_switch_fails_under_overload() {
 #[test]
 fn fig10_multi_namespace() {
     let mk = |stack| {
-        let s = Scenario::multi_namespace(stack, 4, 4, MachinePreset::SvM)
-            .with_durations(SimDuration::from_millis(10), SimDuration::from_millis(120));
+        let mut s = Scenario::multi_namespace(stack, 4, 4, MachinePreset::SvM);
+        s.knobs.warmup = SimDuration::from_millis(10);
+        s.knobs.measure = SimDuration::from_millis(120);
         daredevil_repro::testbed::run(s)
     };
     let vanilla = mk(StackSpec::vanilla());
@@ -137,8 +139,10 @@ fn fig11_ablation_ordering() {
 #[test]
 fn fig14_storm_degrades_gracefully() {
     let mk = |interval: Option<SimDuration>| {
-        let mut s = Scenario::multi_tenant_fio(StackSpec::daredevil(), 4, 4, 4, MachinePreset::SvM)
-            .with_durations(SimDuration::from_millis(10), SimDuration::from_millis(120));
+        let mut s =
+            Scenario::multi_tenant_fio(StackSpec::daredevil(), 4, 4, 4, MachinePreset::SvM);
+        s.knobs.warmup = SimDuration::from_millis(10);
+        s.knobs.measure = SimDuration::from_millis(120);
         s.ionice_storm = interval;
         daredevil_repro::testbed::run(s)
     };
@@ -173,6 +177,7 @@ fn fig13_cross_core_overheads_bounded() {
                 ionice: IoPriorityClass::RealTime,
                 core: i % 4,
                 nsid: NamespaceId(1),
+                slo: None,
                 kind: TenantKind::Fio(if i < 4 {
                     daredevil_repro::workload::tenants::l_tenant_job()
                 } else {
@@ -183,7 +188,8 @@ fn fig13_cross_core_overheads_bounded() {
         if storm {
             s.migrate_storm = Some(SimDuration::from_millis(2));
         }
-        s = s.with_durations(SimDuration::from_millis(10), SimDuration::from_millis(120));
+        s.knobs.warmup = SimDuration::from_millis(10);
+        s.knobs.measure = SimDuration::from_millis(120);
         daredevil_repro::testbed::run(s)
     };
     let vanilla = mk(StackSpec::vanilla(), false);
@@ -216,9 +222,10 @@ fn latency_inflation_is_in_queue_wait() {
             | Phase::DeviceFetch.bit()
             | Phase::FlashDone.bit()
             | Phase::Complete.bit();
-        let s = Scenario::multi_tenant_fio(stack, 4, 16, 4, MachinePreset::SvM)
-            .with_durations(SimDuration::from_millis(10), SimDuration::from_millis(120))
-            .with_trace(TraceSpec { cap: 1 << 20, mask });
+        let mut s = Scenario::multi_tenant_fio(stack, 4, 16, 4, MachinePreset::SvM);
+        s.knobs.warmup = SimDuration::from_millis(10);
+        s.knobs.measure = SimDuration::from_millis(120);
+        s.knobs.trace = Some(TraceSpec { cap: 1 << 20, mask });
         daredevil_repro::testbed::run(s)
     };
     let window_start = SimTime::from_millis(10);
